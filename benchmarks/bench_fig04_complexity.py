@@ -1,0 +1,71 @@
+"""Fig. 4 + Fig. 7d: computational complexity breakdown of the PIR steps.
+
+Paper series:
+  Fig. 4a — per-step share of integer mults vs DB size (D0 = 256):
+            ExpandQuery 14/7/4/2 %, RowSel 58/62/65/66 %, ColTor 29/30/31/32 %
+            for 2/4/8/16 GB.
+  Fig. 4b — total complexity vs D0 at 2 GB, minimized around D0 = 256-512.
+  Fig. 7d — per-step unit breakdown: ExpandQuery ~90% (i)NTT, RowSel 100%
+            GEMM, ColTor ~83% (i)NTT.
+"""
+
+from conftest import params_for_gb, run_once
+
+from repro.analysis import complexity
+
+PAPER_FIG4A = {
+    2: {"ExpandQuery": 0.14, "RowSel": 0.58, "ColTor": 0.29},
+    4: {"ExpandQuery": 0.07, "RowSel": 0.62, "ColTor": 0.30},
+    8: {"ExpandQuery": 0.04, "RowSel": 0.65, "ColTor": 0.31},
+    16: {"ExpandQuery": 0.02, "RowSel": 0.66, "ColTor": 0.32},
+}
+
+
+def compute_fig4a():
+    return {gb: complexity.step_shares(params_for_gb(gb)) for gb in (2, 4, 8, 16)}
+
+
+def test_fig4a_step_shares(benchmark, report):
+    shares = run_once(benchmark, compute_fig4a)
+    lines = [f"{'DB':>5s} {'step':>12s} {'paper':>8s} {'measured':>9s}"]
+    for gb, by_step in shares.items():
+        for step, value in by_step.items():
+            lines.append(
+                f"{gb:>3d}GB {step:>12s} {PAPER_FIG4A[gb][step]:>7.0%} {value:>8.0%}"
+            )
+    report("Fig. 4a — complexity breakdown vs DB size (D0=256)", lines)
+    for gb, by_step in shares.items():
+        assert by_step["RowSel"] > by_step["ColTor"] > by_step["ExpandQuery"]
+    assert shares[16]["ExpandQuery"] < shares[2]["ExpandQuery"]
+
+
+def test_fig4b_d0_sweep(benchmark, report):
+    params = params_for_gb(2)
+    sweep = run_once(
+        benchmark, complexity.relative_complexity_vs_d0, params, [128, 256, 512, 1024]
+    )
+    lines = [f"{'D0':>6s} {'relative complexity':>20s}"]
+    lines += [f"{d0:>6d} {value:>20.3f}" for d0, value in sweep.items()]
+    lines.append("paper: minimum in the D0 = 256-512 band")
+    report("Fig. 4b — relative complexity vs D0 (2 GB DB)", lines)
+    assert min(sweep, key=sweep.get) in (256, 512)
+
+
+PAPER_FIG7D_NTT = {"ExpandQuery": 0.90, "RowSel": 0.0, "ColTor": 0.83}
+
+
+def test_fig7d_unit_breakdown(benchmark, report):
+    params = params_for_gb(2)
+    counts = run_once(benchmark, complexity.pir_step_counts, params)
+    lines = [f"{'step':>12s} {'(i)NTT':>8s} {'GEMM':>8s} {'iCRT':>8s} {'elem':>8s}"]
+    for step, c in counts.items():
+        s = c.unit_shares()
+        lines.append(
+            f"{step:>12s} {s['ntt']:>7.0%} {s['gemm']:>7.0%} "
+            f"{s['icrt']:>7.0%} {s['elem']:>7.0%}"
+        )
+    lines.append("paper: ExpandQuery 90% / ColTor 83% (i)NTT, RowSel 100% GEMM")
+    report("Fig. 7d — per-step operation-type breakdown", lines)
+    assert counts["ExpandQuery"].unit_shares()["ntt"] > 0.5
+    assert counts["ColTor"].unit_shares()["ntt"] > 0.5
+    assert counts["RowSel"].unit_shares()["gemm"] == 1.0

@@ -1,0 +1,62 @@
+"""Fig. 6: roofline + per-step GPU execution time vs multi-client batch.
+
+Paper series (RTX 4090, 41.3 TOPS / 939 GB/s, 2 GB DB):
+  left  — RowSel's arithmetic intensity climbs with batch (1-64) toward the
+          compute-bound region; ExpandQuery/ColTor intensities stay fixed.
+  right — amortized per-query time: RowSel shrinks with batch, the other
+          steps stay flat, totalling ~12-14 ms at batch 1.
+"""
+
+from conftest import params_for_gb, run_once
+
+from repro.analysis import intensity
+from repro.baselines.gpu import GpuPirModel
+from repro.baselines.roofline import RTX4090
+
+BATCHES = (1, 4, 16, 64)
+
+
+def compute_intensities():
+    params = params_for_gb(2)
+    return {b: intensity.step_intensities(params, batch=b) for b in BATCHES}
+
+
+def test_fig6_left_intensity(benchmark, report):
+    data = run_once(benchmark, compute_intensities)
+    ridge = RTX4090.ridge_intensity
+    lines = [f"{'batch':>6s} {'ExpandQuery':>12s} {'RowSel':>10s} {'ColTor':>10s}  (ops/byte)"]
+    for b, steps in data.items():
+        lines.append(
+            f"{b:>6d} {steps['ExpandQuery'].intensity:>12.2f} "
+            f"{steps['RowSel'].intensity:>10.2f} {steps['ColTor'].intensity:>10.2f}"
+        )
+    lines.append(f"RTX 4090 ridge point: {ridge:.1f} ops/byte")
+    report("Fig. 6 (left) — arithmetic intensity vs batch (2 GB DB)", lines)
+    rowsel = [steps["RowSel"].intensity for steps in data.values()]
+    assert rowsel[0] < ridge  # unbatched RowSel is memory-bound
+    assert rowsel[-1] > 20 * rowsel[0]
+    expand = [steps["ExpandQuery"].intensity for steps in data.values()]
+    assert max(expand) / min(expand) < 1.05
+
+
+def compute_step_times():
+    model = GpuPirModel(RTX4090, params_for_gb(2))
+    return {b: model.step_times(b) for b in BATCHES}
+
+
+def test_fig6_right_amortized_time(benchmark, report):
+    data = run_once(benchmark, compute_step_times)
+    lines = [
+        f"{'batch':>6s} {'ExpandQuery':>12s} {'RowSel':>10s} {'ColTor':>10s} "
+        f"{'total':>8s}  (ms/query)"
+    ]
+    for b, t in data.items():
+        lines.append(
+            f"{b:>6d} {t.expand_s / b * 1e3:>12.2f} {t.rowsel_s / b * 1e3:>10.2f} "
+            f"{t.coltor_s / b * 1e3:>10.2f} {t.per_query_s * 1e3:>8.2f}"
+        )
+    lines.append("paper: ~12-14 ms/query at batch 1, RowSel amortizing with batch")
+    report("Fig. 6 (right) — per-query GPU time vs batch (RTX 4090, 2 GB)", lines)
+    assert data[64].rowsel_s / 64 < 0.25 * data[1].rowsel_s
+    assert data[64].per_query_s < data[1].per_query_s
+    assert 0.004 < data[1].per_query_s < 0.04

@@ -1,0 +1,57 @@
+"""Fig. 8: DRAM traffic of ExpandQuery/ColTor under each scheduling policy.
+
+Paper setup: 32 batched queries, 8 GB DB, 64 MB and 128 MB on-chip caches.
+Headline ratios vs the BFS baseline (128 MB):
+  ExpandQuery — BFS-HS 1.75x, DFS-HS 1.87x (+7%)
+  ColTor      — BFS-HS 1.81x, +R.O. 2.24x (1.23x over DFS-HS at depth gain)
+"""
+
+from conftest import run_once
+
+from repro.params import PirParams
+from repro.sched import figure8, reduction_vs_bfs
+
+PAPER_REDUCTIONS = {
+    ("ExpandQuery", "HS (w/ BFS)"): 1.75,
+    ("ExpandQuery", "HS+R.O. (w/ DFS)"): 1.87,
+    ("ColTor", "HS (w/ BFS)"): 1.81,
+    ("ColTor", "HS+R.O. (w/ DFS)"): 2.24,
+}
+
+
+def compute_fig8():
+    params = PirParams.paper(d0=256, num_dims=11)  # 8 GB
+    return figure8(params, batch=32, chip_capacities=(64 << 20, 128 << 20))
+
+
+def test_fig8_traffic(benchmark, report):
+    data = run_once(benchmark, compute_fig8)
+    lines = []
+    for step, caps in data.items():
+        for cap, results in caps.items():
+            reductions = reduction_vs_bfs(results)
+            lines.append(f"--- {step} @ {cap >> 20} MB chip cache ---")
+            lines.append(
+                f"{'policy':>18s} {'ct load':>9s} {'ct store':>9s} "
+                f"{'key load':>9s} {'total':>8s} {'vs BFS':>7s}"
+            )
+            for r in results:
+                t = r.traffic
+                lines.append(
+                    f"{r.label:>18s} {t.ct_load_bytes / 1e9:>8.2f}G "
+                    f"{t.ct_store_bytes / 1e9:>8.2f}G {t.key_load_bytes / 1e9:>8.2f}G "
+                    f"{r.total_gb:>7.2f}G {reductions[r.label]:>6.2f}x"
+                )
+    lines.append("paper @128MB: Expand BFS-HS 1.75x / DFS-HS 1.87x; "
+                 "ColTor BFS-HS 1.81x / +R.O. 2.24x")
+    report("Fig. 8 — DRAM traffic by scheduling policy (8 GB, batch 32)", lines)
+
+    at_128 = {step: reduction_vs_bfs(caps[128 << 20]) for step, caps in data.items()}
+    for (step, policy), paper in PAPER_REDUCTIONS.items():
+        measured = at_128[step][policy]
+        assert paper / 1.6 < measured < paper * 1.6, (step, policy, measured)
+    # Ordering claims: HS beats BFS; R.O. never hurts.
+    for step in ("ExpandQuery", "ColTor"):
+        r = at_128[step]
+        assert r["HS (w/ DFS)"] > 1.0
+        assert r["HS+R.O. (w/ DFS)"] >= r["HS (w/ DFS)"] * 0.999

@@ -1,0 +1,81 @@
+"""Fig. 12: QPS and energy of CPU / GPU (single & batched) / IVE, 2-8 GB.
+
+Paper values: IVE 4261 / 2350 / 1242 QPS and 0.03 / 0.05 / 0.09 J/query;
+687.6x (gmean) over the 32-core CPU, up to 18.7x over the best batched
+GPU; CPU energy 72 / 107 / 176 J/query.
+"""
+
+import math
+
+from conftest import params_for_gb, run_once
+
+from repro.arch.config import IveConfig
+from repro.arch.energy import energy_per_query
+from repro.arch.simulator import IveSimulator
+from repro.baselines.cpu import CpuModel
+from repro.baselines.gpu import GpuPirModel
+from repro.baselines.roofline import H100, RTX4090
+
+PAPER_IVE_QPS = {2: 4261.0, 4: 2350.0, 8: 1242.0}
+PAPER_IVE_J = {2: 0.03, 4: 0.05, 8: 0.09}
+PAPER_CPU_J = {2: 72.0, 4: 107.0, 8: 176.0}
+
+
+def compute_fig12():
+    rows = {}
+    for gb in (2, 4, 8):
+        params = params_for_gb(gb)
+        cpu = CpuModel(params)
+        sim = IveSimulator(IveConfig.ive(), params)
+        entry = {
+            "CPU (32)": (cpu.qps(), cpu.energy_per_query()),
+            "IVE": (sim.latency(64).qps, energy_per_query(sim, 64)),
+        }
+        for device in (RTX4090, H100):
+            model = GpuPirModel(device, params)
+            if model.preprocessed_db_bytes < device.memory_capacity:
+                entry[f"{device.name} (S)"] = (
+                    1.0 / model.single_query_latency(),
+                    model.energy_per_query(1),
+                )
+            if model.max_batch() >= 1:
+                entry[f"{device.name} (B)"] = (model.qps(), model.energy_per_query())
+        rows[gb] = entry
+    return rows
+
+
+def test_fig12(benchmark, report):
+    rows = run_once(benchmark, compute_fig12)
+    lines = [f"{'DB':>5s} {'system':>12s} {'QPS':>10s} {'J/query':>10s}"]
+    for gb, entry in rows.items():
+        for system, (qps, joules) in entry.items():
+            lines.append(f"{gb:>3d}GB {system:>12s} {qps:>10.2f} {joules:>10.4f}")
+    lines.append(
+        "paper IVE: 4261/2350/1242 QPS, 0.03/0.05/0.09 J; CPU 72/107/176 J"
+    )
+    report("Fig. 12 — throughput and energy across platforms", lines)
+
+    cpu_ratios, gpu_ratios = [], []
+    for gb, entry in rows.items():
+        ive_qps, ive_j = entry["IVE"]
+        assert PAPER_IVE_QPS[gb] * 0.85 < ive_qps < PAPER_IVE_QPS[gb] * 1.15
+        assert PAPER_IVE_J[gb] * 0.5 < ive_j < PAPER_IVE_J[gb] * 1.5
+        cpu_ratios.append(ive_qps / entry["CPU (32)"][0])
+        best_gpu = max(
+            qps for name, (qps, _) in entry.items() if name.endswith("(B)")
+        )
+        gpu_ratios.append(ive_qps / best_gpu)
+        # Ordering: CPU < GPU < IVE in throughput, reverse in energy.
+        assert entry["CPU (32)"][0] < best_gpu < ive_qps
+    gmean_cpu = math.exp(sum(map(math.log, cpu_ratios)) / len(cpu_ratios))
+    gmean_gpu = math.exp(sum(map(math.log, gpu_ratios)) / len(gpu_ratios))
+    assert 450 < gmean_cpu < 1000  # paper: 687.6x
+    assert 8 < gmean_gpu < 30  # paper: up to 18.7x
+
+
+def test_fig12_4090_absent_at_8gb(benchmark):
+    """The 28 GB preprocessed 8 GB DB does not fit the 4090's 24 GB."""
+    def check():
+        return GpuPirModel(RTX4090, params_for_gb(8)).max_batch()
+
+    assert run_once(benchmark, check) == 0

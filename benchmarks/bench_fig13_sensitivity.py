@@ -1,0 +1,161 @@
+"""Fig. 13: sensitivity studies — DB size, algorithm, batch, memory, arch.
+
+Paper series:
+  13a — execution-time breakdown vs DB size (RowSel 63-73% at batch 64).
+  13b — scheduling ablation on 16 GB: BFS -> HS+RO is ~1.3x end to end.
+  13c — batch sweep on 16 GB: saturation at batch 64, QPS 591, latency
+        overhead 3.46x vs min.
+  13d — 128 GB (LPDDR) and 1 TB (16-system cluster): saturation at batch
+        128 with 79.9 and 9.89 QPS/system; QPS x DB-size ~ constant.
+  13e — Base / +Sp / +SysNTTU: -4% then -7% area, energy 0.96 -> 1.05.
+"""
+
+import pytest
+from conftest import params_for_gb, run_once
+
+from repro.arch.area import area
+from repro.arch.config import IveConfig
+from repro.arch.energy import batch_energy
+from repro.arch.simulator import IveSimulator
+from repro.params import PirParams
+from repro.sched.tree import Traversal
+from repro.systems.cluster import IveCluster
+from repro.systems.scale_up import ScaleUpSystem
+
+
+def test_fig13a_breakdown_vs_db(benchmark, report):
+    def compute():
+        out = {}
+        for gb in (2, 4, 8):
+            lat = IveSimulator(IveConfig.ive(), params_for_gb(gb)).latency(64)
+            out[gb] = lat
+        return out
+
+    data = run_once(benchmark, compute)
+    lines = [f"{'DB':>5s} {'Expand':>8s} {'RowSel':>8s} {'ColTor':>8s} {'other':>8s}"]
+    for gb, lat in data.items():
+        t = lat.total_s
+        other = lat.noc_s + lat.comm_s
+        lines.append(
+            f"{gb:>3d}GB {lat.expand_s / t:>7.0%} {lat.rowsel_s / t:>7.0%} "
+            f"{lat.coltor_s / t:>7.0%} {other / t:>7.0%}"
+        )
+    lines.append("paper: RowSel 63/69/73% for 2/4/8 GB")
+    report("Fig. 13a — execution-time breakdown vs DB size (batch 64)", lines)
+    for gb, lat in data.items():
+        share = lat.rowsel_s / lat.total_s
+        assert 0.5 < share < 0.85
+    assert data[8].rowsel_s / data[8].total_s > data[2].rowsel_s / data[2].total_s
+
+
+def test_fig13b_algorithm_ablation(benchmark, report):
+    params = params_for_gb(16)
+
+    def compute():
+        out = {}
+        for label, traversal, ro in (
+            ("BFS", Traversal.BFS, False),
+            ("DFS", Traversal.DFS, False),
+            ("HS (w/ DFS)", Traversal.HS_DFS, False),
+            ("HS+RO (w/ DFS)", Traversal.HS_DFS, True),
+        ):
+            sim = IveSimulator(
+                IveConfig.ive(), params, traversal=traversal, reduction_overlap=ro
+            )
+            out[label] = sim.latency(64)
+        return out
+
+    data = run_once(benchmark, compute)
+    base = data["BFS"].total_s
+    lines = [f"{'policy':>16s} {'latency ms':>11s} {'speedup':>8s}"]
+    for label, lat in data.items():
+        lines.append(
+            f"{label:>16s} {lat.total_s * 1e3:>11.1f} {base / lat.total_s:>7.2f}x"
+        )
+    lines.append("paper: BFS -> HS+RO gives ~1.26x end-to-end on 16 GB")
+    report("Fig. 13b — scheduling-algorithm ablation (16 GB, batch 64)", lines)
+    assert data["HS+RO (w/ DFS)"].total_s <= data["HS (w/ DFS)"].total_s
+    assert data["HS (w/ DFS)"].total_s < data["BFS"].total_s
+    speedup = base / data["HS+RO (w/ DFS)"].total_s
+    assert 1.02 < speedup < 2.0
+
+
+def test_fig13c_batch_sweep_16gb(benchmark, report):
+    system = ScaleUpSystem(params_for_gb(16))
+
+    def compute():
+        return {b: system.latency(b) for b in (1, 16, 32, 64, 96)}
+
+    data = run_once(benchmark, compute)
+    min_read = system.min_db_read_seconds()
+    lines = [f"{'batch':>6s} {'latency ms':>11s} {'QPS':>8s}"]
+    for b, lat in data.items():
+        lines.append(f"{b:>6d} {lat.total_s * 1e3:>11.1f} {lat.qps:>8.1f}")
+    lines.append(f"min DB read: {min_read * 1e3:.1f} ms")
+    lines.append("paper: QPS saturates at ~591 around batch 64; latency x3.46 vs min")
+    report("Fig. 13c — batch-size scaling (16 GB, HBM)", lines)
+    assert data[64].qps == pytest.approx(591, rel=0.15)
+    assert data[64].qps > 1.05 * data[32].qps  # paper: 1.1x from 32 -> 64
+    assert data[96].qps < 1.1 * data[64].qps  # plateau
+    overhead = data[64].total_s / data[1].total_s
+    assert 1.5 < overhead < 5.0  # paper: 3.46x
+
+
+def test_fig13d_large_dbs(benchmark, report):
+    def compute():
+        system = ScaleUpSystem(params_for_gb(128))
+        cluster = IveCluster(PirParams.paper(d0=256, num_dims=18), 16)  # 1 TB
+        return (
+            {b: system.latency(b).qps for b in (32, 64, 128, 160)},
+            {b: cluster.latency(b) for b in (32, 64, 128, 160)},
+        )
+
+    qps128, cluster_lat = run_once(benchmark, compute)
+    lines = [f"{'batch':>6s} {'128GB QPS':>10s} {'1TB QPS/sys':>12s}"]
+    for b in (32, 64, 128, 160):
+        lines.append(
+            f"{b:>6d} {qps128[b]:>10.1f} {cluster_lat[b].per_system_qps:>12.2f}"
+        )
+    lines.append("paper: 79.9 QPS (128 GB) and 9.89 QPS/system (1 TB) at batch 128")
+    report("Fig. 13d — batch scaling for LPDDR-resident DBs", lines)
+    assert qps128[128] == pytest.approx(79.9, rel=0.45)
+    assert cluster_lat[128].per_system_qps == pytest.approx(9.89, rel=0.6)
+    # Saturation needs the larger batch: 128 still improves clearly over 64.
+    assert qps128[128] > 1.15 * qps128[64]
+    # QPS x DB size roughly constant at saturation (scalability claim).
+    product_128 = qps128[128] * 128
+    product_1t = cluster_lat[128].per_system_qps * 1024
+    assert product_1t == pytest.approx(product_128, rel=0.4)
+
+
+def test_fig13e_architectural_ablation(benchmark, report):
+    params = params_for_gb(16)
+
+    def compute():
+        out = {}
+        for config in (IveConfig.base(), IveConfig.base_sp(), IveConfig.ive()):
+            sim = IveSimulator(config, params)
+            lat = sim.latency(64)
+            eb = batch_energy(sim, 64)
+            out[config.name] = (
+                eb.joules_per_query,
+                lat.total_s,
+                area(config).logic_total,
+            )
+        return out
+
+    data = run_once(benchmark, compute)
+    base_e, base_d, base_a = data["Base"]
+    lines = [f"{'config':>10s} {'energy':>8s} {'delay':>8s} {'area':>8s}  (vs Base)"]
+    for name, (e, d, a) in data.items():
+        lines.append(
+            f"{name:>10s} {e / base_e:>7.2f}x {d / base_d:>7.2f}x {a / base_a:>7.2f}x"
+        )
+    lines.append("paper: +Sp 0.96/1.0/0.96; +SysNTTU(IVE) 1.05/1.0/0.89")
+    report("Fig. 13e — architectural ablation (16 GB)", lines)
+    e_sp, d_sp, a_sp = data["+Sp"]
+    e_ive, d_ive, a_ive = data["IVE"]
+    assert a_sp < base_a  # special primes shrink area
+    assert a_ive < a_sp  # sysNTTU shrinks it further
+    assert d_ive == pytest.approx(d_sp, rel=0.01)  # no performance loss
+    assert e_ive > e_sp * 0.99  # unified datapath costs some energy

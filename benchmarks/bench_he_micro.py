@@ -1,0 +1,82 @@
+"""Micro-benchmarks of the HE substrate (NTT, ⊡, Subs, ExpandQuery).
+
+These time the functional implementation itself (pure Python + numpy) —
+useful for tracking the library's own performance, not for comparing with
+the paper's hardware numbers.
+"""
+
+import numpy as np
+import pytest
+
+from repro.he.bfv import BfvContext, SecretKey
+from repro.he.gadget import Gadget
+from repro.he.poly import Domain, RingContext
+from repro.he.rgsw import external_product, rgsw_encrypt
+from repro.he.sampling import Sampler
+from repro.he.subs import generate_subs_key, substitute
+from repro.params import PirParams
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    params = PirParams.small(n=1024, d0=16, num_dims=2)
+    ring = RingContext(params)
+    sampler = Sampler(ring, seed=7)
+    bfv = BfvContext(ring, sampler)
+    gadget = Gadget(ring)
+    key = SecretKey.generate(ring, sampler)
+    return params, ring, sampler, bfv, gadget, key
+
+
+def test_ntt_forward(benchmark, ctx):
+    params, ring, sampler, *_ = ctx
+    poly = sampler.uniform_poly(Domain.COEFF)
+    result = benchmark(lambda: poly.to_ntt())
+    assert result.domain is Domain.NTT
+
+
+def test_ntt_roundtrip(benchmark, ctx):
+    params, ring, sampler, *_ = ctx
+    poly = sampler.uniform_poly(Domain.COEFF)
+    result = benchmark(lambda: poly.to_ntt().to_coeff())
+    assert np.array_equal(result.residues, poly.residues)
+
+
+def test_encrypt(benchmark, ctx):
+    params, ring, sampler, bfv, gadget, key = ctx
+    m = np.arange(ring.n, dtype=np.int64) % params.plain_modulus
+    ct = benchmark(lambda: bfv.encrypt(m, key))
+    assert np.array_equal(bfv.decrypt(ct, key), m)
+
+
+def test_external_product(benchmark, ctx):
+    params, ring, sampler, bfv, gadget, key = ctx
+    m = np.arange(ring.n, dtype=np.int64) % params.plain_modulus
+    ct = bfv.encrypt(m, key)
+    rgsw = rgsw_encrypt(bfv, gadget, 1, key)
+    out = benchmark(lambda: external_product(rgsw, ct, gadget))
+    assert np.array_equal(bfv.decrypt(out, key), m)
+
+
+def test_substitution(benchmark, ctx):
+    params, ring, sampler, bfv, gadget, key = ctx
+    m = np.zeros(ring.n, dtype=np.int64)
+    m[2] = 5
+    ct = bfv.encrypt(m, key)
+    evk = generate_subs_key(bfv, gadget, key, ring.n + 1)
+    out = benchmark(lambda: substitute(ct, evk, gadget))
+    assert bfv.decrypt(out, key)[2] == 5  # even slot survives X -> X^(N+1)
+
+
+def test_end_to_end_retrieval(benchmark):
+    """Full functional PIR round trip on small parameters."""
+    from repro.pir.database import PirDatabase
+    from repro.pir.protocol import PirProtocol
+
+    params = PirParams.small(n=256, d0=8, num_dims=2)
+    db = PirDatabase.random(params, num_records=32, record_bytes=64, seed=3)
+    protocol = PirProtocol(params, db, seed=4)
+    record = benchmark.pedantic(
+        lambda: protocol.retrieve(21).record, rounds=1, iterations=1
+    )
+    assert record == db.record(21)

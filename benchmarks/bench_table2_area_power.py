@@ -1,0 +1,61 @@
+"""Table II: area and peak power of the 32-core IVE configuration."""
+
+from conftest import run_once
+
+from repro.arch.area import TABLE2_AREA, area
+from repro.arch.config import IveConfig
+from repro.arch.power import TABLE2_POWER, power
+
+PAPER_ROWS = {
+    "sysNTTU": (0.77, 2.17),
+    "iCRTU": (0.05, 0.13),
+    "EWU": (0.10, 0.37),
+    "AutoU": (0.07, 0.11),
+    "RF & buffers": (1.38, 1.63),
+}
+PAPER_TOTALS = {
+    "1 core": (2.91, 5.12),
+    "32 cores": (93.1, 163.8),
+    "NoC": (2.6, 6.7),
+    "HBM": (59.6, 68.6),
+    "Sum": (155.3, 239.1),
+}
+
+
+def compute_table2():
+    config = IveConfig.ive()
+    return area(config), power(config)
+
+
+def test_table2(benchmark, report):
+    a, p = run_once(benchmark, compute_table2)
+    lines = [f"{'component':>14s} {'area mm2':>16s} {'peak W':>16s}   (measured / paper)"]
+    for row, (pa, pw) in PAPER_ROWS.items():
+        lines.append(
+            f"{row:>14s} {a.per_core[row]:>7.2f} / {pa:<6.2f} "
+            f"{p.per_core[row]:>7.2f} / {pw:<6.2f}"
+        )
+    measured_totals = {
+        "1 core": (a.core_total, p.core_total),
+        "32 cores": (a.cores_total, p.cores_total),
+        "NoC": (a.noc, p.noc),
+        "HBM": (a.hbm, p.hbm),
+        "Sum": (a.total, p.total),
+    }
+    for row, (pa, pw) in PAPER_TOTALS.items():
+        ma, mp = measured_totals[row]
+        lines.append(f"{row:>14s} {ma:>7.1f} / {pa:<6.1f} {mp:>7.1f} / {pw:<6.1f}")
+    report("Table II — area and peak power of 32-core IVE", lines)
+    assert abs(a.total - 155.3) / 155.3 < 0.02
+    assert abs(p.total - 239.1) / 239.1 < 0.02
+
+
+def test_table2_anchors_match_paper_constants(benchmark):
+    """The model's anchor constants are the published Table II rows."""
+    def check():
+        for row, (pa, pw) in PAPER_ROWS.items():
+            assert TABLE2_AREA[row] == pa
+            assert TABLE2_POWER[row] == pw
+        return True
+
+    assert run_once(benchmark, check)

@@ -1,0 +1,38 @@
+"""Shared helpers for the figure/table reproduction benchmarks.
+
+Every benchmark prints a paper-vs-measured table straight to the terminal
+(bypassing capture) and records its compute time via pytest-benchmark.
+"""
+
+import pytest
+
+from repro.params import PirParams
+
+#: DB size (GiB) -> ColTor dimensions at D0 = 256, 16 KB records.
+DIMS_BY_GB = {2: 9, 4: 10, 8: 11, 16: 12, 32: 13, 64: 14, 128: 15}
+
+
+def params_for_gb(gb: int) -> PirParams:
+    return PirParams.paper(d0=256, num_dims=DIMS_BY_GB[gb])
+
+
+@pytest.fixture()
+def report(capsys):
+    """Print a rendered table to the real terminal, bypassing capture."""
+
+    def _print(title: str, lines):
+        with capsys.disabled():
+            print()
+            print("=" * 78)
+            print(title)
+            print("-" * 78)
+            for line in lines:
+                print(line)
+            print("=" * 78)
+
+    return _print
+
+
+def run_once(benchmark, func, *args, **kwargs):
+    """Time one execution (these are model evaluations, not microkernels)."""
+    return benchmark.pedantic(func, args=args, kwargs=kwargs, rounds=1, iterations=1)

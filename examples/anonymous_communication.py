@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Comm: anonymous communication mailboxes + the batch scheduler in action.
+
+1. Functional: recipients poll their dead-drop mailbox obliviously; the
+   server cannot tell which sender-receiver pairs communicate.
+2. Operational: Poisson query arrivals against one IVE system with the
+   waiting-window batch scheduler (the Fig. 14b deployment story) —
+   showing the latency users would actually see at several load levels.
+
+    python examples/anonymous_communication.py
+"""
+
+from repro import PirDatabase, PirParams, PirProtocol
+from repro.arch.config import IveConfig
+from repro.arch.simulator import IveSimulator
+from repro.params import PirParams as Params
+from repro.systems.batching import BatchPolicy, window_from_db_read
+from repro.systems.queueing import simulate_batching, simulate_fifo
+
+
+def functional_demo() -> None:
+    print("--- functional miniature: dead-drop mailboxes ---")
+    params = PirParams.small(n=256, d0=8, num_dims=2)
+    mailboxes = [b"\0" * 128 for _ in range(32)]
+    mailboxes[17] = b"meet at the usual place at nine".ljust(128, b"\0")
+    db = PirDatabase.from_records(mailboxes, params, record_bytes=128)
+    protocol = PirProtocol(params, db, seed=5)
+
+    message = protocol.retrieve(17).record.rstrip(b"\0")
+    print(f"recipient fetched mailbox 17: {message.decode()!r}")
+    # The server answered without learning *which* mailbox was read.
+
+
+def scheduler_demo() -> None:
+    print("\n--- batch scheduler under load (16 GB DB, one IVE system) ---")
+    sim = IveSimulator(IveConfig.ive(), Params.paper(d0=256, num_dims=12))
+    single = sim.single_query_latency().total_s
+    window = window_from_db_read(sim.min_db_read_seconds())
+    policy = BatchPolicy(waiting_window_s=window, max_batch=128)
+    cache: dict[int, float] = {}
+
+    def service(batch: int) -> float:
+        if batch not in cache:
+            cache[batch] = sim.latency(batch).total_s
+        return cache[batch]
+
+    print(f"single-query latency {single * 1e3:.1f} ms "
+          f"(non-batching limit {1 / single:.1f} QPS); window {window * 1e3:.1f} ms")
+    print(f"{'load QPS':>9s} {'batched ms':>11s} {'no-batch ms':>12s} {'avg batch':>10s}")
+    for rate in (5, 20, 100, 300):
+        batched = simulate_batching(service, policy, rate, num_queries=800, seed=1)
+        fifo = simulate_fifo(single, rate, num_queries=800, seed=1)
+        fifo_ms = fifo.mean_latency_s * 1e3
+        fifo_str = f"{fifo_ms:>12.1f}" if fifo_ms < 1e5 else f"{'diverges':>12s}"
+        print(f"{rate:>9.0f} {batched.mean_latency_s * 1e3:>11.1f} "
+              f"{fifo_str} {batched.mean_batch:>10.1f}")
+    print("batching keeps latency bounded far beyond the FIFO limit (Fig. 14b)")
+
+
+if __name__ == "__main__":
+    functional_demo()
+    scheduler_demo()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Fsys: private file retrieval (XPIR-style) with records larger than one
+plaintext polynomial, plus the heterogeneous-memory placement decision.
+
+1. Functional: file chunks are striped across database planes; one query
+   retrieves every plane's share and the client reassembles the file.
+2. Scale-up: where the paper's 1.25 TB Fsys DB lives — per-system slices
+   stream from LPDDR while HBM serves the client-specific working set.
+
+    python examples/private_file_system.py
+"""
+
+from repro import PirDatabase, PirParams, PirProtocol
+from repro.analysis.workloads import FSYS
+from repro.systems.cluster import IveCluster
+from repro.systems.scale_up import DbPlacement, ScaleUpSystem
+
+
+def functional_demo() -> None:
+    print("--- functional miniature: striped 600 B files ---")
+    params = PirParams.small(n=128, d0=4, num_dims=1)
+    files = [bytes([i]) * 600 for i in range(8)]
+    db = PirDatabase.from_records(files, params, record_bytes=600)
+    print(f"each file spans {db.layout.plane_count} planes "
+          f"({db.layout.bytes_per_plane_poly} B per plane)")
+    protocol = PirProtocol(params, db, seed=9)
+    result = protocol.retrieve(5)
+    assert result.record == files[5]
+    print(f"retrieved file 5 intact ({len(result.record)} B) from "
+          f"{len(result.response.plane_cts)} response ciphertexts")
+
+
+def placement_demo() -> None:
+    print("\n--- memory placement across DB scales ---")
+    for dims, label in ((12, "16 GB"), (15, "128 GB")):
+        params = PirParams.paper(d0=256, num_dims=dims)
+        system = ScaleUpSystem(params)
+        qps = system.qps(128)
+        print(f"{label:>7s}: placement={system.placement.value:6s} "
+              f"min-DB-read={system.min_db_read_seconds() * 1e3:7.1f} ms  "
+              f"QPS@128={qps:7.1f}")
+    print("(LPDDR's 4x lower bandwidth costs little once batching amortizes "
+          "the scan — Fig. 13d)")
+
+
+def cluster_demo() -> None:
+    print("\n--- the full 1.25 TB Fsys workload on 16 systems ---")
+    geometry = FSYS.geometry(PirParams.paper())
+    cluster = IveCluster(geometry, num_systems=16)
+    assert cluster.system.placement is DbPlacement.LPDDR
+    lat = cluster.latency(batch=128)
+    print(f"per-system slice: 2^{cluster.slice_params.num_dims} x 256 polynomials, "
+          f"streamed from LPDDR")
+    print(f"batch-128 latency {lat.total_s:.2f} s -> {lat.qps:.0f} QPS "
+          f"({lat.per_system_qps:.1f}/system; paper reports 127.5 total)")
+
+
+if __name__ == "__main__":
+    functional_demo()
+    placement_demo()
+    cluster_demo()

@@ -1,0 +1,30 @@
+"""repro — a reproduction of "IVE: An Accelerator for Single-Server Private
+Information Retrieval Using Versatile Processing Elements" (HPCA 2026).
+
+Layers
+------
+``repro.he``        BFV/RGSW homomorphic encryption substrate (RNS + NTT).
+``repro.pir``       OnionPIR-style protocol: ExpandQuery / RowSel / ColTor.
+``repro.sched``     BFS/DFS/hierarchical-search operation scheduling (Fig. 7/8).
+``repro.arch``      The IVE accelerator: cycle simulator + area/power/energy.
+``repro.systems``   Scale-up (HBM+LPDDR), scale-out cluster, batch scheduler.
+``repro.baselines`` CPU/GPU/ARK-like/INSPIRE/SimplePIR/KsPIR comparisons.
+``repro.analysis``  Complexity, arithmetic-intensity, and workload models.
+
+Quickstart
+----------
+>>> from repro import PirParams, PirDatabase, PirProtocol
+>>> params = PirParams.small()
+>>> db = PirDatabase.random(params, num_records=32, record_bytes=128, seed=0)
+>>> protocol = PirProtocol(params, db, seed=1)
+>>> protocol.retrieve(7).record == db.record(7)
+True
+"""
+
+from repro.params import PirParams
+from repro.pir.database import PirDatabase
+from repro.pir.protocol import PirProtocol
+
+__version__ = "1.0.0"
+
+__all__ = ["PirDatabase", "PirParams", "PirProtocol", "__version__"]

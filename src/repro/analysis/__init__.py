@@ -1,0 +1,5 @@
+"""Analytical models: op-count complexity, arithmetic intensity, workloads."""
+
+from repro.analysis import complexity, intensity, workloads
+
+__all__ = ["complexity", "intensity", "workloads"]

@@ -1,0 +1,180 @@
+"""Integer-multiplication complexity model (Fig. 4, Fig. 7d).
+
+Counts the modular integer multiplications each PIR step performs, broken
+down by the functional-unit category that executes them in IVE:
+
+* ``ntt``  — butterfly multiplications in (i)NTT (1 mult per butterfly)
+* ``gemm`` — modular multiply-accumulates in polynomial/matrix products
+* ``icrt`` — multiplications in RNS reconstruction (Eq. 3)
+* ``elem`` — element-wise adds/subs (tracked separately; not mults)
+
+The counts follow directly from the functional implementation in
+``repro.pir``: one Subs = 1 iNTT + ℓ digit NTTs + a 2xℓ gadget GEMM; one
+external product = 2 iNTTs + 2ℓ digit NTTs + a 2x2ℓ GEMM; RowSel = 2·D·R·N
+multiply-accumulates per query.  Absolute percentages in the paper differ
+somewhat (their counting of iCRT/big-integer work is not specified); the
+shape — RowSel dominant and growing with DB size, ExpandQuery amortizing
+away — is what the model reproduces (see EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.params import PirParams
+
+
+@dataclass(frozen=True)
+class OpCounts:
+    """Operation counts by executing-unit category."""
+
+    ntt: float = 0.0
+    gemm: float = 0.0
+    icrt: float = 0.0
+    elem: float = 0.0
+
+    @property
+    def total_mults(self) -> float:
+        """Integer multiplications (elem ops are adds and excluded)."""
+        return self.ntt + self.gemm + self.icrt
+
+    @property
+    def total_ops(self) -> float:
+        return self.ntt + self.gemm + self.icrt + self.elem
+
+    def __add__(self, other: "OpCounts") -> "OpCounts":
+        return OpCounts(
+            ntt=self.ntt + other.ntt,
+            gemm=self.gemm + other.gemm,
+            icrt=self.icrt + other.icrt,
+            elem=self.elem + other.elem,
+        )
+
+    def scale(self, factor: float) -> "OpCounts":
+        return OpCounts(
+            ntt=self.ntt * factor,
+            gemm=self.gemm * factor,
+            icrt=self.icrt * factor,
+            elem=self.elem * factor,
+        )
+
+    def unit_shares(self) -> dict[str, float]:
+        """Fractional breakdown by unit category (Fig. 7d)."""
+        total = self.total_ops
+        if total == 0:
+            return {"ntt": 0.0, "gemm": 0.0, "icrt": 0.0, "elem": 0.0}
+        return {
+            "ntt": self.ntt / total,
+            "gemm": self.gemm / total,
+            "icrt": self.icrt / total,
+            "elem": self.elem / total,
+        }
+
+
+# ---------------------------------------------------------------------------
+# Primitive costs
+# ---------------------------------------------------------------------------
+
+def ntt_mults_per_poly(params: PirParams) -> float:
+    """One (i)NTT over a full RNS polynomial: R * (N/2) * log2 N butterflies."""
+    return params.rns_count * (params.n / 2.0) * math.log2(params.n)
+
+
+def icrt_mults_per_poly(params: PirParams) -> float:
+    """RNS reconstruction: ~2 mults per residue per coefficient (Eq. 3)."""
+    return 2.0 * params.rns_count * params.n
+
+
+def poly_mult_macs(params: PirParams) -> float:
+    """Element-wise NTT-domain polynomial product: R*N multiply-accumulates."""
+    return float(params.rns_count * params.n)
+
+
+def subs_counts(params: PirParams) -> OpCounts:
+    """One substitution: Dcp(a_aut) + evk GEMM + b add (Section II-D)."""
+    ell = params.gadget_len
+    return OpCounts(
+        ntt=(1 + ell) * ntt_mults_per_poly(params),  # 1 iNTT + ℓ digit NTTs
+        gemm=2 * ell * poly_mult_macs(params),  # evk (2 x ℓ) times digit vector
+        icrt=icrt_mults_per_poly(params),
+        elem=2 * poly_mult_macs(params),  # output accumulate with (0, b_aut)
+    )
+
+
+def external_product_counts(params: PirParams) -> OpCounts:
+    """One ⊡: Dcp on both halves + RGSW GEMM (Fig. 3)."""
+    ell = params.gadget_len
+    return OpCounts(
+        ntt=(2 + 2 * ell) * ntt_mults_per_poly(params),
+        gemm=4 * ell * poly_mult_macs(params),  # (2x2ℓ) matrix-vector product
+        icrt=2 * icrt_mults_per_poly(params),
+        elem=2 * poly_mult_macs(params),
+    )
+
+
+def cmux_counts(params: PirParams) -> OpCounts:
+    """ColTor node: bit ⊡ (Y - X) + X — one ⊡ plus two ct-level adds."""
+    adds = 2 * 2 * poly_mult_macs(params)  # (Y - X) and (+ X), both (a, b)
+    base = external_product_counts(params)
+    return OpCounts(ntt=base.ntt, gemm=base.gemm, icrt=base.icrt, elem=base.elem + adds)
+
+
+# ---------------------------------------------------------------------------
+# Per-step totals (single query)
+# ---------------------------------------------------------------------------
+
+def expand_query_counts(params: PirParams) -> OpCounts:
+    """(D0 - 1) Subs plus the even/odd combine adds at every node."""
+    nodes = params.d0 - 1
+    combine = OpCounts(elem=2 * 2 * poly_mult_macs(params))  # two ct add/subs
+    return (subs_counts(params) + combine).scale(nodes)
+
+
+def rowsel_counts(params: PirParams) -> OpCounts:
+    """Eq. 1 over the initial dimension: 2*D*R*N multiply-accumulates."""
+    return OpCounts(gemm=2.0 * params.num_db_polys * poly_mult_macs(params))
+
+
+def coltor_counts(params: PirParams) -> OpCounts:
+    """(2^d - 1) cmux nodes in the tournament tree."""
+    nodes = (1 << params.num_dims) - 1
+    return cmux_counts(params).scale(nodes)
+
+
+def pir_step_counts(params: PirParams) -> dict[str, OpCounts]:
+    """All three steps of one query (Fig. 2)."""
+    return {
+        "ExpandQuery": expand_query_counts(params),
+        "RowSel": rowsel_counts(params),
+        "ColTor": coltor_counts(params),
+    }
+
+
+def step_shares(params: PirParams) -> dict[str, float]:
+    """Fraction of total integer mults per step (Fig. 4a bars)."""
+    counts = pir_step_counts(params)
+    total = sum(c.total_mults for c in counts.values())
+    return {name: c.total_mults / total for name, c in counts.items()}
+
+
+def total_mults(params: PirParams) -> float:
+    return sum(c.total_mults for c in pir_step_counts(params).values())
+
+
+def relative_complexity_vs_d0(
+    params: PirParams, d0_values: list[int]
+) -> dict[int, float]:
+    """Fig. 4b: total complexity vs D0 at fixed DB size, normalized to max.
+
+    Fixing the DB size means D = D0 * 2^d stays constant: doubling D0
+    removes one ColTor dimension but doubles the ExpandQuery tree.
+    """
+    total_polys = params.num_db_polys
+    totals = {}
+    for d0 in d0_values:
+        dims = int(math.log2(total_polys // d0))
+        geometry = params.with_db(d0=d0, num_dims=dims)
+        totals[d0] = total_mults(geometry)
+    peak = max(totals.values())
+    return {d0: t / peak for d0, t in totals.items()}

@@ -1,0 +1,123 @@
+"""Programmatic generators for every reproduced figure's data series.
+
+The benchmarks print human-readable tables; downstream users (plotting
+scripts, notebooks) want the raw series.  Each function returns plain
+dicts/lists of floats so the output serializes directly to JSON.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import complexity, intensity
+from repro.arch.config import IveConfig
+from repro.arch.energy import energy_per_query
+from repro.arch.simulator import IveSimulator
+from repro.baselines.cpu import CpuModel
+from repro.baselines.gpu import GpuPirModel
+from repro.baselines.roofline import H100, RTX4090
+from repro.params import PirParams
+from repro.sched import figure8 as sched_figure8
+from repro.sched import reduction_vs_bfs
+
+#: DB size (GiB) -> ColTor dimensions at D0 = 256 with 16 KB records.
+DIMS_BY_GB = {2: 9, 4: 10, 8: 11, 16: 12, 32: 13, 64: 14, 128: 15}
+
+
+def params_for_gb(gb: int, d0: int = 256) -> PirParams:
+    return PirParams.paper(d0=d0, num_dims=DIMS_BY_GB[gb])
+
+
+def fig4a(db_gibs=(2, 4, 8, 16)) -> dict:
+    """Per-step complexity shares vs DB size."""
+    return {gb: complexity.step_shares(params_for_gb(gb)) for gb in db_gibs}
+
+
+def fig4b(d0_values=(128, 256, 512, 1024), db_gib: int = 2) -> dict:
+    """Relative total complexity vs D0 at fixed DB size."""
+    return complexity.relative_complexity_vs_d0(params_for_gb(db_gib), list(d0_values))
+
+
+def fig6_left(batches=(1, 4, 16, 64), db_gib: int = 2) -> dict:
+    """Arithmetic intensity (ops/byte) per step vs batch."""
+    params = params_for_gb(db_gib)
+    return {
+        batch: {
+            step: si.intensity
+            for step, si in intensity.step_intensities(params, batch).items()
+        }
+        for batch in batches
+    }
+
+
+def fig6_right(batches=(1, 4, 16, 64), db_gib: int = 2) -> dict:
+    """Amortized per-query GPU step times (seconds) vs batch."""
+    model = GpuPirModel(RTX4090, params_for_gb(db_gib))
+    out = {}
+    for batch in batches:
+        times = model.step_times(batch)
+        out[batch] = {k: v / batch for k, v in times.breakdown().items()}
+    return out
+
+
+def fig8(db_gib: int = 8, batch: int = 32) -> dict:
+    """DRAM traffic (bytes) and reductions per scheduling policy."""
+    data = sched_figure8(params_for_gb(db_gib), batch=batch)
+    out: dict = {}
+    for step, caps in data.items():
+        out[step] = {}
+        for cap, results in caps.items():
+            out[step][cap] = {
+                "traffic_bytes": {r.label: r.traffic.total_bytes for r in results},
+                "reduction_vs_bfs": reduction_vs_bfs(results),
+            }
+    return out
+
+
+def fig12(db_gibs=(2, 4, 8), batch: int = 64) -> dict:
+    """QPS and J/query for CPU, GPUs, and IVE."""
+    rows: dict = {}
+    for gb in db_gibs:
+        params = params_for_gb(gb)
+        cpu = CpuModel(params)
+        sim = IveSimulator(IveConfig.ive(), params)
+        entry = {
+            "CPU": {"qps": cpu.qps(), "j_per_query": cpu.energy_per_query()},
+            "IVE": {
+                "qps": sim.latency(batch).qps,
+                "j_per_query": energy_per_query(sim, batch),
+            },
+        }
+        for device in (RTX4090, H100):
+            model = GpuPirModel(device, params)
+            if model.max_batch() >= 1:
+                entry[device.name] = {
+                    "qps": model.qps(),
+                    "j_per_query": model.energy_per_query(),
+                }
+        rows[gb] = entry
+    return rows
+
+
+def fig13c(batches=(1, 16, 32, 64, 96), db_gib: int = 16) -> dict:
+    """Latency (s) and QPS vs batch size."""
+    sim = IveSimulator(IveConfig.ive(), params_for_gb(db_gib))
+    out = {}
+    for batch in batches:
+        lat = sim.latency(batch)
+        out[batch] = {"latency_s": lat.total_s, "qps": lat.qps}
+    return out
+
+
+def fig14a(db_gib: int = 16, batch: int = 64) -> dict:
+    """Delay/energy/area triples for IVE and the ARK-like system."""
+    from repro.baselines.ark import figure14a as _fig14a
+
+    data = _fig14a(params_for_gb(db_gib), batch)
+    return {
+        name: {
+            "delay_s": cost.delay_s,
+            "j_per_query": cost.energy_per_query_j,
+            "area_mm2": cost.area_mm2,
+            "edap": cost.edap,
+        }
+        for name, cost in data.items()
+    }

@@ -1,0 +1,85 @@
+"""Arithmetic intensity of each PIR step (Fig. 6, left).
+
+Intensity = integer multiplications per byte of DRAM traffic.  Batching
+amortizes the database scan in RowSel across B queries, so RowSel's
+intensity grows linearly with B; ExpandQuery and ColTor touch only
+client-specific data (evks, RGSW bits, per-query ciphertexts), so their
+intensity is independent of B — the central observation of Section III-B.
+
+The traffic terms model a cache-less streaming device (the paper's GPU
+roofline), i.e. the naive BFS traversal: every evk / RGSW / intermediate
+ciphertext travels to DRAM between tree levels.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.analysis import complexity
+from repro.params import PirParams
+
+
+@dataclass(frozen=True)
+class StepIntensity:
+    """Multiplications, DRAM bytes and their ratio for one step."""
+
+    name: str
+    mults: float
+    dram_bytes: float
+
+    @property
+    def intensity(self) -> float:
+        return self.mults / self.dram_bytes
+
+
+def expand_query_traffic_bytes(params: PirParams, batch: int = 1) -> float:
+    """Naive per-batch traffic: evks reloaded per level + level outputs."""
+    levels = max(1, int(math.log2(params.d0)))
+    # Per query: each level streams its evk and writes 2^(a+1) cts, reading
+    # them back at the next level.
+    ct_traffic = sum(2 ** (a + 1) * 2 for a in range(levels)) * params.ct_bytes
+    per_query = levels * params.evk_bytes + ct_traffic
+    return batch * per_query
+
+
+def rowsel_traffic_bytes(params: PirParams, batch: int = 1) -> float:
+    """One preprocessed-DB scan (shared) + per-query ct streams."""
+    db_bytes = params.num_db_polys * params.poly_bytes
+    per_query = (params.d0 + params.num_db_polys // params.d0) * params.ct_bytes
+    return db_bytes + batch * per_query
+
+
+def coltor_traffic_bytes(params: PirParams, batch: int = 1) -> float:
+    """Naive BFS traffic: RGSW reloads per level + intermediate ct streams."""
+    dims = params.num_dims
+    entries = 1 << dims
+    ct_traffic = 0.0
+    for level in range(dims):
+        live = entries >> level
+        ct_traffic += live * params.ct_bytes  # read inputs
+        ct_traffic += (live // 2) * params.ct_bytes  # write outputs
+    per_query = dims * params.rgsw_bytes + ct_traffic
+    return batch * per_query
+
+
+def step_intensities(params: PirParams, batch: int = 1) -> dict[str, StepIntensity]:
+    """All three steps at a given multi-client batch size."""
+    counts = complexity.pir_step_counts(params)
+    return {
+        "ExpandQuery": StepIntensity(
+            "ExpandQuery",
+            counts["ExpandQuery"].total_mults * batch,
+            expand_query_traffic_bytes(params, batch),
+        ),
+        "RowSel": StepIntensity(
+            "RowSel",
+            counts["RowSel"].total_mults * batch,
+            rowsel_traffic_bytes(params, batch),
+        ),
+        "ColTor": StepIntensity(
+            "ColTor",
+            counts["ColTor"].total_mults * batch,
+            coltor_traffic_bytes(params, batch),
+        ),
+    }

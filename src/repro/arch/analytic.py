@@ -1,0 +1,134 @@
+"""Closed-form performance model, cross-validated against the cycle sim.
+
+For large sweeps (cluster sizing, design-space exploration) a closed form
+is handy: each pipeline step is the max of its per-unit occupancy totals
+(the steady-state bound of a deeply pipelined machine) plus the DRAM time
+of the schedule's traffic.  Tests assert agreement with the event-driven
+simulator within a tolerance — if the two models drift, one of them is
+wrong about the machine.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.config import IveConfig
+from repro.arch.units import Unit, UnitTimings
+from repro.params import PirParams
+from repro.sched.traversal import schedule_coltor, schedule_expand
+from repro.sched.tree import Schedule, ScheduleConfig, StepKind, Traversal
+
+
+@dataclass(frozen=True)
+class AnalyticStep:
+    """Per-unit occupancy (cycles) of one tree step for a single query."""
+
+    unit_cycles: dict
+    memory_cycles: float
+
+    @property
+    def bound_cycles(self) -> float:
+        return max([self.memory_cycles, *self.unit_cycles.values()], default=0.0)
+
+
+class AnalyticModel:
+    """Closed-form step times for one (config, params) pair."""
+
+    def __init__(
+        self,
+        config: IveConfig,
+        params: PirParams,
+        traversal: Traversal = Traversal.HS_DFS,
+        reduction_overlap: bool = True,
+        db_bandwidth: float | None = None,
+    ):
+        self.config = config
+        self.params = params
+        self.timings = UnitTimings(config, params)
+        self.traversal = traversal
+        self.reduction_overlap = reduction_overlap
+        self.db_bandwidth = (
+            db_bandwidth if db_bandwidth is not None else config.memory.hbm_bandwidth
+        )
+        self._cfg = ScheduleConfig(
+            capacity_bytes=config.rf_bytes,
+            traversal=traversal,
+            reduction_overlap=reduction_overlap,
+        )
+
+    # -- per-node unit occupancy -----------------------------------------
+    def _node_cycles(self, kind: StepKind) -> dict:
+        t, p = self.timings, self.params
+        ell = p.gadget_len
+        if kind is StepKind.CMUX:
+            ntt_polys = 2 + 2 * ell
+            gemm = t.gadget_gemm(2 * ell, out_polys=2)
+            icrt = t.icrt(polys=2)
+            elem = t.ct_add(num=2)
+            auto = 0.0
+        else:
+            ntt_polys = 1 + ell
+            gemm = t.gadget_gemm(ell, out_polys=2)
+            icrt = t.icrt(polys=1)
+            elem = t.ct_add(num=2)
+            auto = t.automorphism(polys=2).cycles
+        # ntt_poly_cycles already spreads across the per-core sysNTTUs.
+        ntt = ntt_polys * t.ntt_poly_cycles()
+        cycles = {
+            Unit.SYSNTTU: ntt,
+            Unit.ICRTU: icrt.cycles,
+            Unit.EWU: elem.cycles,
+            Unit.AUTOU: auto,
+        }
+        cycles[gemm.unit] = cycles.get(gemm.unit, 0.0) + gemm.cycles
+        return cycles
+
+    def _step_bound(self, schedule: Schedule, kind: StepKind) -> AnalyticStep:
+        nodes = schedule.num_compute_steps
+        per_node = self._node_cycles(kind)
+        unit_cycles = {u: c * nodes for u, c in per_node.items()}
+        mem_bytes = schedule.traffic().total_bytes
+        mem_cycles = self.timings.dram_cycles(
+            mem_bytes, self.config.per_core_hbm_bandwidth
+        )
+        return AnalyticStep(unit_cycles=unit_cycles, memory_cycles=mem_cycles)
+
+    # -- public step times ----------------------------------------------------
+    def expand_step(self) -> AnalyticStep:
+        return self._step_bound(schedule_expand(self.params, self._cfg), StepKind.EXPAND)
+
+    def coltor_step(self) -> AnalyticStep:
+        return self._step_bound(schedule_coltor(self.params, self._cfg), StepKind.CMUX)
+
+    def expand_seconds(self, batch: int) -> float:
+        rounds = math.ceil(batch / self.config.num_cores)
+        return rounds * self.expand_step().bound_cycles / self.config.clock_hz
+
+    def coltor_seconds(self, batch: int) -> float:
+        rounds = math.ceil(batch / self.config.num_cores)
+        return rounds * self.coltor_step().bound_cycles / self.config.clock_hz
+
+    def rowsel_seconds(self, batch: int) -> float:
+        p, c = self.params, self.config
+        db_bytes = p.num_db_polys * p.poly_bytes
+        stream_s = db_bytes / self.db_bandwidth
+        macs = batch * 2.0 * p.num_db_polys * p.rns_count * p.n
+        gemm_s = macs / (c.chip_gemm_macs_per_cycle * c.clock_hz)
+        ct_bytes = batch * (p.d0 + (p.num_db_polys // p.d0)) * p.ct_bytes
+        ct_s = ct_bytes / c.memory.hbm_bandwidth
+        if self.db_bandwidth == c.memory.hbm_bandwidth:
+            return max(gemm_s, stream_s + ct_s)
+        return max(gemm_s, stream_s, ct_s)
+
+    def total_seconds(self, batch: int) -> float:
+        from repro.arch.simulator import TIMING_OVERHEAD
+
+        return TIMING_OVERHEAD * (
+            self.expand_seconds(batch)
+            + self.rowsel_seconds(batch)
+            + self.coltor_seconds(batch)
+        )
+
+    def qps(self, batch: int) -> float:
+        return batch / self.total_seconds(batch)

@@ -1,0 +1,107 @@
+"""Area model calibrated to Table II (substitute for RTL synthesis).
+
+The paper's component areas come from ASAP7 synthesis + FinCACTI; every
+experiment consumes only the per-component totals and the relative deltas
+of the design points, so we reproduce those with an analytical model:
+
+* Table II per-component constants anchor the full IVE configuration.
+* The sysNTTU's GEMM-mode additions (muxes, drain path) are the "1.4% of
+  chip area" the paper quotes in Section VI-E; removing them yields the
+  plain NTTU of the Base design point, which instead needs a dedicated
+  512-MAC systolic GEMM unit (calibrated so Base -> +SysNTTU is the paper's
+  7% chip-logic reduction, Fig. 13e).
+* Generic-prime modular multipliers are larger than the Solinas-like
+  special-prime ones (9.1% at circuit level, Section IV-G); at system
+  level this appears as the 4% delta of Fig. 13e's +Sp point, which the
+  multiplier-factor below is calibrated to.
+* SRAM area scales linearly with capacity; NoC with core count.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import MB, IveConfig
+
+# --- Table II anchors (mm^2, full IVE: 32 cores, 5 MB SRAM/core) ----------
+TABLE2_AREA = {
+    "sysNTTU": 0.77,  # per core, both units
+    "iCRTU": 0.05,
+    "EWU": 0.10,
+    "AutoU": 0.07,
+    "RF & buffers": 1.38,
+    "other": 0.54,  # per-core control/dispatch not itemized in Table II
+}
+TABLE2_CORE_TOTAL = 2.91
+TABLE2_NOC = 2.6
+TABLE2_HBM = 59.6
+TABLE2_TOTAL = 155.3
+
+#: GEMM-mode additions across all sysNTTUs: 1.4% of the chip (Section VI-E).
+_GEMM_MODE_ADDITIONS_CHIP = 0.014 * TABLE2_TOTAL  # ~2.17 mm^2
+#: Plain-NTTU pair area once the GEMM-mode muxes are removed.
+_NTT_ONLY_PAIR = TABLE2_AREA["sysNTTU"] - _GEMM_MODE_ADDITIONS_CHIP / 32
+#: Dedicated 512-MAC GEMM unit pair for the Base design point, calibrated so
+#: that +Sp -> +SysNTTU is a 7% chip-logic reduction (Fig. 13e).
+_DEDICATED_GEMM_PAIR = 0.295
+#: Area factor for multiplier-bearing units under generic primes,
+#: calibrated so +Sp saves 4% of chip logic (Fig. 13e; rooted in the 9.1%
+#: modular-multiplier reduction of Section IV-G).
+_GENERIC_PRIME_FACTOR = 1.13
+#: SRAM density from the RF anchor: 1.38 mm^2 per 5 MB.
+_SRAM_MM2_PER_MB = TABLE2_AREA["RF & buffers"] / 4.875  # 4 MB RF + two 448 KB buffers
+#: Multiply-add unit (ARK-like GEMM fallback): EWU-sized per 64 lanes.
+_MADU_AREA = TABLE2_AREA["EWU"]
+
+
+@dataclass(frozen=True)
+class AreaBreakdown:
+    """mm^2 by component (Table II rows)."""
+
+    per_core: dict
+    core_total: float
+    cores_total: float
+    noc: float
+    hbm: float
+
+    @property
+    def total(self) -> float:
+        return self.cores_total + self.noc + self.hbm
+
+    @property
+    def logic_total(self) -> float:
+        """Chip area excluding HBM (the Fig. 13e comparison basis)."""
+        return self.cores_total + self.noc
+
+
+def area(config: IveConfig) -> AreaBreakdown:
+    """Component-level area for any design point."""
+    mult_factor = 1.0 if config.special_primes else _GENERIC_PRIME_FACTOR
+    per_core: dict[str, float] = {}
+
+    pair_scale = config.sysnttu_per_core / 2.0  # Table II anchors two units
+    if config.unified_sysnttu:
+        per_core["sysNTTU"] = TABLE2_AREA["sysNTTU"] * pair_scale * mult_factor
+    else:
+        per_core["NTTU"] = _NTT_ONLY_PAIR * pair_scale * mult_factor
+        if not config.gemm_on_madu:
+            per_core["GEMM unit"] = _DEDICATED_GEMM_PAIR * pair_scale * mult_factor
+    if config.gemm_on_madu:
+        per_core["MADU"] = 2 * _MADU_AREA * mult_factor
+
+    per_core["iCRTU"] = TABLE2_AREA["iCRTU"] * mult_factor
+    per_core["EWU"] = TABLE2_AREA["EWU"] * mult_factor
+    per_core["AutoU"] = TABLE2_AREA["AutoU"]
+    per_core["RF & buffers"] = _SRAM_MM2_PER_MB * (config.sram_per_core / MB)
+    per_core["other"] = TABLE2_AREA["other"]
+
+    core_total = sum(per_core.values())
+    noc = TABLE2_NOC * config.num_cores / 32.0
+    hbm = TABLE2_HBM * config.memory.hbm_stacks / 4.0
+    return AreaBreakdown(
+        per_core=per_core,
+        core_total=core_total,
+        cores_total=core_total * config.num_cores,
+        noc=noc,
+        hbm=hbm,
+    )

@@ -1,0 +1,125 @@
+"""Network-on-chip layout transposition (Section IV-E, Fig. 10).
+
+The two parallelization strategies distribute data differently:
+
+* QLP (ExpandQuery/ColTor): core c holds ALL coefficients of its queries.
+* CLP (RowSel): core c holds one coefficient slice of ALL queries.
+
+Moving between them is a (queries x coefficients) transpose performed in
+two phases: a *local* transpose inside each core over (block x block)
+tiles with block = lanes/cores (Fig. 10-2), then a *global* exchange in
+which lane-group g of core c travels to lane-group c of core g over a
+fixed point-to-point wire (Fig. 10-3).  Because each lane connects to
+exactly one lane of one other core, the wiring cost grows only linearly
+with core count.
+
+``qlp_to_clp`` implements the permutation functionally — tests verify that
+the fixed wiring really produces the CLP layout — and ``transpose_cost``
+is the timing the simulator charges.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.arch.config import IveConfig
+from repro.errors import ParameterError
+
+
+@dataclass(frozen=True)
+class NocGeometry:
+    """Cores and lanes participating in a transposition."""
+
+    num_cores: int
+    num_lanes: int
+
+    def __post_init__(self):
+        if self.num_lanes % self.num_cores:
+            raise ParameterError(
+                f"lanes ({self.num_lanes}) must be a multiple of cores "
+                f"({self.num_cores}) for the blocked transpose"
+            )
+
+    @property
+    def block(self) -> int:
+        """Tile edge: lanes/cores (Fig. 10's data-block size)."""
+        return self.num_lanes // self.num_cores
+
+
+def _check(layout: np.ndarray, geo: NocGeometry) -> None:
+    if layout.ndim != 3:
+        raise ParameterError("layout must be (cores, rows, lanes)")
+    cores, rows, lanes = layout.shape
+    if cores != geo.num_cores or lanes != geo.num_lanes:
+        raise ParameterError("layout does not match the NoC geometry")
+    if rows % geo.block:
+        raise ParameterError(f"row count {rows} not divisible by block {geo.block}")
+
+
+def local_transpose(layout: np.ndarray, geo: NocGeometry) -> np.ndarray:
+    """Phase 1 (Fig. 10-2): each core transposes its (block x block) tiles.
+
+    Purely core-local — no inter-core traffic.  ``layout`` has shape
+    (cores, rows, lanes); rows are consecutive data beats (one query's
+    coefficient vector per row under QLP).
+    """
+    _check(layout, geo)
+    cores, rows, lanes = layout.shape
+    b = geo.block
+    tiles = layout.reshape(cores, rows // b, b, lanes // b, b)
+    return np.swapaxes(tiles, 2, 4).reshape(cores, rows, lanes)
+
+
+def global_exchange(layout: np.ndarray, geo: NocGeometry) -> np.ndarray:
+    """Phase 2 (Fig. 10-3): fixed-wire exchange of lane groups.
+
+    Lane-group g of core c moves to lane-group c of core g — the core axis
+    swaps with the lane-group axis.  Each lane talks to exactly one lane
+    in one other core, so fixed wiring suffices.
+    """
+    _check(layout, geo)
+    cores, rows, lanes = layout.shape
+    grouped = layout.reshape(cores, rows, cores, geo.block)
+    return np.swapaxes(grouped, 0, 2).reshape(cores, rows, lanes)
+
+
+def qlp_to_clp(layout: np.ndarray, geo: NocGeometry) -> np.ndarray:
+    """Full QLP -> CLP transition: local transpose then global exchange.
+
+    For input ``layout[c, r, l] = f(query = c*rows + r', coeff = l)`` the
+    output places coefficient ``c'*block + i`` of every query on core c'
+    — the CLP distribution RowSel needs (verified in tests).
+    """
+    return global_exchange(local_transpose(layout, geo), geo)
+
+
+def clp_to_qlp(layout: np.ndarray, geo: NocGeometry) -> np.ndarray:
+    """The reverse transition (RowSel outputs -> ColTor): same two phases
+    applied in reverse order (both phases are involutions)."""
+    return local_transpose(global_exchange(layout, geo), geo)
+
+
+@dataclass(frozen=True)
+class TransposeCost:
+    """Cycles for one full QLP<->CLP layout change."""
+
+    local_cycles: float
+    global_cycles: float
+
+    @property
+    def total_cycles(self) -> float:
+        return self.local_cycles + self.global_cycles
+
+
+def transpose_cost(config: IveConfig, total_bytes: float) -> TransposeCost:
+    """Timing: local phase bounded by lane width, global by the fixed wires.
+
+    Per-core time is constant for a fixed per-core data share; aggregate
+    wiring grows linearly with core count (Section IV-E).
+    """
+    per_core = total_bytes / config.num_cores
+    local = per_core / config.lanes
+    global_ = per_core / config.noc_bytes_per_cycle_per_core
+    return TransposeCost(local_cycles=local, global_cycles=global_)

@@ -1,0 +1,132 @@
+"""Operation-graph construction: schedule steps -> functional-unit ops.
+
+Mirrors the paper's simulator description (Section VI-A): each high-level
+operation (Subs, external product) is decomposed into core functions —
+automorphism, iNTT, iCRT, digit NTTs, gadget GEMM, element-wise combine —
+with explicit dependencies, and every DRAM transfer from the schedule
+becomes a memory op that the decoupled-orchestration front end may issue
+early (prefetch).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.arch.units import OpCost, Unit, UnitTimings
+from repro.params import PirParams
+from repro.sched.tree import Schedule, StepKind
+
+
+@dataclass
+class GraphOp:
+    """One node of the operation graph."""
+
+    op_id: int
+    cost: OpCost
+    deps: list[int] = field(default_factory=list)
+
+
+@dataclass
+class OpGraph:
+    """Topologically ordered ops for one query's tree step."""
+
+    ops: list[GraphOp]
+
+    def __len__(self) -> int:
+        return len(self.ops)
+
+    def total_cycles_by_unit(self) -> dict[Unit, float]:
+        totals: dict[Unit, float] = {}
+        for op in self.ops:
+            totals[op.cost.unit] = totals.get(op.cost.unit, 0.0) + op.cost.cycles
+        return totals
+
+
+class GraphBuilder:
+    """Expands a :class:`Schedule` into unit-level ops with dependencies."""
+
+    def __init__(
+        self,
+        timings: UnitTimings,
+        memory_bandwidth: float,
+        reduction_overlap: bool = False,
+    ):
+        self.timings = timings
+        self.params: PirParams = timings.params
+        self.memory_bandwidth = memory_bandwidth
+        self.reduction_overlap = reduction_overlap
+        self._ops: list[GraphOp] = []
+
+    # -- low-level emit ------------------------------------------------------
+    def _emit(self, cost: OpCost, deps: list[int]) -> int:
+        op = GraphOp(op_id=len(self._ops), cost=cost, deps=list(deps))
+        self._ops.append(op)
+        return op.op_id
+
+    def _mem(self, nbytes: float, deps: list[int], label: str) -> int:
+        cycles = self.timings.dram_cycles(nbytes, self.memory_bandwidth)
+        return self._emit(OpCost(Unit.MEMORY, cycles, label), deps)
+
+    # -- high-level ops ----------------------------------------------------------
+    def _emit_subs(self, deps: list[int]) -> int:
+        """Subs: Auto(a,b) -> Dcp(a) -> ℓ NTTs -> evk GEMM -> combine."""
+        t, p = self.timings, self.params
+        auto = self._emit(t.automorphism(polys=2), deps)
+        intt = self._emit(t.intt(polys=1), [auto])
+        icrt = self._emit(t.icrt(polys=1), [intt])
+        ell = p.gadget_len
+        # With R.O. the digit NTTs stream into the GEMM just-in-time; the
+        # unit occupancy is identical either way (R.O. affects the working
+        # set, which the scheduler already modeled), so one chain suffices.
+        ntts = self._emit(t.ntt(polys=ell), [icrt])
+        gemm = self._emit(t.gadget_gemm(ell, out_polys=2), [ntts])
+        combine = self._emit(t.ct_add(num=2), [gemm])  # even/odd outputs
+        return combine
+
+    def _emit_cmux(self, deps: list[int]) -> int:
+        """cmux: (Y - X) -> Dcp(a, b) -> 2ℓ NTTs -> RGSW GEMM -> + X."""
+        t, p = self.timings, self.params
+        diff = self._emit(t.ct_add(num=1), deps)
+        intt = self._emit(t.intt(polys=2), [diff])
+        icrt = self._emit(t.icrt(polys=2), [intt])
+        ell = p.gadget_len
+        ntts = self._emit(t.ntt(polys=2 * ell), [icrt])
+        gemm = self._emit(t.gadget_gemm(2 * ell, out_polys=2), [ntts])
+        accum = self._emit(t.ct_add(num=1), [gemm])
+        return accum
+
+    # -- schedule expansion --------------------------------------------------------
+    def build(self, schedule: Schedule) -> OpGraph:
+        """Expand every schedule step; memory ops depend only on issue order.
+
+        The decoupled data orchestration (Section VI-A) prefetches loads
+        independently of compute, so a load op depends only on the previous
+        memory op (channel ordering), while the compute chain of step i
+        depends on both its loads and the previous step's compute tail.
+        """
+        self._ops = []
+        last_load: list[int] = []
+        for step in schedule.steps:
+            load_deps = []
+            if step.key_load:
+                last_load = [self._mem(schedule.key_bytes, last_load, "key-load")]
+                load_deps.extend(last_load)
+            if step.ct_loads:
+                last_load = [
+                    self._mem(step.ct_loads * schedule.ct_bytes, last_load, "ct-load")
+                ]
+                load_deps.extend(last_load)
+            # Steps from different subtrees are independent; the shared
+            # functional units serialize them, which the resource-aware
+            # scheduler models.  (The strictly serial root path is d
+            # node-latencies long — negligible against throughput limits.)
+            if step.kind is StepKind.CMUX:
+                tail = self._emit_cmux(load_deps)
+            else:
+                tail = self._emit_subs(load_deps)
+            if step.ct_stores:
+                # Stores ride the same channel (occupancy) but are
+                # write-buffered: they depend on their producer only and
+                # never gate later prefetches (decoupled orchestration).
+                self._mem(step.ct_stores * schedule.ct_bytes, [tail], "ct-store")
+        return OpGraph(self._ops)

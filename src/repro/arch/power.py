@@ -1,0 +1,92 @@
+"""Peak-power model calibrated to Table II, mirroring the area model.
+
+Peak watts per component at full utilization; the energy model multiplies
+these by simulated busy times (the paper: "estimated IVE's total energy
+consumption based on each component's utilization").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import MB, IveConfig
+
+# --- Table II anchors (W, full IVE) ---------------------------------------
+TABLE2_POWER = {
+    "sysNTTU": 2.17,  # per core, both units
+    "iCRTU": 0.13,
+    "EWU": 0.37,
+    "AutoU": 0.11,
+    "RF & buffers": 1.63,
+    "other": 0.71,
+}
+TABLE2_CORE_TOTAL = 5.12
+TABLE2_NOC = 6.7
+TABLE2_HBM = 68.6
+TABLE2_TOTAL = 239.1
+
+#: Unified sysNTTU pays extra switching energy for the dual datapath
+#: (Section VI-C: "energy consumption increases by 1.1x").
+UNIFIED_ENERGY_FACTOR = 1.1
+_NTT_ONLY_PAIR = TABLE2_POWER["sysNTTU"] / UNIFIED_ENERGY_FACTOR * 0.82
+_DEDICATED_GEMM_PAIR = TABLE2_POWER["sysNTTU"] / UNIFIED_ENERGY_FACTOR * 0.18
+_GENERIC_PRIME_FACTOR = 1.13  # mirrors the area calibration (+Sp: -4%)
+_SRAM_W_PER_MB = TABLE2_POWER["RF & buffers"] / 4.875
+_MADU_POWER = TABLE2_POWER["EWU"]
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Peak W by component."""
+
+    per_core: dict
+    core_total: float
+    cores_total: float
+    noc: float
+    hbm: float
+
+    @property
+    def total(self) -> float:
+        return self.cores_total + self.noc + self.hbm
+
+    def unit_power(self, unit_name: str) -> float:
+        """Per-core peak power of the unit executing a simulator resource."""
+        aliases = {
+            "sysnttu": ("sysNTTU", "NTTU", "GEMM unit"),
+            "icrtu": ("iCRTU",),
+            "ewu": ("EWU", "MADU"),
+            "autou": ("AutoU",),
+        }
+        names = aliases.get(unit_name, (unit_name,))
+        return sum(self.per_core.get(n, 0.0) for n in names)
+
+
+def power(config: IveConfig) -> PowerBreakdown:
+    """Component-level peak power for any design point."""
+    mult_factor = 1.0 if config.special_primes else _GENERIC_PRIME_FACTOR
+    per_core: dict[str, float] = {}
+
+    pair_scale = config.sysnttu_per_core / 2.0
+    if config.unified_sysnttu:
+        per_core["sysNTTU"] = TABLE2_POWER["sysNTTU"] * pair_scale * mult_factor
+    else:
+        per_core["NTTU"] = _NTT_ONLY_PAIR * pair_scale * mult_factor
+        if not config.gemm_on_madu:
+            per_core["GEMM unit"] = _DEDICATED_GEMM_PAIR * pair_scale * mult_factor
+    if config.gemm_on_madu:
+        per_core["MADU"] = 2 * _MADU_POWER * mult_factor
+
+    per_core["iCRTU"] = TABLE2_POWER["iCRTU"] * mult_factor
+    per_core["EWU"] = TABLE2_POWER["EWU"] * mult_factor
+    per_core["AutoU"] = TABLE2_POWER["AutoU"]
+    per_core["RF & buffers"] = _SRAM_W_PER_MB * (config.sram_per_core / MB)
+    per_core["other"] = TABLE2_POWER["other"]
+
+    core_total = sum(per_core.values())
+    return PowerBreakdown(
+        per_core=per_core,
+        core_total=core_total,
+        cores_total=core_total * config.num_cores,
+        noc=TABLE2_NOC * config.num_cores / 32.0,
+        hbm=TABLE2_HBM * config.memory.hbm_stacks / 4.0,
+    )

@@ -1,0 +1,303 @@
+"""Cycle-level simulator of one IVE chip serving a batched PIR pipeline.
+
+Mirrors the paper's methodology (Section VI-A): an operation graph is
+walked in topological order; each op issues once its dependencies are
+cleared and its functional unit's pipeline is free.  Units are modeled as
+throughput resources (occupancy cycles) with a constant pipeline-fill
+latency; each core owns a statically mapped DRAM channel.
+
+Query-level parallelism makes ExpandQuery and ColTor embarrassingly
+parallel across cores (one query per core, no interaction — even the HBM
+channels are per-core), so the simulator runs ONE core on ONE query and
+scales by ceil(batch / cores).  RowSel exploits coefficient-level
+parallelism and is modeled as the tiled modular GEMM stream it is
+(Fig. 5): a full pass over the preprocessed DB overlapped with
+compute-bound accumulation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.config import IveConfig
+from repro.arch.opgraph import GraphBuilder, OpGraph
+from repro.arch.units import PIPELINE_FILL, Unit, UnitTimings
+from repro.errors import SimulationError
+from repro.params import PirParams
+from repro.sched.traversal import schedule_coltor, schedule_expand
+from repro.sched.tree import Schedule, ScheduleConfig, Traversal
+
+#: Dispatch, SRAM bank-conflict, DRAM refresh and inter-step sync losses
+#: that the unit-occupancy simulation does not model individually; one
+#: global factor on the compute-step times, calibrated against Fig. 12's
+#: absolute QPS (the shape of every result is independent of it).
+TIMING_OVERHEAD = 1.12
+
+
+@dataclass(frozen=True)
+class StepTiming:
+    """Simulated cycles and DRAM traffic for one pipeline step."""
+
+    cycles: float
+    dram_bytes: float
+    busy_cycles_by_unit: dict
+
+    def seconds(self, clock_hz: float) -> float:
+        return self.cycles / clock_hz
+
+
+@dataclass(frozen=True)
+class PirLatency:
+    """End-to-end batched latency breakdown (Fig. 13 bars)."""
+
+    config: IveConfig
+    params: PirParams
+    batch: int
+    expand_s: float
+    rowsel_s: float
+    coltor_s: float
+    noc_s: float
+    comm_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.expand_s + self.rowsel_s + self.coltor_s + self.noc_s + self.comm_s
+
+    @property
+    def qps(self) -> float:
+        return self.batch / self.total_s
+
+    def breakdown(self) -> dict[str, float]:
+        return {
+            "ExpandQuery": self.expand_s,
+            "RowSel": self.rowsel_s,
+            "ColTor": self.coltor_s,
+            "NoC": self.noc_s,
+            "Comm": self.comm_s,
+        }
+
+
+def simulate_graph(graph: OpGraph) -> StepTiming:
+    """Event-driven scheduling: ops issue once dependencies clear (§VI-A).
+
+    Each functional unit holds a ready queue ordered by (ready time, op id)
+    and executes greedily; finishing an op releases its successors.  This
+    lets independent tree nodes fill one another's dependency gaps, which
+    is exactly what the deeply pipelined hardware does.
+    """
+    import heapq
+
+    num_ops = len(graph.ops)
+    if num_ops == 0:
+        return StepTiming(cycles=0.0, dram_bytes=0.0, busy_cycles_by_unit={})
+    succs: list[list[int]] = [[] for _ in range(num_ops)]
+    indeg = [0] * num_ops
+    for op in graph.ops:
+        for dep in op.deps:
+            succs[dep].append(op.op_id)
+            indeg[op.op_id] += 1
+
+    queues: dict[Unit, list] = {}
+    unit_free: dict[Unit, float] = {}
+    busy: dict[Unit, float] = {}
+    ready_at = [0.0] * num_ops
+    makespan = 0.0
+
+    def dispatch(unit: Unit) -> tuple[float, int] | None:
+        queue = queues.get(unit)
+        if not queue:
+            return None
+        ready, op_id = heapq.heappop(queue)
+        start = max(unit_free.get(unit, 0.0), ready)
+        cycles = graph.ops[op_id].cost.cycles
+        finish = start + cycles
+        unit_free[unit] = finish
+        busy[unit] = busy.get(unit, 0.0) + cycles
+        return finish, op_id
+
+    def enqueue(op_id: int, ready: float) -> None:
+        unit = graph.ops[op_id].cost.unit
+        heapq.heappush(queues.setdefault(unit, []), (ready, op_id))
+
+    events: list[tuple[float, int]] = []  # (finish time, op id)
+    for op in graph.ops:
+        if indeg[op.op_id] == 0:
+            enqueue(op.op_id, 0.0)
+    # Kick every unit once, then run the completion-event loop.
+    for unit in list(queues):
+        result = dispatch(unit)
+        if result:
+            heapq.heappush(events, result)
+    while events:
+        finish, op_id = heapq.heappop(events)
+        makespan = max(makespan, finish)
+        for succ in succs[op_id]:
+            indeg[succ] -= 1
+            ready_at[succ] = max(ready_at[succ], finish + PIPELINE_FILL)
+            if indeg[succ] == 0:
+                enqueue(succ, ready_at[succ])
+        # The finishing unit and any unit that just gained work may dispatch.
+        for unit in list(queues):
+            while queues[unit] and unit_free.get(unit, 0.0) <= finish:
+                result = dispatch(unit)
+                if result:
+                    heapq.heappush(events, result)
+                else:
+                    break
+    if makespan < 0:
+        raise SimulationError("negative makespan")
+    return StepTiming(cycles=makespan, dram_bytes=0.0, busy_cycles_by_unit=busy)
+
+
+class IveSimulator:
+    """Performance model for one IVE chip on one parameter set."""
+
+    def __init__(
+        self,
+        config: IveConfig,
+        params: PirParams,
+        traversal: Traversal = Traversal.HS_DFS,
+        reduction_overlap: bool = True,
+        db_bandwidth: float | None = None,
+    ):
+        self.config = config
+        self.params = params
+        self.timings = UnitTimings(config, params)
+        self.traversal = traversal
+        self.reduction_overlap = reduction_overlap
+        #: bandwidth serving the DB scan in RowSel (HBM, or LPDDR when the
+        #: DB is offloaded — Section V scale-up).
+        self.db_bandwidth = (
+            db_bandwidth if db_bandwidth is not None else config.memory.hbm_bandwidth
+        )
+        self._schedule_cfg = ScheduleConfig(
+            capacity_bytes=config.rf_bytes,
+            traversal=traversal,
+            reduction_overlap=reduction_overlap,
+        )
+        self._expand_cache: tuple[Schedule, StepTiming] | None = None
+        self._coltor_cache: tuple[Schedule, StepTiming] | None = None
+
+    # -- per-query single-core steps (QLP) ----------------------------------
+    def expand_timing(self) -> tuple[Schedule, StepTiming]:
+        if self._expand_cache is None:
+            schedule = schedule_expand(self.params, self._schedule_cfg)
+            graph = GraphBuilder(
+                self.timings,
+                self.config.per_core_hbm_bandwidth,
+                self.reduction_overlap,
+            ).build(schedule)
+            self._expand_cache = (schedule, simulate_graph(graph))
+        return self._expand_cache
+
+    def coltor_timing(self) -> tuple[Schedule, StepTiming]:
+        if self._coltor_cache is None:
+            schedule = schedule_coltor(self.params, self._schedule_cfg)
+            graph = GraphBuilder(
+                self.timings,
+                self.config.per_core_hbm_bandwidth,
+                self.reduction_overlap,
+            ).build(schedule)
+            self._coltor_cache = (schedule, simulate_graph(graph))
+        return self._coltor_cache
+
+    # -- RowSel (CLP, chip-wide tiled GEMM) -------------------------------------
+    def rowsel_seconds(self, batch: int) -> float:
+        """Roofline of the batched first dimension: max(DB stream, GEMM, cts).
+
+        The decoupled orchestration prefetches the DB stream and writes
+        selected ciphertexts behind the accumulation, so memory and compute
+        overlap; the step takes the maximum of the three occupancies.  The
+        DB may stream from LPDDR (scale-up offload) while the per-query
+        ciphertexts always ride on HBM — separate channels.
+        """
+        p, c = self.params, self.config
+        db_bytes = p.num_db_polys * p.poly_bytes
+        stream_s = db_bytes / self.db_bandwidth
+        macs = batch * 2.0 * p.num_db_polys * p.rns_count * p.n
+        gemm_s = macs / (c.chip_gemm_macs_per_cycle * c.clock_hz)
+        ct_bytes = batch * (p.d0 + (p.num_db_polys // p.d0)) * p.ct_bytes
+        ct_s = ct_bytes / c.memory.hbm_bandwidth
+        if self.db_bandwidth == c.memory.hbm_bandwidth:
+            # DB and ciphertexts share HBM: their traffic serializes.
+            return max(gemm_s, stream_s + ct_s)
+        return max(gemm_s, stream_s, ct_s)
+
+    def min_db_read_seconds(self) -> float:
+        """The 'Min. latency (DB read)' floor of Fig. 13c/d."""
+        return self.params.num_db_polys * self.params.poly_bytes / self.db_bandwidth
+
+    # -- NoC transposition (Section IV-E) -----------------------------------------
+    def noc_seconds(self, batch: int) -> float:
+        """Two layout transposes: QLP->CLP after expand, CLP->QLP before ColTor."""
+        p = self.params
+        expand_out = batch * p.d0 * p.ct_bytes
+        rowsel_out = batch * (p.num_db_polys // p.d0) * p.ct_bytes
+        return (expand_out + rowsel_out) / self.config.noc_bandwidth
+
+    # -- host communication ------------------------------------------------------
+    def comm_seconds(self, batch: int, upload_overlap: float = 1.0) -> float:
+        """PCIe transfer time on the critical path.
+
+        Each query ships a few MB of client-specific data (one BFV ct plus
+        d RGSW bits).  Uploads stream in while the previous batch computes
+        and during the batching window, so by default only the response
+        download (one ct per query plane) sits on the critical path;
+        ``upload_overlap < 1`` exposes a fraction of the upload.
+        """
+        p = self.params
+        upload = p.ct_bytes + p.num_dims * p.rgsw_bytes
+        download = p.ct_bytes
+        exposed = download + (1.0 - upload_overlap) * upload
+        return batch * exposed / self.config.pcie_bandwidth
+
+    # -- end-to-end -------------------------------------------------------------
+    def latency(self, batch: int) -> PirLatency:
+        """Batched pipeline latency: steps are sequential (Section IV-C)."""
+        if batch < 1:
+            raise SimulationError("batch must be >= 1")
+        rounds = math.ceil(batch / self.config.num_cores)
+        _, expand = self.expand_timing()
+        _, coltor = self.coltor_timing()
+        clock = self.config.clock_hz
+        return PirLatency(
+            config=self.config,
+            params=self.params,
+            batch=batch,
+            expand_s=TIMING_OVERHEAD * rounds * expand.cycles / clock,
+            rowsel_s=TIMING_OVERHEAD * self.rowsel_seconds(batch),
+            coltor_s=TIMING_OVERHEAD * rounds * coltor.cycles / clock,
+            noc_s=self.noc_seconds(batch),
+            comm_s=self.comm_seconds(batch),
+        )
+
+    def qps(self, batch: int) -> float:
+        return self.latency(batch).qps
+
+    def single_query_latency(self) -> PirLatency:
+        return self.latency(1)
+
+    # -- utilization (for the energy model) ----------------------------------------
+    def unit_busy_seconds(self, batch: int) -> dict[str, float]:
+        """Aggregate per-unit busy time across the whole chip for one batch."""
+        rounds = math.ceil(batch / self.config.num_cores)
+        active_cores = min(batch, self.config.num_cores)
+        _, expand = self.expand_timing()
+        _, coltor = self.coltor_timing()
+        clock = self.config.clock_hz
+        busy: dict[str, float] = {}
+        for timing in (expand, coltor):
+            for unit, cycles in timing.busy_cycles_by_unit.items():
+                busy[unit.value] = (
+                    busy.get(unit.value, 0.0)
+                    + rounds * active_cores * cycles / clock
+                )
+        # RowSel: aggregate GEMM busy core-seconds across the chip.
+        p, c = self.params, self.config
+        macs = batch * 2.0 * p.num_db_polys * p.rns_count * p.n
+        rowsel_unit = "ewu" if c.gemm_on_madu else "sysnttu"
+        busy[rowsel_unit] = busy.get(rowsel_unit, 0.0) + macs / (
+            c.gemm_macs_per_core * c.clock_hz
+        )
+        return busy

@@ -1,0 +1,92 @@
+"""On-chip SRAM bandwidth accounting (Section VI-A / IV-F).
+
+The RF feeds every functional unit; the paper sizes its interleaved banks
+at 2.04 TB/s per core so that SRAM never becomes the limiter.  This module
+estimates the RF bytes each high-level operation moves and verifies the
+design claim: at full unit utilization, RF traffic stays below the port
+bandwidth (tests assert it for every step).  The EWU's forwarding path
+from the sysNTTUs (reduction overlapping) bypasses the RF, which is the
+paper's stated reason for adding it — modeled as a discount on the GEMM
+read traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import IveConfig
+from repro.params import PirParams
+from repro.sched.tree import StepKind
+
+
+@dataclass(frozen=True)
+class SramTraffic:
+    """Bytes moved through the core's SRAM structures per operation."""
+
+    rf_bytes: float
+    icrt_buffer_bytes: float
+    db_buffer_bytes: float
+
+
+def node_sram_traffic(
+    params: PirParams, kind: StepKind, reduction_overlap: bool = True
+) -> SramTraffic:
+    """RF/buffer traffic of one tree node (Subs or cmux).
+
+    Counted per Fig. 9's datapaths: operands stream RF -> unit -> RF except
+    (a) iNTT results land in the iCRT buffer, and (b) with reduction
+    overlapping the digit-NTT outputs forward straight into the EWU/GEMM
+    instead of bouncing through the RF.
+    """
+    poly = params.poly_bytes
+    ell = params.gadget_len
+    if kind is StepKind.CMUX:
+        operands = 3 * 2 * poly  # read X, Y; write difference (ct = 2 polys)
+        intt_read = 2 * poly
+        digits = 2 * ell * poly
+        key_read = 4 * ell * poly  # RGSW rows
+        output = 2 * poly + 2 * 2 * poly  # GEMM result + final accumulate
+    else:
+        operands = 2 * 2 * poly  # read ct, write automorphed pair
+        intt_read = 1 * poly
+        digits = ell * poly
+        key_read = 2 * ell * poly  # evk rows
+        output = 2 * poly + 2 * 2 * poly
+    icrt_buffer = intt_read + digits  # iNTT results in, digit polys out
+    forward_discount = digits if reduction_overlap else 0.0
+    rf = operands + intt_read + digits * 2 + key_read + output - forward_discount
+    return SramTraffic(
+        rf_bytes=rf, icrt_buffer_bytes=icrt_buffer, db_buffer_bytes=0.0
+    )
+
+
+def rowsel_db_buffer_bytes_per_cycle(config: IveConfig, params: PirParams) -> float:
+    """DB-buffer read rate sustaining the RowSel GEMM at full tilt.
+
+    The DB matrix streams horizontally through the output-stationary
+    systolic array (Fig. 9, pink path), so each fetched residue word is
+    reused by every column it passes — ``sysnttu_array_cols`` MACs per
+    word.  The buffer must source macs/cycle divided by that reuse.
+    """
+    from repro.params import RESIDUE_BITS
+
+    reuse = config.sysnttu_array_cols
+    return config.gemm_macs_per_core / reuse * RESIDUE_BITS / 8.0
+
+
+def step_rf_demand_fraction(
+    config: IveConfig,
+    params: PirParams,
+    kind: StepKind,
+    node_cycles: float,
+    reduction_overlap: bool = True,
+) -> float:
+    """RF bandwidth demand of one node relative to the port bandwidth.
+
+    < 1.0 means the RF keeps up with the functional units (the design
+    intent); > 1.0 would make SRAM the bottleneck.
+    """
+    traffic = node_sram_traffic(params, kind, reduction_overlap)
+    seconds = node_cycles / config.clock_hz
+    demand = traffic.rf_bytes / seconds
+    return demand / config.rf_bandwidth

@@ -1,0 +1,118 @@
+"""Per-operation timing of IVE's functional units (Section IV-B/C/F).
+
+All costs are occupancy cycles on the owning unit for one operation over a
+full RNS polynomial (R residue polynomials of degree N).  The fully
+pipelined units sustain ``lanes`` elements per cycle, so streaming one
+residue polynomial takes N/lanes cycles; pipeline fill latency is a small
+constant that the event simulator adds to the completion (not occupancy)
+time.
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from dataclasses import dataclass
+
+from repro.arch.config import IveConfig
+from repro.params import PirParams
+
+#: Pipeline fill latency added to an op's completion time (cycles).
+PIPELINE_FILL = 40
+
+
+class Unit(enum.Enum):
+    """Execution resources inside one IVE core."""
+
+    SYSNTTU = "sysnttu"  # (i)NTT mode and GEMM mode
+    ICRTU = "icrtu"
+    EWU = "ewu"
+    AUTOU = "autou"
+    MEMORY = "memory"  # the core's statically mapped HBM/LPDDR channel
+
+
+@dataclass(frozen=True)
+class OpCost:
+    """Occupancy of one primitive operation."""
+
+    unit: Unit
+    cycles: float
+    label: str = ""
+
+
+class UnitTimings:
+    """Cycle costs for one (config, params) pair."""
+
+    def __init__(self, config: IveConfig, params: PirParams):
+        self.config = config
+        self.params = params
+        if params.n % config.lanes:
+            raise ValueError(f"N={params.n} not divisible by {config.lanes} lanes")
+
+    # -- NTT ---------------------------------------------------------------
+    def ntt_poly_cycles(self) -> float:
+        """One (i)NTT over a full RNS polynomial on the core's NTT engines.
+
+        Each sysNTTU performs sqrt(N)/2*logN butterflies per cycle; a full
+        N-point NTT needs (N/2)*logN butterflies, i.e. N/lanes cycles per
+        residue polynomial times R residues on one unit.  The simulator
+        models the core's ``sysnttu_per_core`` units as one double-width
+        resource, so the occupancy divides across them (independent
+        residue polynomials keep both units busy).
+        """
+        butterflies = (
+            self.params.rns_count * (self.params.n / 2.0) * math.log2(self.params.n)
+        )
+        return butterflies / self.config.ntt_butterflies_per_core
+
+    def ntt(self, polys: int = 1) -> OpCost:
+        return OpCost(Unit.SYSNTTU, polys * self.ntt_poly_cycles(), "ntt")
+
+    def intt(self, polys: int = 1) -> OpCost:
+        return OpCost(Unit.SYSNTTU, polys * self.ntt_poly_cycles(), "intt")
+
+    # -- GEMM ---------------------------------------------------------------
+    def gemm_cycles(self, macs: float) -> float:
+        """Modular multiply-accumulates on the core's GEMM resource."""
+        return macs / self.config.gemm_macs_per_core
+
+    def gemm(self, macs: float, label: str = "gemm") -> OpCost:
+        unit = Unit.EWU if self.config.gemm_on_madu else Unit.SYSNTTU
+        return OpCost(unit, self.gemm_cycles(macs), label)
+
+    def gadget_gemm(self, num_digits: int, out_polys: int) -> OpCost:
+        """evk/RGSW matrix times digit vector: digits * outputs * R * N MACs."""
+        macs = num_digits * out_polys * self.params.rns_count * self.params.n
+        return self.gemm(macs, "gadget-gemm")
+
+    # -- iCRT ------------------------------------------------------------------
+    def icrt(self, polys: int = 1) -> OpCost:
+        """RNS reconstruction + bit extraction on the iCRTU (Fig. 9 right).
+
+        Each of the sqrt(N) cells handles one coefficient at a time: R
+        accumulation cycles plus ℓ extraction cycles per coefficient.
+        """
+        per_coeff = self.params.rns_count + self.params.gadget_len
+        cycles = polys * self.params.n * per_coeff / self.config.icrtu_cells
+        return OpCost(Unit.ICRTU, cycles, "icrt")
+
+    # -- element-wise -------------------------------------------------------------
+    def elementwise(self, ops: float, label: str = "elem") -> OpCost:
+        """Adds/subs/MMADs on the EWU: sqrt(N) lanes."""
+        return OpCost(Unit.EWU, ops / self.config.ewu_macs, label)
+
+    def ct_add(self, num: int = 1) -> OpCost:
+        """Ciphertext add/sub: 2 polys, R*N residue ops each."""
+        return self.elementwise(num * 2 * self.params.rns_count * self.params.n, "ct-add")
+
+    # -- automorphism -----------------------------------------------------------
+    def automorphism(self, polys: int = 2) -> OpCost:
+        """Coefficient permutation on the AutoU (fully pipelined, ARK design)."""
+        cycles = polys * self.params.rns_count * self.params.n / self.config.lanes
+        return OpCost(Unit.AUTOU, cycles, "auto")
+
+    # -- memory -------------------------------------------------------------------
+    def dram_cycles(self, nbytes: float, bandwidth_bytes_per_s: float) -> float:
+        """Cycles to move ``nbytes`` at the given channel bandwidth."""
+        seconds = nbytes / bandwidth_bytes_per_s
+        return seconds * self.config.clock_hz

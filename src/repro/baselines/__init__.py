@@ -1,0 +1,53 @@
+"""Baseline performance models: CPU, GPU, ARK-like, and reported numbers."""
+
+from repro.baselines.ark import SystemCost, figure14a, system_cost
+from repro.baselines.cpu import CpuModel
+from repro.baselines.gpu import GpuPirModel, GpuStepTimes, best_gpu_batched_qps
+from repro.baselines.other_schemes import (
+    PAPER_TABLE4,
+    SchemeThroughput,
+    kspir_cpu_qps,
+    kspir_ive_qps,
+    simplepir_cpu_qps,
+    simplepir_ive_qps,
+    table4,
+)
+from repro.baselines.reported import (
+    CIP_PIR,
+    DPF_PIR,
+    INSPIRE,
+    INSPIRE_COMM_LATENCY_S,
+    PAPER_IVE_QPS,
+    PAPER_SPEEDUP_VS_INSPIRE,
+    PRIOR_SYSTEMS,
+    ReportedSystem,
+)
+from repro.baselines.roofline import H100, RTX4090, RooflineDevice
+
+__all__ = [
+    "CIP_PIR",
+    "CpuModel",
+    "DPF_PIR",
+    "GpuPirModel",
+    "GpuStepTimes",
+    "H100",
+    "INSPIRE",
+    "INSPIRE_COMM_LATENCY_S",
+    "PAPER_IVE_QPS",
+    "PAPER_SPEEDUP_VS_INSPIRE",
+    "PAPER_TABLE4",
+    "PRIOR_SYSTEMS",
+    "RTX4090",
+    "ReportedSystem",
+    "RooflineDevice",
+    "SchemeThroughput",
+    "SystemCost",
+    "best_gpu_batched_qps",
+    "figure14a",
+    "kspir_cpu_qps",
+    "kspir_ive_qps",
+    "simplepir_cpu_qps",
+    "simplepir_ive_qps",
+    "system_cost",
+    "table4",
+]

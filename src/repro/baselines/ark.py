@@ -1,0 +1,52 @@
+"""ARK-like HE-accelerator comparison (Section VI-E, Fig. 14a).
+
+The ARK-like system shares IVE's process/clock and total NTT throughput
+but maps GEMM onto its multiply-add units and has 2 MB of scratchpad per
+core.  This module packages the delay/energy/area triple for both systems
+so Fig. 14a (and the 9.7x EDAP claim) can be regenerated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.area import area
+from repro.arch.config import IveConfig
+from repro.arch.energy import batch_energy, edap
+from repro.arch.simulator import IveSimulator
+from repro.params import PirParams
+
+
+@dataclass(frozen=True)
+class SystemCost:
+    """Delay / energy / area of one design on one workload."""
+
+    name: str
+    delay_s: float
+    energy_per_query_j: float
+    area_mm2: float
+
+    @property
+    def edap(self) -> float:
+        return edap(self.energy_per_query_j, self.delay_s, self.area_mm2)
+
+
+def system_cost(config: IveConfig, params: PirParams, batch: int = 64) -> SystemCost:
+    sim = IveSimulator(config, params)
+    lat = sim.latency(batch)
+    eb = batch_energy(sim, batch)
+    return SystemCost(
+        name=config.name,
+        delay_s=lat.total_s,
+        energy_per_query_j=eb.joules_per_query,
+        area_mm2=area(config).total,
+    )
+
+
+def figure14a(params: PirParams, batch: int = 64) -> dict[str, SystemCost]:
+    """IVE vs ARK-like on the 16 GB database (paper: 4.2x delay, 2.4x energy,
+    comparable area, 9.7x EDAP)."""
+    return {
+        "IVE": system_cost(IveConfig.ive(), params, batch),
+        "ARK-like": system_cost(IveConfig.ark_like(), params, batch),
+    }

@@ -1,0 +1,64 @@
+"""Published numbers from prior PIR acceleration work (Table III anchors).
+
+These are the values the paper itself quotes ("‡ We used the reported
+values in the paper"); they are comparison constants, not measurements of
+this repository.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ReportedSystem:
+    """One row of Table III's prior-work columns."""
+
+    name: str
+    server_config: str  # "Multi" | "Single"
+    platform: str  # "GPU" | "ASIC"
+    qps_by_workload: dict
+
+    def qps(self, workload: str) -> float | None:
+        return self.qps_by_workload.get(workload)
+
+
+CIP_PIR = ReportedSystem(
+    name="CIP-PIR",
+    server_config="Multi",
+    platform="GPU",
+    qps_by_workload={"Synth-4GB": 33.2, "Synth-8GB": 16.0},
+)
+
+DPF_PIR = ReportedSystem(
+    name="DPF-PIR",
+    server_config="Multi",
+    platform="GPU",
+    qps_by_workload={"Synth-2GB": 956.0, "Synth-4GB": 466.0, "Synth-8GB": 225.0},
+)
+
+INSPIRE = ReportedSystem(
+    name="INSPIRE",
+    server_config="Single",
+    platform="ASIC",
+    qps_by_workload={"Vcall": 0.021, "Comm": 0.028, "Fsys": 0.006},
+)
+
+#: INSPIRE's single-query latency on the Comm workload (Section VI-B):
+#: 36 seconds to retrieve a 288 B entry from a 288 GB DB.
+INSPIRE_COMM_LATENCY_S = 36.0
+
+PRIOR_SYSTEMS = (CIP_PIR, DPF_PIR, INSPIRE)
+
+#: Paper-reported IVE values for Table III (cluster: 16 systems, batch 128).
+PAPER_IVE_QPS = {
+    "Synth-2GB": 4261.0,
+    "Synth-4GB": 2350.0,
+    "Synth-8GB": 1242.0,
+    "Vcall": 413.0,
+    "Comm": 544.6,
+    "Fsys": 127.5,
+}
+
+#: Paper-reported per-system speedups over INSPIRE.
+PAPER_SPEEDUP_VS_INSPIRE = {"Vcall": 1229.0, "Comm": 1225.0, "Fsys": 1275.0}

@@ -1,0 +1,51 @@
+"""Roofline device models (Fig. 6): peak integer throughput vs bandwidth."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class RooflineDevice:
+    """A device characterized by peak int-mult throughput and DRAM bandwidth."""
+
+    name: str
+    peak_mult_ops: float  # 32-bit integer multiply ops per second
+    mem_bandwidth: float  # bytes per second
+    memory_capacity: int  # bytes of device memory
+    tdp_watts: float
+
+    @property
+    def ridge_intensity(self) -> float:
+        """Ops/byte where the device turns compute-bound."""
+        return self.peak_mult_ops / self.mem_bandwidth
+
+    def attainable_ops(self, intensity: float) -> float:
+        """Classic roofline: min(peak, intensity * bandwidth)."""
+        return min(self.peak_mult_ops, intensity * self.mem_bandwidth)
+
+    def time_seconds(self, ops: float, dram_bytes: float, efficiency: float = 1.0) -> float:
+        """Execution time bounded by the slower of compute and memory."""
+        return max(
+            ops / (self.peak_mult_ops * efficiency),
+            dram_bytes / (self.mem_bandwidth * efficiency),
+        )
+
+
+#: RTX 4090 as characterized in Fig. 6 (41.3 TOPS int mult, 939 GB/s).
+RTX4090 = RooflineDevice(
+    name="RTX 4090",
+    peak_mult_ops=41.3e12,
+    mem_bandwidth=939e9,
+    memory_capacity=24 << 30,
+    tdp_watts=450.0,
+)
+
+#: H100 SXM: ~66.9 TOPS int32 via INT32 pipes, 3.35 TB/s HBM3, 80 GB.
+H100 = RooflineDevice(
+    name="H100",
+    peak_mult_ops=66.9e12,
+    mem_bandwidth=3350e9,
+    memory_capacity=80 << 30,
+    tdp_watts=700.0,
+)

@@ -1,0 +1,150 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``        run a functional private retrieval end to end
+``qps``         model IVE throughput for a DB size and batch
+``figures``     list every reproduced table/figure and its bench target
+``workloads``   show the Table III application workloads on the cluster
+``area``        print the Table II area/power breakdown
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.params import PirParams
+
+_FIGURES = {
+    "Fig. 4a/4b": "benchmarks/bench_fig04_complexity.py",
+    "Fig. 6": "benchmarks/bench_fig06_roofline.py",
+    "Fig. 7d": "benchmarks/bench_fig04_complexity.py",
+    "Fig. 8": "benchmarks/bench_fig08_dram_traffic.py",
+    "Table II": "benchmarks/bench_table2_area_power.py",
+    "Fig. 12": "benchmarks/bench_fig12_throughput.py",
+    "Table III": "benchmarks/bench_table3_prior_hw.py",
+    "Fig. 13a-e": "benchmarks/bench_fig13_sensitivity.py",
+    "Table IV": "benchmarks/bench_table4_other_schemes.py",
+    "Fig. 14a/14b": "benchmarks/bench_fig14_ark_scheduler.py",
+}
+
+#: DB size (GiB) -> ColTor dimensions at D0=256 with 16 KB records.
+_DIMS = {2: 9, 4: 10, 8: 11, 16: 12, 32: 13, 64: 14, 128: 15}
+
+
+def cmd_demo(args: argparse.Namespace) -> int:
+    from repro.pir.database import PirDatabase
+    from repro.pir.protocol import PirProtocol
+
+    params = PirParams.small(n=256, d0=8, num_dims=2)
+    db = PirDatabase.random(
+        params, num_records=args.records, record_bytes=args.record_bytes, seed=0
+    )
+    protocol = PirProtocol(params, db, seed=1)
+    index = args.index % db.num_records
+    result = protocol.retrieve(index)
+    ok = result.record == db.record(index)
+    print(f"retrieved record {index}: {'OK' if ok else 'MISMATCH'}")
+    t = protocol.transcript
+    print(
+        f"query {t.query_bytes / 1024:.0f} KiB, response "
+        f"{t.response_bytes / 1024:.0f} KiB, setup {t.setup_bytes / 1024:.0f} KiB"
+    )
+    return 0 if ok else 1
+
+
+def cmd_qps(args: argparse.Namespace) -> int:
+    from repro.arch.energy import energy_per_query
+    from repro.systems.scale_up import ScaleUpSystem
+
+    if args.db_gib not in _DIMS:
+        print(f"supported DB sizes: {sorted(_DIMS)} GiB", file=sys.stderr)
+        return 2
+    params = PirParams.paper(d0=256, num_dims=_DIMS[args.db_gib])
+    system = ScaleUpSystem(params)  # picks HBM or LPDDR placement
+    lat = system.latency(args.batch)
+    print(f"IVE, {args.db_gib} GiB DB ({system.placement.value}), batch {args.batch}:")
+    print(f"  latency  {lat.total_s * 1e3:8.2f} ms")
+    print(f"  QPS      {lat.qps:8.1f}")
+    for name, value in lat.breakdown().items():
+        print(f"  {name:<12s} {value * 1e3:8.2f} ms")
+    print(f"  energy   {energy_per_query(system.simulator, args.batch):8.4f} J/query")
+    return 0
+
+
+def cmd_figures(_: argparse.Namespace) -> int:
+    width = max(len(k) for k in _FIGURES)
+    for figure, target in _FIGURES.items():
+        print(f"{figure:<{width}}  {target}")
+    print("\nrun all:  pytest benchmarks/ --benchmark-only")
+    return 0
+
+
+def cmd_workloads(_: argparse.Namespace) -> int:
+    from repro.analysis.workloads import REAL_WORKLOADS
+    from repro.systems.cluster import IveCluster
+
+    base = PirParams.paper()
+    print(f"{'workload':>8s} {'DB':>9s} {'record':>7s} {'QPS':>8s} {'latency':>9s}")
+    for workload in REAL_WORKLOADS:
+        cluster = IveCluster(workload.geometry(base), 16)
+        lat = cluster.latency(128)
+        print(
+            f"{workload.name:>8s} {workload.db_bytes / (1 << 30):>6.0f}GiB "
+            f"{workload.record_bytes:>6d}B {lat.qps:>8.1f} {lat.total_s:>8.2f}s"
+        )
+    print("(16-system IVE cluster, batch 128 — Table III)")
+    return 0
+
+
+def cmd_area(_: argparse.Namespace) -> int:
+    from repro.arch.area import area
+    from repro.arch.config import IveConfig
+    from repro.arch.power import power
+
+    a, p = area(IveConfig.ive()), power(IveConfig.ive())
+    print(f"{'component':>14s} {'area mm2':>9s} {'peak W':>7s}")
+    for name in a.per_core:
+        print(f"{name:>14s} {a.per_core[name]:>9.2f} {p.per_core.get(name, 0):>7.2f}")
+    print(f"{'1 core':>14s} {a.core_total:>9.2f} {p.core_total:>7.2f}")
+    print(f"{'chip total':>14s} {a.total:>9.1f} {p.total:>7.1f}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="IVE (HPCA 2026) reproduction — functional PIR and accelerator models",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="run a functional private retrieval")
+    demo.add_argument("--records", type=int, default=32)
+    demo.add_argument("--record-bytes", type=int, default=128)
+    demo.add_argument("--index", type=int, default=7)
+    demo.set_defaults(func=cmd_demo)
+
+    qps = sub.add_parser("qps", help="model IVE throughput")
+    qps.add_argument("--db-gib", type=int, default=2)
+    qps.add_argument("--batch", type=int, default=64)
+    qps.set_defaults(func=cmd_qps)
+
+    figures = sub.add_parser("figures", help="list reproduced tables/figures")
+    figures.set_defaults(func=cmd_figures)
+
+    workloads = sub.add_parser("workloads", help="Table III application workloads")
+    workloads.set_defaults(func=cmd_workloads)
+
+    area_cmd = sub.add_parser("area", help="Table II area/power breakdown")
+    area_cmd.set_defaults(func=cmd_area)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

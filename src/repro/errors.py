@@ -1,0 +1,25 @@
+"""Exception types shared across the repro package."""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this package."""
+
+
+class ParameterError(ReproError):
+    """A parameter set is inconsistent or unsupported."""
+
+
+class DomainError(ReproError):
+    """A polynomial was used in the wrong representation domain."""
+
+
+class NoiseOverflowError(ReproError):
+    """Decryption noise exceeded the correctness bound."""
+
+
+class LayoutError(ReproError):
+    """A database layout or record mapping is invalid."""
+
+
+class SimulationError(ReproError):
+    """The architectural simulator reached an inconsistent state."""

@@ -1,0 +1,139 @@
+"""Response modulus switching: shrink a ciphertext from Q to a sub-basis.
+
+OnionPIR-family protocols compress the response ciphertext before sending
+it back ("mitigate HE-induced data expansion", Section VII): the response
+only needs enough modulus headroom for its *final* noise, so the server
+rescales (a, b) from Q = q_0 ... q_{k-1} down to a prefix Q' = q_0 ... q_{m-1},
+cutting the response size by k/m while adding only a small rounding error.
+
+The implementation uses the standard RNS rounding: for the dropped factor
+``R = Q / Q'``, compute ``round(x / R)`` exactly in integers and re-embed
+in the smaller basis.  Correctness requires the scaled noise plus rounding
+term to stay below Δ'/2 = (Q'/P)/2 — checked by ``min_moduli_for_noise``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+from typing import TYPE_CHECKING
+
+from repro.errors import NoiseOverflowError, ParameterError
+from repro.he.bfv import BfvCiphertext
+from repro.he.poly import Domain, RingContext, RnsPoly
+
+if TYPE_CHECKING:  # params depends on he.modmath; avoid the import cycle
+    from repro.params import PirParams
+
+
+@dataclass
+class SwitchedCiphertext:
+    """A BFV ciphertext living in the reduced ring (prefix RNS basis)."""
+
+    a: RnsPoly
+    b: RnsPoly
+    num_moduli: int
+
+    def size_bytes(self, params: PirParams) -> int:
+        """Wire size: 2 polynomials over the reduced basis."""
+        from repro.params import RESIDUE_BITS
+
+        return 2 * self.num_moduli * params.n * RESIDUE_BITS // 8
+
+
+class ModulusSwitcher:
+    """Switches ciphertexts from the full ring to a prefix-basis ring."""
+
+    def __init__(self, ring: RingContext, num_moduli: int):
+        params = ring.params
+        if not 1 <= num_moduli < params.rns_count:
+            raise ParameterError(
+                f"target basis must keep 1..{params.rns_count - 1} moduli, "
+                f"got {num_moduli}"
+            )
+        self.full_ring = ring
+        self.num_moduli = num_moduli
+        self.small_params = replace(params, moduli=params.moduli[:num_moduli])
+        self.small_ring = RingContext(self.small_params)
+        self._drop_factor = params.q // self.small_params.q
+
+    @property
+    def compression_ratio(self) -> float:
+        return self.full_ring.params.rns_count / self.num_moduli
+
+    def switch(self, ct: BfvCiphertext) -> SwitchedCiphertext:
+        """Rescale both halves: x -> round(x / R) over the prefix basis."""
+        return SwitchedCiphertext(
+            a=self._rescale(ct.a),
+            b=self._rescale(ct.b),
+            num_moduli=self.num_moduli,
+        )
+
+    def _rescale(self, poly: RnsPoly) -> RnsPoly:
+        r = self._drop_factor
+        lifted = poly.to_coeff().lift_coeffs()  # exact ints in [0, Q)
+        scaled = [(int(x) + r // 2) // r for x in lifted]
+        return self.small_ring.from_int_coeffs(scaled, domain=Domain.NTT)
+
+    def decrypt(self, ct: SwitchedCiphertext, secret_coeffs: np.ndarray) -> np.ndarray:
+        """Decrypt in the reduced ring (the client rebuilds s mod Q')."""
+        small = self.small_params
+        s = self.small_ring.from_small_coeffs(secret_coeffs, domain=Domain.NTT)
+        phase = (ct.b + ct.a * s).to_coeff().lift_coeffs()
+        q, p = small.q, small.plain_modulus
+        return np.array(
+            [int((int(c) * p + q // 2) // q) % p for c in phase], dtype=np.int64
+        )
+
+    def noise_after_switch(
+        self, ct: SwitchedCiphertext, secret_coeffs: np.ndarray, plain: np.ndarray
+    ) -> int:
+        """Measured max-norm error in the reduced ring (for tests)."""
+        small = self.small_params
+        s = self.small_ring.from_small_coeffs(secret_coeffs, domain=Domain.NTT)
+        phase = (ct.b + ct.a * s).to_coeff().lift_coeffs()
+        delta = small.delta
+        q = small.q
+        worst = 0
+        for c, m in zip(phase, plain):
+            e = (int(c) - delta * int(m)) % q
+            if e > q // 2:
+                e -= q
+            worst = max(worst, abs(e))
+        return worst
+
+
+def switching_noise_bound(params: PirParams, num_moduli: int) -> float:
+    """High-probability error added by the switch.
+
+    Two terms: the coefficient rounding (<= 1/2 per coefficient, amplified
+    ~sqrt(N) through the ternary secret), and the Δ-rounding mismatch
+    ``m * (Δ/R - Δ')`` which is bounded by ~2P because Δ = floor(Q/P) and
+    Δ' = floor(Q'/P) each drop at most one unit.  The latter dominates for
+    any realistic P.
+    """
+    rounding = 0.5 * (1.0 + math.sqrt(params.n))
+    delta_mismatch = 2.0 * params.plain_modulus
+    return rounding + delta_mismatch
+
+
+def min_moduli_for_noise(params: PirParams, noise: float) -> int:
+    """Smallest prefix basis that still decrypts a ciphertext with ``noise``.
+
+    After switching, noise scales by Q'/Q while Δ' = Q'/P, so the relative
+    headroom is preserved up to the rounding term — the basis only needs
+    Δ'/2 to exceed the scaled noise plus the switch's own contribution.
+    """
+    for m in range(1, params.rns_count + 1):
+        q_small = 1
+        for q in params.moduli[:m]:
+            q_small *= q
+        scaled = noise * q_small / params.q + switching_noise_bound(params, m)
+        if scaled < (q_small // params.plain_modulus) / 2:
+            return m
+    raise NoiseOverflowError(
+        f"noise {noise:.3g} cannot be represented even in the full basis"
+    )

@@ -1,0 +1,105 @@
+"""Negacyclic number-theoretic transform over a single prime modulus.
+
+The transform maps a polynomial in ``Z_q[X]/(X^N + 1)`` to its evaluations
+at the odd powers of a primitive ``2N``-th root of unity ``psi``, so that a
+negacyclic convolution becomes an element-wise product (Section II-B).
+
+The implementation is the iterative Cooley-Tukey / Gentleman-Sande pair with
+merged ``psi`` twiddles (the standard Longa-Naehrig formulation), vectorised
+with numpy.  All residues are < 2^28 so products fit comfortably in int64.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.he import modmath
+
+
+class NttContext:
+    """Precomputed tables for the forward/inverse negacyclic NTT mod ``q``."""
+
+    def __init__(self, n: int, q: int):
+        if not modmath.is_power_of_two(n):
+            raise ParameterError(f"ring degree {n} must be a power of two")
+        if (q - 1) % (2 * n) != 0:
+            raise ParameterError(f"modulus {q} is not NTT-friendly for degree {n}")
+        self.n = n
+        self.q = q
+        self.logn = modmath.ilog2(n)
+        psi = modmath.root_of_unity(2 * n, q)
+        psi_inv = modmath.mod_inverse(psi, q)
+        self.psi = psi
+        # Twiddle tables in bit-reversed order, as used by the merged NTT.
+        self._fwd = np.array(
+            [pow(psi, modmath.bit_reverse(i, self.logn), q) for i in range(n)],
+            dtype=np.int64,
+        )
+        self._inv = np.array(
+            [pow(psi_inv, modmath.bit_reverse(i, self.logn), q) for i in range(n)],
+            dtype=np.int64,
+        )
+        self._n_inv = modmath.mod_inverse(n, q)
+
+    def forward(self, coeffs: np.ndarray) -> np.ndarray:
+        """Coefficient vector -> NTT evaluation vector (new array)."""
+        q = self.q
+        a = np.array(coeffs, dtype=np.int64) % q
+        if a.shape != (self.n,):
+            raise ParameterError(f"expected shape ({self.n},), got {a.shape}")
+        t = self.n
+        m = 1
+        while m < self.n:
+            t //= 2
+            blocks = a.reshape(m, 2, t)
+            s = self._fwd[m : 2 * m]
+            u = blocks[:, 0, :].copy()
+            v = (blocks[:, 1, :] * s[:, None]) % q
+            blocks[:, 0, :] = (u + v) % q
+            blocks[:, 1, :] = (u - v) % q
+            m *= 2
+        return a
+
+    def inverse(self, evals: np.ndarray) -> np.ndarray:
+        """NTT evaluation vector -> coefficient vector (new array)."""
+        q = self.q
+        a = np.array(evals, dtype=np.int64) % q
+        if a.shape != (self.n,):
+            raise ParameterError(f"expected shape ({self.n},), got {a.shape}")
+        t = 1
+        m = self.n
+        while m > 1:
+            h = m // 2
+            blocks = a.reshape(h, 2, t)
+            s = self._inv[h : 2 * h]
+            u = blocks[:, 0, :].copy()
+            v = blocks[:, 1, :].copy()
+            blocks[:, 0, :] = (u + v) % q
+            blocks[:, 1, :] = ((u - v) * s[:, None]) % q
+            t *= 2
+            m = h
+        return (a * self._n_inv) % q
+
+    def negacyclic_convolution(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Polynomial product in ``Z_q[X]/(X^N + 1)`` via NTT (reference path)."""
+        fa = self.forward(a)
+        fb = self.forward(b)
+        return self.inverse((fa * fb) % self.q)
+
+
+def naive_negacyclic_convolution(a, b, q: int) -> np.ndarray:
+    """Schoolbook negacyclic convolution, used to validate the NTT."""
+    a = np.asarray(a, dtype=object)
+    b = np.asarray(b, dtype=object)
+    n = len(a)
+    out = [0] * n
+    for i in range(n):
+        for j in range(n):
+            k = i + j
+            term = int(a[i]) * int(b[j])
+            if k >= n:
+                out[k - n] -= term
+            else:
+                out[k] += term
+    return np.array([c % q for c in out], dtype=np.int64)

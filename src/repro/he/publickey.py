@@ -1,0 +1,52 @@
+"""Public-key BFV encryption.
+
+The PIR client encrypts with its own secret key, but deployments that
+separate the querying device from the key holder (e.g. a thin mobile
+client with keys escrowed in a secure element) use standard public-key
+BFV: ``pk = (a, -a*s + e)`` and
+
+    Enc_pk(m) = (u*pk_a + e1,  u*pk_b + e2 + Δm)
+
+for a fresh ternary ``u``.  The phase is Δm + (u*e + e1*s + e2): noise is
+slightly larger than secret-key encryption but the homomorphic pipeline is
+unchanged, so everything in ``repro.pir`` works on top of either.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.he.bfv import BfvCiphertext, BfvContext, SecretKey
+from repro.he.poly import Domain, RnsPoly
+
+
+@dataclass
+class PublicKey:
+    """One RLWE sample under the secret key, in NTT form."""
+
+    a: RnsPoly
+    b: RnsPoly
+
+    @staticmethod
+    def generate(bfv: BfvContext, key: SecretKey) -> "PublicKey":
+        ct = bfv.encrypt_zero(key)
+        return PublicKey(a=ct.a, b=ct.b)
+
+
+def encrypt_public(
+    bfv: BfvContext, pk: PublicKey, coeffs: np.ndarray
+) -> BfvCiphertext:
+    """Encrypt a plaintext coefficient vector under the public key."""
+    params = bfv.params
+    arr = np.asarray(coeffs, dtype=np.int64) % params.plain_modulus
+    ctx = bfv.ctx
+    u = ctx.from_small_coeffs(bfv.sampler.ternary_coeffs(), domain=Domain.NTT)
+    e1 = bfv.sampler.error_poly(Domain.NTT)
+    e2 = bfv.sampler.error_poly(Domain.NTT)
+    delta_m = ctx.from_small_coeffs(arr, domain=Domain.NTT).scalar_mul(params.delta)
+    return BfvCiphertext(
+        a=u * pk.a + e1,
+        b=u * pk.b + e2 + delta_m,
+    )

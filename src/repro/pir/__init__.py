@@ -1,0 +1,44 @@
+"""Single-server PIR protocol (OnionPIR-style) built on the HE substrate.
+
+Implements the full server pipeline from Fig. 2 — ExpandQuery, RowSel,
+ColTor — plus record packing, database preprocessing, client query
+construction/decoding, and the SimplePIR baseline used in Table IV.
+"""
+
+from repro.pir.client import ClientSetup, PirClient, PirQuery, PirResponse
+from repro.pir.coltor import column_tournament
+from repro.pir.database import PirDatabase, PreprocessedDatabase
+from repro.pir.expand import expand_query, expansion_powers
+from repro.pir.layout import RecordLayout, layout_for
+from repro.pir.protocol import PirProtocol, RetrievalResult, Transcript
+from repro.pir.rowsel import row_select
+from repro.pir.server import PirServer
+from repro.pir.simplepir import (
+    SimplePirClient,
+    SimplePirParams,
+    SimplePirServer,
+    db_matrix_shape,
+)
+
+__all__ = [
+    "ClientSetup",
+    "PirClient",
+    "PirDatabase",
+    "PirProtocol",
+    "PirQuery",
+    "PirResponse",
+    "PirServer",
+    "PreprocessedDatabase",
+    "RecordLayout",
+    "RetrievalResult",
+    "SimplePirClient",
+    "SimplePirParams",
+    "SimplePirServer",
+    "Transcript",
+    "column_tournament",
+    "db_matrix_shape",
+    "expand_query",
+    "expansion_powers",
+    "layout_for",
+    "row_select",
+]

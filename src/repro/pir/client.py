@@ -1,0 +1,131 @@
+"""PIR client: key generation, query construction, response decoding.
+
+The client packs the one-hot initial-dimension index into a single BFV
+ciphertext (coefficient i0 set, everything else zero) and sends the d
+subsequent-dimension selection bits as direct RGSW encryptions — the
+paper's practical D_i = 2 construction (Section II-C), which needs exactly
+one RGSW ciphertext per dimension.  Evaluation keys for ExpandQuery
+(one per tree depth, Section II-A) are shipped once at setup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import LayoutError
+from repro.he import modmath
+from repro.he.bfv import BfvCiphertext, BfvContext, SecretKey
+from repro.he.gadget import Gadget
+from repro.he.poly import RingContext
+from repro.he.rgsw import RgswCiphertext, rgsw_encrypt
+from repro.he.sampling import Sampler
+from repro.he.subs import SubsKey, generate_subs_key
+from repro.params import PirParams
+from repro.pir.expand import expansion_powers
+from repro.pir.layout import RecordLayout
+
+
+@dataclass
+class ClientSetup:
+    """One-time public material the client uploads to the server."""
+
+    evks: dict[int, SubsKey]
+
+    def size_bytes(self, params: PirParams) -> int:
+        return len(self.evks) * params.evk_bytes
+
+
+@dataclass
+class PirQuery:
+    """Per-retrieval message: one packed BFV ct + d RGSW selection bits."""
+
+    packed: BfvCiphertext
+    selection_bits: list[RgswCiphertext]
+
+    def size_bytes(self, params: PirParams) -> int:
+        return params.ct_bytes + len(self.selection_bits) * params.rgsw_bytes
+
+
+@dataclass
+class PirResponse:
+    """One BFV ciphertext per record plane."""
+
+    plane_cts: list[BfvCiphertext]
+
+    def size_bytes(self, params: PirParams) -> int:
+        return len(self.plane_cts) * params.ct_bytes
+
+
+class PirClient:
+    """Holds the secret key; builds queries and decodes responses."""
+
+    def __init__(self, params: PirParams, ring: RingContext | None = None, seed: int | None = None):
+        self.params = params
+        self.ring = ring if ring is not None else RingContext(params)
+        self.sampler = Sampler(self.ring, seed=seed)
+        self.bfv = BfvContext(self.ring, self.sampler)
+        self.gadget = Gadget(self.ring)
+        self.secret_key = SecretKey.generate(self.ring, self.sampler)
+        levels = modmath.ilog2(params.d0)
+        self._evks = {
+            r: generate_subs_key(self.bfv, self.gadget, self.secret_key, r)
+            for r in expansion_powers(params.n, levels)
+        }
+
+    def setup_message(self) -> ClientSetup:
+        return ClientSetup(evks=dict(self._evks))
+
+    # -- query construction -------------------------------------------------
+    def build_query(self, record_index: int, layout: RecordLayout) -> PirQuery:
+        if layout.params is not self.params and layout.params != self.params:
+            raise LayoutError("layout was built for different parameters")
+        row, bits = layout.dimension_indices(record_index)
+        coeffs = np.zeros(self.params.n, dtype=np.int64)
+        coeffs[row] = self._query_scale()
+        packed = self.bfv.encrypt(coeffs, self.secret_key)
+        selection = [
+            rgsw_encrypt(self.bfv, self.gadget, bit, self.secret_key) for bit in bits
+        ]
+        return PirQuery(packed=packed, selection_bits=selection)
+
+    def _query_scale(self) -> int:
+        """Compensation for the D0 factor ExpandQuery introduces."""
+        p = self.params.plain_modulus
+        if self.params.plain_is_power_of_two:
+            return 1  # decoded values carry a D0 factor; decode divides it out
+        return modmath.mod_inverse(self.params.d0, p)
+
+    # -- response decoding -----------------------------------------------------
+    def decode_response(
+        self, response: PirResponse, record_index: int, layout: RecordLayout
+    ) -> bytes:
+        plain = [self.bfv.decrypt(ct, self.secret_key) for ct in response.plane_cts]
+        return self.assemble_record(plain, record_index, layout)
+
+    def assemble_record(
+        self, plane_coeffs: list, record_index: int, layout: RecordLayout
+    ) -> bytes:
+        """Decoded per-plane coefficient vectors -> record bytes.
+
+        Shared by the plain and modulus-switched response paths.
+        """
+        if len(plane_coeffs) != layout.plane_count:
+            raise LayoutError(
+                f"response has {len(plane_coeffs)} planes, layout expects "
+                f"{layout.plane_count}"
+            )
+        chunks: list[bytes] = []
+        remaining = layout.record_bytes
+        for coeffs in plane_coeffs:
+            if self.params.plain_is_power_of_two:
+                coeffs = coeffs // self.params.d0
+            nbytes = min(remaining, layout.bytes_per_plane_poly)
+            offset = 0
+            if layout.plane_count == 1:
+                offset = layout.slot_offset_bytes(record_index)
+            chunk = layout.unpack_poly(coeffs, offset + nbytes)
+            chunks.append(chunk[offset : offset + nbytes])
+            remaining -= nbytes
+        return b"".join(chunks)

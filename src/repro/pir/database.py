@@ -1,0 +1,124 @@
+"""PIR database: raw records, plaintext polynomials, preprocessed NTT form.
+
+``PirDatabase`` holds the packed plaintext coefficients (mod P).
+``preprocess`` applies CRT + NTT ahead of time (Section II-B), trading
+logQ/logP more storage for >3.9x faster RowSel — the preprocessed form is
+what the server actually multiplies against during Eq. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import LayoutError
+from repro.he.poly import Domain, RingContext, RnsPoly
+from repro.params import PirParams
+from repro.pir.layout import RecordLayout
+
+
+class PirDatabase:
+    """Plaintext database, organized as (plane, poly, coefficient)."""
+
+    def __init__(self, layout: RecordLayout, records: list[bytes]):
+        if len(records) != layout.num_records:
+            raise LayoutError(
+                f"layout expects {layout.num_records} records, got {len(records)}"
+            )
+        self.layout = layout
+        self.params: PirParams = layout.params
+        self._records = list(records)
+        self.planes = self._pack(records)
+
+    # -- construction -----------------------------------------------------
+    @classmethod
+    def from_records(
+        cls, records: list[bytes], params: PirParams, record_bytes: int | None = None
+    ) -> "PirDatabase":
+        if not records:
+            raise LayoutError("cannot build an empty database")
+        size = record_bytes if record_bytes is not None else len(records[0])
+        for i, rec in enumerate(records):
+            if len(rec) != size:
+                raise LayoutError(f"record {i} has {len(rec)} bytes, expected {size}")
+        layout = RecordLayout(params=params, record_bytes=size, num_records=len(records))
+        return cls(layout, records)
+
+    @classmethod
+    def random(
+        cls,
+        params: PirParams,
+        num_records: int,
+        record_bytes: int,
+        seed: int | None = None,
+    ) -> "PirDatabase":
+        rng = np.random.default_rng(seed)
+        records = [rng.bytes(record_bytes) for _ in range(num_records)]
+        return cls.from_records(records, params, record_bytes)
+
+    def _pack(self, records: list[bytes]) -> np.ndarray:
+        lay = self.layout
+        planes = np.zeros(
+            (lay.plane_count, self.params.num_db_polys, self.params.n), dtype=np.int64
+        )
+        if lay.plane_count == 1:
+            for poly in range(lay.polys_needed):
+                start = poly * lay.records_per_poly
+                chunk = b"".join(records[start : start + lay.records_per_poly])
+                planes[0, poly] = lay.pack_poly(chunk)
+        else:
+            for idx, record in enumerate(records):
+                poly = lay.poly_index(idx)
+                for plane, chunk in enumerate(lay.record_to_plane_chunks(record)):
+                    planes[plane, poly] = lay.pack_poly(chunk)
+        return planes
+
+    # -- access -------------------------------------------------------------
+    def record(self, index: int) -> bytes:
+        """Ground-truth record bytes (for verification in tests/examples)."""
+        self.layout._check_index(index)
+        return self._records[index]
+
+    @property
+    def num_records(self) -> int:
+        return self.layout.num_records
+
+    @property
+    def raw_bytes(self) -> int:
+        return self.layout.num_records * self.layout.record_bytes
+
+    def preprocess(self, ring: RingContext) -> "PreprocessedDatabase":
+        """CRT + NTT every polynomial (Section II-B preprocessing)."""
+        planes: list[list[RnsPoly]] = []
+        for plane in self.planes:
+            planes.append(
+                [ring.from_small_coeffs(coeffs, domain=Domain.NTT) for coeffs in plane]
+            )
+        return PreprocessedDatabase(self.layout, ring, planes)
+
+
+@dataclass
+class PreprocessedDatabase:
+    """NTT/RNS-domain database the server computes RowSel against."""
+
+    layout: RecordLayout
+    ring: RingContext
+    planes: list[list[RnsPoly]]
+
+    @property
+    def plane_count(self) -> int:
+        return len(self.planes)
+
+    @property
+    def num_polys(self) -> int:
+        return len(self.planes[0])
+
+    @property
+    def stored_bytes(self) -> int:
+        """Preprocessed storage footprint (logQ/logP blowup, Section II-B)."""
+        return self.plane_count * self.num_polys * self.layout.params.poly_bytes
+
+    def poly(self, plane: int, row: int, col: int) -> RnsPoly:
+        """Polynomial at initial-dimension ``row`` and ColTor column ``col``."""
+        return self.planes[plane][col * self.layout.params.d0 + row]

@@ -1,0 +1,37 @@
+"""RowSel (Fig. 2-(2)): first-dimension selection via plaintext-ct GEMM.
+
+For every ColTor column ``m`` the server accumulates
+
+    ct_out[m] = sum_{i < D0} DB[i][m] * ct_expanded[i]
+
+which is Eq. 1 restricted to the initial dimension.  With RNS + NTT this
+is exactly the 4N-parallel modular GEMM the accelerator's sysNTTUs run in
+GEMM mode (Section III-A / Fig. 5).
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.he.bfv import BfvCiphertext
+from repro.pir.database import PreprocessedDatabase
+
+
+def row_select(
+    expanded: list[BfvCiphertext],
+    db: PreprocessedDatabase,
+    plane: int,
+) -> list[BfvCiphertext]:
+    """Reduce the initial dimension: D polynomials -> 2^d ciphertexts."""
+    d0 = db.layout.params.d0
+    if len(expanded) != d0:
+        raise ParameterError(
+            f"expected {d0} expanded ciphertexts, got {len(expanded)}"
+        )
+    num_cols = db.num_polys // d0
+    selected: list[BfvCiphertext] = []
+    for col in range(num_cols):
+        acc = expanded[0].plain_mul(db.poly(plane, 0, col))
+        for row in range(1, d0):
+            acc = acc + expanded[row].plain_mul(db.poly(plane, row, col))
+        selected.append(acc)
+    return selected

@@ -1,0 +1,59 @@
+"""PIR server: the ExpandQuery -> RowSel -> ColTor pipeline (Fig. 2).
+
+The server never sees the secret key; it only holds the preprocessed
+database and the client's public evaluation keys.  ``answer`` implements
+the sequential three-step flow the accelerator executes; ``answer_batch``
+is the multi-client batched entry point (Section III-B) — functionally a
+loop, since batching changes scheduling and memory traffic (modeled in
+``repro.arch``) but not results.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.he import modmath
+from repro.he.gadget import Gadget
+from repro.pir.client import ClientSetup, PirQuery, PirResponse
+from repro.pir.coltor import column_tournament
+from repro.pir.database import PreprocessedDatabase
+from repro.pir.expand import expand_query
+from repro.pir.rowsel import row_select
+
+
+class PirServer:
+    """Answers PIR queries against one preprocessed database."""
+
+    def __init__(self, db: PreprocessedDatabase, setup: ClientSetup):
+        self.db = db
+        self.params = db.layout.params
+        self.ring = db.ring
+        self.gadget = Gadget(self.ring)
+        self.evks = setup.evks
+        self._levels = modmath.ilog2(self.params.d0)
+
+    def answer(self, query: PirQuery) -> PirResponse:
+        """Run the full pipeline for one query."""
+        if len(query.selection_bits) != self.params.num_dims:
+            raise ParameterError(
+                f"query has {len(query.selection_bits)} selection bits, database "
+                f"geometry needs {self.params.num_dims}"
+            )
+        expanded = expand_query(query.packed, self.evks, self._levels, self.gadget)
+        plane_cts = []
+        for plane in range(self.db.plane_count):
+            entries = row_select(expanded, self.db, plane)
+            if query.selection_bits:
+                result = column_tournament(entries, query.selection_bits, self.gadget)
+            else:
+                result = entries[0]
+            plane_cts.append(result)
+        return PirResponse(plane_cts=plane_cts)
+
+    def answer_batch(self, queries: list[PirQuery]) -> list[PirResponse]:
+        """Serve a multi-client batch (Section III-B).
+
+        Functionally identical to answering one by one; on hardware the DB
+        scan in RowSel is amortized across the batch, which is what the
+        performance models in ``repro.arch`` capture.
+        """
+        return [self.answer(query) for query in queries]

@@ -1,0 +1,115 @@
+"""SimplePIR [49]: Regev-encryption PIR with a client-side hint (Table IV).
+
+The database is a sqrt(D) x sqrt(D) matrix over Z_P.  The client downloads
+``hint = DB @ A`` once offline; online it sends one Regev vector selecting
+a column, and the server answers with a single matrix-vector product —
+"one server for the price of two".  This functional implementation backs
+the Table IV comparison and the Section VI-D claim that IVE's modular GEMM
+path covers SimplePIR's entire server computation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import LayoutError, ParameterError
+
+
+@dataclass(frozen=True)
+class SimplePirParams:
+    """LWE parameters: Z_q ciphertexts, Z_p plaintext entries."""
+
+    lwe_dim: int = 512  # n: secret dimension (paper uses 2^10)
+    q_log2: int = 28  # ciphertext modulus (power of two, fits int64 math)
+    p_log2: int = 8  # plaintext modulus of DB entries
+    error_std: float = 3.2
+
+    @property
+    def q(self) -> int:
+        return 1 << self.q_log2
+
+    @property
+    def p(self) -> int:
+        return 1 << self.p_log2
+
+    @property
+    def delta(self) -> int:
+        return self.q // self.p
+
+    def __post_init__(self):
+        # Accumulating `cols` products of p-size by q-size values must fit int64.
+        if self.q_log2 + self.p_log2 >= 60:
+            raise ParameterError("q*p too large for int64 accumulation")
+
+
+class SimplePirServer:
+    """Holds the DB matrix and the public LWE matrix A."""
+
+    def __init__(self, db_matrix: np.ndarray, params: SimplePirParams, seed: int = 0):
+        db_matrix = np.asarray(db_matrix, dtype=np.int64)
+        if db_matrix.ndim != 2:
+            raise LayoutError("SimplePIR database must be a 2-D matrix")
+        if db_matrix.max(initial=0) >= params.p:
+            raise LayoutError(f"database entries must be < p = {params.p}")
+        self.db = db_matrix
+        self.params = params
+        rng = np.random.default_rng(seed)
+        self.a_matrix = rng.integers(
+            0, params.q, size=(db_matrix.shape[1], params.lwe_dim), dtype=np.int64
+        )
+
+    def hint(self) -> np.ndarray:
+        """Offline download: DB @ A mod q (rows x lwe_dim)."""
+        return (self.db @ self.a_matrix) % self.params.q
+
+    def answer(self, query_vector: np.ndarray) -> np.ndarray:
+        """Online answer: DB @ query mod q (one pass over the whole DB)."""
+        query_vector = np.asarray(query_vector, dtype=np.int64)
+        if query_vector.shape != (self.db.shape[1],):
+            raise LayoutError(
+                f"query must have {self.db.shape[1]} entries, got {query_vector.shape}"
+            )
+        return (self.db @ query_vector) % self.params.q
+
+
+class SimplePirClient:
+    """Builds Regev queries and recovers entries using the offline hint."""
+
+    def __init__(self, server: SimplePirServer, seed: int = 1):
+        self.params = server.params
+        self.a_matrix = server.a_matrix
+        self.hint = server.hint()
+        self.rng = np.random.default_rng(seed)
+        self.num_rows, self.num_cols = server.db.shape
+
+    def build_query(self, col: int) -> tuple[np.ndarray, np.ndarray]:
+        """(query vector, secret) for retrieving column ``col``."""
+        if not 0 <= col < self.num_cols:
+            raise LayoutError(f"column {col} out of range")
+        params = self.params
+        secret = self.rng.integers(0, params.q, size=params.lwe_dim, dtype=np.int64)
+        error = np.rint(
+            self.rng.normal(0.0, params.error_std, size=self.num_cols)
+        ).astype(np.int64)
+        one_hot = np.zeros(self.num_cols, dtype=np.int64)
+        one_hot[col] = params.delta
+        query = (self.a_matrix @ secret % params.q + error + one_hot) % params.q
+        return query, secret
+
+    def recover(self, answer: np.ndarray, secret: np.ndarray, row: int) -> int:
+        """Decode DB[row, col] from the server's answer."""
+        params = self.params
+        noisy = (answer - self.hint @ secret) % params.q
+        value = int((int(noisy[row]) + params.delta // 2) // params.delta) % params.p
+        return value
+
+
+def db_matrix_shape(num_records: int) -> tuple[int, int]:
+    """Near-square factorization used to lay records out as a matrix."""
+    rows = int(math.isqrt(num_records))
+    while num_records % rows:
+        rows -= 1
+    return rows, num_records // rows

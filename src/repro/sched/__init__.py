@@ -1,0 +1,47 @@
+"""Operation scheduling for the tree-shaped PIR steps (Section IV-A).
+
+BFS, DFS, and the paper's hierarchical search (HS) with reduction
+overlapping (R.O.), plus DRAM-traffic accounting that reproduces Fig. 8.
+"""
+
+from repro.sched.traversal import (
+    dcp_transient_bytes,
+    max_subtree_depth,
+    schedule_coltor,
+    schedule_expand,
+)
+from repro.sched.traffic import (
+    POLICY_LADDER,
+    PolicyResult,
+    figure8,
+    per_core_capacity,
+    reduction_vs_bfs,
+    step_traffic,
+)
+from repro.sched.tree import (
+    Schedule,
+    ScheduleConfig,
+    Step,
+    StepKind,
+    TrafficSummary,
+    Traversal,
+)
+
+__all__ = [
+    "POLICY_LADDER",
+    "PolicyResult",
+    "Schedule",
+    "ScheduleConfig",
+    "Step",
+    "StepKind",
+    "TrafficSummary",
+    "Traversal",
+    "dcp_transient_bytes",
+    "figure8",
+    "max_subtree_depth",
+    "per_core_capacity",
+    "reduction_vs_bfs",
+    "schedule_coltor",
+    "schedule_expand",
+    "step_traffic",
+]

@@ -1,0 +1,98 @@
+"""DRAM-traffic accounting for the scheduling study (Fig. 8, Section IV-A).
+
+Produces, for each scheduling policy, the per-category DRAM bytes moved by
+ExpandQuery and ColTor — the paper's Fig. 8 bars — and the headline
+reduction ratios versus the BFS baseline.  Capacities are quoted chip-wide
+(the paper's "64 MB / 128 MB cache"); with query-level parallelism each
+query sees capacity/num_cores of scratchpad.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.params import PirParams
+from repro.sched.traversal import schedule_coltor, schedule_expand
+from repro.sched.tree import ScheduleConfig, Traversal, TrafficSummary
+
+
+@dataclass(frozen=True)
+class PolicyResult:
+    """Traffic for one (policy, step) combination, batch-scaled."""
+
+    label: str
+    step: str  # "ExpandQuery" | "ColTor"
+    traffic: TrafficSummary
+    subtree_depth: int | None
+
+    @property
+    def total_gb(self) -> float:
+        return self.traffic.total_bytes / 1e9
+
+
+#: The policy ladder of Fig. 8, in presentation order.
+POLICY_LADDER: tuple[tuple[str, Traversal, bool], ...] = (
+    ("BFS", Traversal.BFS, False),
+    ("DFS", Traversal.DFS, False),
+    ("HS (w/ BFS)", Traversal.HS_BFS, False),
+    ("HS (w/ DFS)", Traversal.HS_DFS, False),
+    ("HS+R.O. (w/ DFS)", Traversal.HS_DFS, True),
+)
+
+
+def per_core_capacity(chip_capacity_bytes: int, num_cores: int = 32) -> int:
+    """QLP places one query per core; each sees its core's slice."""
+    return chip_capacity_bytes // num_cores
+
+
+def step_traffic(
+    params: PirParams,
+    step: str,
+    chip_capacity_bytes: int,
+    batch: int,
+    num_cores: int = 32,
+) -> list[PolicyResult]:
+    """Fig. 8 bars for one step: traffic per policy at a given capacity."""
+    capacity = per_core_capacity(chip_capacity_bytes, num_cores)
+    results = []
+    for label, traversal, ro in POLICY_LADDER:
+        cfg = ScheduleConfig(
+            capacity_bytes=capacity, traversal=traversal, reduction_overlap=ro
+        )
+        if step == "ExpandQuery":
+            schedule = schedule_expand(params, cfg)
+        elif step == "ColTor":
+            schedule = schedule_coltor(params, cfg)
+        else:
+            raise ValueError(f"unknown step {step!r}")
+        results.append(
+            PolicyResult(
+                label=label,
+                step=step,
+                traffic=schedule.traffic().scale(batch),
+                subtree_depth=schedule.subtree_depth,
+            )
+        )
+    return results
+
+
+def reduction_vs_bfs(results: list[PolicyResult]) -> dict[str, float]:
+    """Relative DRAM-access reduction of each policy against BFS (Fig. 8 line)."""
+    baseline = next(r for r in results if r.label == "BFS").traffic.total_bytes
+    return {r.label: baseline / r.traffic.total_bytes for r in results}
+
+
+def figure8(
+    params: PirParams,
+    batch: int = 32,
+    chip_capacities: tuple[int, ...] = (64 << 20, 128 << 20),
+    num_cores: int = 32,
+) -> dict[str, dict[int, list[PolicyResult]]]:
+    """Full Fig. 8 dataset: {step: {chip_capacity: [policy results]}}."""
+    return {
+        step: {
+            cap: step_traffic(params, step, cap, batch, num_cores)
+            for cap in chip_capacities
+        }
+        for step in ("ExpandQuery", "ColTor")
+    }

@@ -1,0 +1,374 @@
+"""BFS / DFS / hierarchical-search schedulers for ColTor and ExpandQuery.
+
+These build :class:`~repro.sched.tree.Schedule` objects whose per-step DRAM
+transfers reflect the on-chip capacity: BFS spills whole levels when they
+do not fit, DFS keeps only a root-to-leaf stack resident but thrashes the
+per-level keys, and hierarchical search (HS, Fig. 7c) partitions the tree
+into capacity-sized subtrees so both the keys of a level band and the
+subtree intermediates stay on chip.  Reduction overlapping (R.O.) shrinks
+the transient Dcp working set, allowing deeper subtrees (Section IV-A).
+
+Capacity formulas (Section IV-A):
+
+* HS w/ BFS subtree:  t * key + 2^(t-1) * ct  <= capacity
+* HS w/ DFS subtree:  t * key + (t + 1) * ct  <= capacity
+
+All schedules are per query; a core runs one query at a time under QLP.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ParameterError
+from repro.params import PirParams
+from repro.sched.tree import Schedule, ScheduleConfig, Step, StepKind, Traversal
+
+
+# ---------------------------------------------------------------------------
+# Working-set helpers
+# ---------------------------------------------------------------------------
+
+def dcp_transient_bytes(params: PirParams, kind: StepKind, reduction_overlap: bool) -> int:
+    """Scratch space the in-flight gadget decomposition occupies.
+
+    Without R.O., Dcp materializes every digit polynomial before the GEMM:
+    ℓ ct-sized buffers for an external product (both halves), half that for
+    Subs.  With R.O. the digits are reduced just-in-time through the EWU
+    (partial GEMM with forwarding), leaving roughly one polynomial in
+    flight.
+    """
+    if reduction_overlap:
+        return params.poly_bytes
+    if kind is StepKind.CMUX:
+        return params.gadget_len * params.ct_bytes
+    return params.gadget_len * params.ct_bytes // 2
+
+
+def max_subtree_depth(
+    tree_depth: int,
+    capacity_bytes: int,
+    ct_bytes: int,
+    key_bytes: int,
+    transient_bytes: int,
+    inner_dfs: bool,
+) -> int:
+    """Largest subtree depth whose working set fits on chip (Section IV-A)."""
+    best = 0
+    for t in range(1, tree_depth + 1):
+        ct_live = (t + 1) if inner_dfs else max(1, 2 ** (t - 1))
+        working_set = t * key_bytes + ct_live * ct_bytes + transient_bytes
+        if working_set <= capacity_bytes:
+            best = t
+        else:
+            break
+    if best == 0:
+        raise ParameterError(
+            f"on-chip capacity {capacity_bytes} B cannot hold even a depth-1 "
+            f"subtree (key {key_bytes} B + ciphertexts {ct_bytes} B)"
+        )
+    return best
+
+
+def _band_depths(
+    tree_depth: int, subtree_depth: int, remainder_first: bool = False
+) -> list[int]:
+    """Partition ``tree_depth`` levels into bands of at most ``subtree_depth``.
+
+    A band boundary at tree position k spills 2^k (expansion) or 2^(d-k)
+    (reduction) ciphertexts, so the short remainder band goes where the
+    boundary is cheapest: next to the root — first for expansion
+    (``remainder_first``), last for reduction.
+    """
+    bands = []
+    remaining = tree_depth
+    while remaining > 0:
+        take = min(subtree_depth, remaining)
+        bands.append(take)
+        remaining -= take
+    if remainder_first:
+        bands.reverse()
+    return bands
+
+
+# ---------------------------------------------------------------------------
+# ColTor schedules (2^d leaves -> 1 root; level 0 = leaves)
+# ---------------------------------------------------------------------------
+
+def schedule_coltor(params: PirParams, cfg: ScheduleConfig) -> Schedule:
+    """Build the ColTor schedule for one query under the chosen policy."""
+    depth = params.num_dims
+    if depth == 0:
+        return Schedule([], params.ct_bytes, params.rgsw_bytes, cfg.traversal)
+    builders = {
+        Traversal.BFS: _coltor_bfs,
+        Traversal.DFS: _coltor_dfs,
+        Traversal.HS_BFS: _coltor_hs,
+        Traversal.HS_DFS: _coltor_hs,
+    }
+    return builders[cfg.traversal](params, cfg, depth)
+
+
+def _coltor_bfs(params: PirParams, cfg: ScheduleConfig, depth: int) -> Schedule:
+    """Level-by-level: full key reuse, intermediate spills when levels spill."""
+    ct, key = params.ct_bytes, params.rgsw_bytes
+    transient = dcp_transient_bytes(params, StepKind.CMUX, cfg.reduction_overlap)
+    steps: list[Step] = []
+    inputs_resident = False  # leaves start in DRAM (RowSel outputs)
+    for level in range(depth):
+        outputs = 1 << (depth - level - 1)
+        # Outputs stay on chip only if the whole level fits beside the key
+        # and a streaming pair of inputs.
+        outputs_fit = (
+            outputs * ct + key + 2 * ct + transient <= cfg.capacity_bytes
+        )
+        is_root_level = level == depth - 1
+        for i in range(outputs):
+            steps.append(
+                Step(
+                    kind=StepKind.CMUX,
+                    level=level,
+                    key_load=(i == 0),
+                    ct_loads=0 if inputs_resident else 2,
+                    ct_stores=1 if (not outputs_fit or is_root_level) else 0,
+                )
+            )
+        inputs_resident = outputs_fit
+    return Schedule(steps, ct, key, cfg.traversal)
+
+
+def _coltor_dfs(params: PirParams, cfg: ScheduleConfig, depth: int) -> Schedule:
+    """Post-order: a root-to-leaf stack stays resident; keys thrash (Fig. 7b).
+
+    A node at level k holds its left-child result while the whole right
+    subtree is processed, so at any moment one pending ciphertext per path
+    level is live.  When the capacity cannot hold the full (depth+1)-deep
+    stack, the pending results of the deepest-spanning (highest) levels
+    spill to DRAM and are reloaded at consumption.  Capacity left over
+    after the resident stack pins the keys of the most frequently visited
+    (shallowest) levels; every deeper cmux reloads its key.
+    """
+    ct, key = params.ct_bytes, params.rgsw_bytes
+    transient = dcp_transient_bytes(params, StepKind.CMUX, cfg.reduction_overlap)
+    ct_budget = cfg.capacity_bytes - transient - key
+    if ct_budget < 2 * ct:
+        raise ParameterError(
+            f"capacity {cfg.capacity_bytes} B cannot hold one key plus a cmux "
+            f"operand pair for DFS ColTor"
+        )
+    resident_slots = min(depth + 1, ct_budget // ct)
+    spare = cfg.capacity_bytes - transient - resident_slots * ct
+    pinned_levels = min(depth, spare // key)
+    steps: list[Step] = []
+    loaded_once: set[int] = set()
+    # Post-order over node levels of a perfect binary tree (leaves at -1).
+    for lvl in _dfs_levels(depth):
+        if lvl < pinned_levels:
+            need_key = lvl not in loaded_once
+            loaded_once.add(lvl)
+        else:
+            need_key = True
+        # Pending left-child results for high levels were spilled.
+        spill = 1 if lvl >= resident_slots else 0
+        steps.append(
+            Step(
+                kind=StepKind.CMUX,
+                level=lvl,
+                key_load=need_key,
+                ct_loads=(2 if lvl == 0 else 0) + spill,
+                ct_stores=(1 if lvl == depth - 1 else 0) + spill,
+            )
+        )
+    return Schedule(steps, ct, key, cfg.traversal)
+
+
+def _coltor_hs(params: PirParams, cfg: ScheduleConfig, depth: int) -> Schedule:
+    """Hierarchical search: band-partitioned subtrees (Fig. 7c)."""
+    ct, key = params.ct_bytes, params.rgsw_bytes
+    inner_dfs = cfg.traversal is Traversal.HS_DFS
+    transient = dcp_transient_bytes(params, StepKind.CMUX, cfg.reduction_overlap)
+    t = cfg.subtree_depth or max_subtree_depth(
+        depth, cfg.capacity_bytes, ct, key, transient, inner_dfs
+    )
+    steps: list[Step] = []
+    level_base = 0
+    bands = _band_depths(depth, t)
+    for band_depth in bands:
+        band_inputs = 1 << (depth - level_base)
+        subtrees = band_inputs >> band_depth
+        for s in range(subtrees):
+            # Band keys are loaded by the first subtree and stay resident.
+            first_subtree = s == 0
+            _emit_subtree_steps(
+                steps,
+                band_depth,
+                level_base,
+                first_subtree,
+                inner_dfs,
+            )
+        level_base += band_depth
+    return Schedule(
+        steps, ct, key, cfg.traversal, subtree_depth=t, notes={"bands": bands}
+    )
+
+
+def _emit_subtree_steps(
+    steps: list[Step],
+    band_depth: int,
+    level_base: int,
+    load_keys: bool,
+    inner_dfs: bool,
+) -> None:
+    """One ColTor subtree: load 2^t leaf cts, compute 2^t - 1 cmuxes, store root."""
+    total_nodes = (1 << band_depth) - 1
+    emitted = 0
+    if inner_dfs:
+        order = _dfs_levels(band_depth)
+    else:
+        order = [
+            lvl for lvl in range(band_depth) for _ in range(1 << (band_depth - lvl - 1))
+        ]
+    keys_seen: set[int] = set()
+    for lvl in order:
+        need_key = load_keys and lvl not in keys_seen
+        keys_seen.add(lvl)
+        steps.append(
+            Step(
+                kind=StepKind.CMUX,
+                level=level_base + lvl,
+                key_load=need_key,
+                ct_loads=2 if lvl == 0 else 0,  # subtree leaves come from DRAM
+                ct_stores=1 if emitted == total_nodes - 1 else 0,  # subtree root
+            )
+        )
+        emitted += 1
+
+
+def _dfs_levels(depth: int) -> list[int]:
+    """Levels visited by post-order DFS of a perfect binary tree."""
+    if depth == 1:
+        return [0]
+    inner = _dfs_levels(depth - 1)
+    return inner + inner + [depth - 1]
+
+
+# ---------------------------------------------------------------------------
+# ExpandQuery schedules (1 root -> 2^L leaves; level 0 = root)
+# ---------------------------------------------------------------------------
+
+def schedule_expand(params: PirParams, cfg: ScheduleConfig) -> Schedule:
+    """Build the ExpandQuery schedule for one query (mirror of ColTor)."""
+    depth = params.num_evks  # log2(D0) levels
+    if depth == 0:
+        return Schedule([], params.ct_bytes, params.evk_bytes, cfg.traversal)
+    builders = {
+        Traversal.BFS: _expand_bfs,
+        Traversal.DFS: _expand_dfs,
+        Traversal.HS_BFS: _expand_hs,
+        Traversal.HS_DFS: _expand_hs,
+    }
+    return builders[cfg.traversal](params, cfg, depth)
+
+
+def _expand_bfs(params: PirParams, cfg: ScheduleConfig, depth: int) -> Schedule:
+    ct, key = params.ct_bytes, params.evk_bytes
+    transient = dcp_transient_bytes(params, StepKind.EXPAND, cfg.reduction_overlap)
+    steps: list[Step] = []
+    inputs_resident = False  # the query ct arrives from DRAM
+    for level in range(depth):
+        nodes = 1 << level
+        outputs = nodes * 2
+        outputs_fit = outputs * ct + key + 2 * ct + transient <= cfg.capacity_bytes
+        is_last = level == depth - 1
+        for i in range(nodes):
+            steps.append(
+                Step(
+                    kind=StepKind.EXPAND,
+                    level=level,
+                    key_load=(i == 0),
+                    ct_loads=0 if inputs_resident else 1,
+                    ct_stores=2 if (not outputs_fit or is_last) else 0,
+                )
+            )
+        inputs_resident = outputs_fit
+    return Schedule(steps, ct, key, cfg.traversal)
+
+
+def _expand_dfs(params: PirParams, cfg: ScheduleConfig, depth: int) -> Schedule:
+    """Pre-order expansion: one root-to-leaf path resident, keys thrash."""
+    ct, key = params.ct_bytes, params.evk_bytes
+    transient = dcp_transient_bytes(params, StepKind.EXPAND, cfg.reduction_overlap)
+    ct_budget = cfg.capacity_bytes - transient - key
+    if ct_budget < 2 * ct:
+        raise ParameterError(
+            f"capacity {cfg.capacity_bytes} B cannot hold one evk plus an "
+            f"expansion pair for DFS ExpandQuery"
+        )
+    resident_slots = min(depth + 1, ct_budget // ct)
+    spare = cfg.capacity_bytes - transient - resident_slots * ct
+    pinned_levels = min(depth, spare // key)
+    loaded_once: set[int] = set()
+    steps: list[Step] = []
+    # Pre-order walk: emit a node, then descend into both children.  A node
+    # at level lvl parks its sibling output while depth-lvl-1 deeper levels
+    # expand; siblings beyond the resident stack spill and reload.
+    stack = [0]
+    while stack:
+        lvl = stack.pop()
+        if lvl < pinned_levels:
+            need_key = lvl not in loaded_once
+            loaded_once.add(lvl)
+        else:
+            need_key = True
+        spill = 1 if (depth - lvl) > resident_slots else 0
+        steps.append(
+            Step(
+                kind=StepKind.EXPAND,
+                level=lvl,
+                key_load=need_key,
+                ct_loads=(1 if not steps else 0) + spill,
+                ct_stores=(2 if lvl == depth - 1 else 0) + spill,
+            )
+        )
+        if lvl + 1 < depth:
+            stack.append(lvl + 1)
+            stack.append(lvl + 1)
+    return Schedule(steps, ct, key, cfg.traversal)
+
+
+def _expand_hs(params: PirParams, cfg: ScheduleConfig, depth: int) -> Schedule:
+    """Band-partitioned expansion subtrees; band evks pinned on chip."""
+    ct, key = params.ct_bytes, params.evk_bytes
+    inner_dfs = cfg.traversal is Traversal.HS_DFS
+    transient = dcp_transient_bytes(params, StepKind.EXPAND, cfg.reduction_overlap)
+    t = cfg.subtree_depth or max_subtree_depth(
+        depth, cfg.capacity_bytes, ct, key, transient, inner_dfs
+    )
+    steps: list[Step] = []
+    level_base = 0
+    bands = _band_depths(depth, t, remainder_first=True)
+    for band_depth in bands:
+        subtrees = 1 << level_base
+        total_nodes = (1 << band_depth) - 1
+        for s in range(subtrees):
+            load_keys = s == 0
+            keys_seen: set[int] = set()
+            if inner_dfs:
+                order = [band_depth - 1 - lvl for lvl in _dfs_levels(band_depth)][::-1]
+            else:
+                order = [lvl for lvl in range(band_depth) for _ in range(1 << lvl)]
+            for j, lvl in enumerate(order):
+                need_key = load_keys and lvl not in keys_seen
+                keys_seen.add(lvl)
+                leaf_level = lvl == band_depth - 1
+                steps.append(
+                    Step(
+                        kind=StepKind.EXPAND,
+                        level=level_base + lvl,
+                        key_load=need_key,
+                        ct_loads=1 if j == 0 else 0,  # subtree root ct from DRAM
+                        ct_stores=2 if leaf_level else 0,  # band outputs spill
+                    )
+                )
+        level_base += band_depth
+    return Schedule(
+        steps, ct, key, cfg.traversal, subtree_depth=t, notes={"bands": bands}
+    )

@@ -1,0 +1,95 @@
+"""Scale-up IVE system: heterogeneous HBM + LPDDR memory (Section V).
+
+The preprocessed database lives in HBM while it fits; larger databases are
+offloaded to the LPDDR expander and streamed during RowSel, while HBM
+keeps serving the memory-bound ExpandQuery/ColTor working sets.  Because
+batching amortizes the database scan, the lower LPDDR bandwidth costs
+little throughput at saturation (Fig. 13d); one IVE system supports up to
+~128 GB of raw database (512 GB LPDDR / 3.5x preprocessing expansion).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.arch.config import IveConfig
+from repro.arch.simulator import IveSimulator, PirLatency
+from repro.errors import ParameterError
+from repro.params import PirParams
+from repro.sched.tree import Traversal
+
+
+class DbPlacement(enum.Enum):
+    HBM = "hbm"
+    LPDDR = "lpddr"
+
+
+#: HBM capacity reserved for per-query working data (queries, evks,
+#: intermediates) rather than the database.
+_HBM_WORKING_RESERVE = 8 << 30
+
+
+@dataclass
+class ScaleUpSystem:
+    """One IVE chip plus its adaptive memory system."""
+
+    params: PirParams
+    config: IveConfig = None  # type: ignore[assignment]
+    traversal: Traversal = Traversal.HS_DFS
+
+    def __post_init__(self):
+        if self.config is None:
+            self.config = IveConfig.ive()
+        db_bytes = self.preprocessed_db_bytes
+        mem = self.config.memory
+        if db_bytes <= mem.hbm_capacity - _HBM_WORKING_RESERVE:
+            self.placement = DbPlacement.HBM
+            db_bandwidth = mem.hbm_bandwidth
+        elif db_bytes <= mem.lpddr_capacity:
+            self.placement = DbPlacement.LPDDR
+            db_bandwidth = mem.lpddr_bandwidth
+        else:
+            raise ParameterError(
+                f"preprocessed DB of {db_bytes / (1 << 30):.0f} GiB exceeds the "
+                f"LPDDR capacity of one IVE system; use an IveCluster"
+            )
+        self.simulator = IveSimulator(
+            self.config,
+            self.params,
+            traversal=self.traversal,
+            db_bandwidth=db_bandwidth,
+        )
+
+    # -- capacity ---------------------------------------------------------
+    @property
+    def raw_db_bytes(self) -> int:
+        return self.params.num_db_polys * self.params.plain_poly_bytes
+
+    @property
+    def preprocessed_db_bytes(self) -> int:
+        return self.params.num_db_polys * self.params.poly_bytes
+
+    @property
+    def max_raw_db_bytes(self) -> float:
+        """Supported raw DB size (paper: up to 128 GB per system)."""
+        return self.config.memory.lpddr_capacity / self.params.db_expansion_ratio
+
+    # -- performance ----------------------------------------------------------
+    def latency(self, batch: int) -> PirLatency:
+        return self.simulator.latency(batch)
+
+    def qps(self, batch: int) -> float:
+        return self.simulator.qps(batch)
+
+    def min_db_read_seconds(self) -> float:
+        return self.simulator.min_db_read_seconds()
+
+    def saturation_batch(self, candidates=(16, 32, 64, 96, 128, 160)) -> int:
+        """Smallest batch within 5% of the best throughput (Fig. 13c/d)."""
+        rates = {b: self.qps(b) for b in candidates}
+        best = max(rates.values())
+        for b in candidates:
+            if rates[b] >= 0.95 * best:
+                return b
+        return max(candidates)

@@ -1,0 +1,121 @@
+"""Complexity model (Fig. 4, Fig. 7d) and arithmetic intensity (Fig. 6)."""
+
+import pytest
+
+from repro.analysis import complexity, intensity, workloads
+from repro.params import PirParams
+
+
+def params_for(gb: int) -> PirParams:
+    dims = {2: 9, 4: 10, 8: 11, 16: 12}[gb]
+    return PirParams.paper(d0=256, num_dims=dims)
+
+
+class TestOpCounts:
+    def test_counts_are_positive_and_additive(self):
+        p = params_for(2)
+        a = complexity.subs_counts(p)
+        b = complexity.external_product_counts(p)
+        both = a + b
+        assert both.total_mults == pytest.approx(a.total_mults + b.total_mults)
+        assert both.ntt > 0 and both.gemm > 0 and both.icrt > 0
+
+    def test_scale(self):
+        p = params_for(2)
+        a = complexity.subs_counts(p)
+        assert a.scale(3).total_mults == pytest.approx(3 * a.total_mults)
+
+    def test_unit_shares_sum_to_one(self):
+        p = params_for(2)
+        for counts in complexity.pir_step_counts(p).values():
+            assert sum(counts.unit_shares().values()) == pytest.approx(1.0)
+
+    def test_external_product_costs_more_than_subs(self):
+        """Section II-C: ⊡ decomposes both halves, Subs only a."""
+        p = params_for(2)
+        assert (
+            complexity.external_product_counts(p).total_mults
+            > 1.5 * complexity.subs_counts(p).total_mults
+        )
+
+    def test_expand_is_ntt_dominated(self):
+        """Fig. 7d: ExpandQuery is dominated by (i)NTT work."""
+        p = params_for(2)
+        shares = complexity.expand_query_counts(p).unit_shares()
+        assert shares["ntt"] > 0.5
+        assert shares["ntt"] > shares["gemm"] > 0
+
+    def test_rowsel_is_pure_gemm(self):
+        p = params_for(2)
+        shares = complexity.rowsel_counts(p).unit_shares()
+        assert shares["gemm"] == pytest.approx(1.0)
+
+
+class TestFig4Shape:
+    def test_rowsel_dominates_and_grows(self):
+        """Fig. 4a: RowSel is the largest share and grows with DB size."""
+        share2 = complexity.step_shares(params_for(2))
+        share16 = complexity.step_shares(params_for(16))
+        assert share2["RowSel"] > share2["ColTor"] > share2["ExpandQuery"]
+        assert share16["RowSel"] >= share2["RowSel"]
+        assert share16["ExpandQuery"] < share2["ExpandQuery"]
+
+    def test_shares_sum_to_one(self):
+        shares = complexity.step_shares(params_for(8))
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_preferable_d0_in_paper_band(self):
+        """Fig. 4b: total complexity is minimized around D0 = 256-512."""
+        p = params_for(2)
+        sweep = complexity.relative_complexity_vs_d0(p, [128, 256, 512, 1024])
+        best_d0 = min(sweep, key=sweep.get)
+        assert best_d0 in (256, 512)
+
+    def test_d0_sweep_normalized(self):
+        p = params_for(2)
+        sweep = complexity.relative_complexity_vs_d0(p, [128, 256, 512, 1024])
+        assert max(sweep.values()) == pytest.approx(1.0)
+        assert all(0 < v <= 1.0 for v in sweep.values())
+
+
+class TestIntensity:
+    def test_rowsel_intensity_scales_with_batch(self):
+        """Fig. 6 left: batching raises RowSel's ops/byte nearly linearly."""
+        p = params_for(2)
+        i1 = intensity.step_intensities(p, batch=1)["RowSel"].intensity
+        i64 = intensity.step_intensities(p, batch=64)["RowSel"].intensity
+        assert 30 < i64 / i1 <= 64
+
+    def test_client_steps_intensity_flat(self):
+        """ExpandQuery/ColTor intensity does not improve with batching."""
+        p = params_for(2)
+        for step in ("ExpandQuery", "ColTor"):
+            i1 = intensity.step_intensities(p, batch=1)[step].intensity
+            i64 = intensity.step_intensities(p, batch=64)[step].intensity
+            assert i64 == pytest.approx(i1, rel=0.01)
+
+    def test_unbatched_rowsel_below_gpu_ridge(self):
+        """The Fig. 6 premise: unbatched RowSel sits in the memory-bound zone."""
+        from repro.baselines.roofline import RTX4090
+
+        p = params_for(2)
+        rowsel = intensity.step_intensities(p, batch=1)["RowSel"]
+        assert rowsel.intensity < RTX4090.ridge_intensity
+
+
+class TestWorkloads:
+    def test_paper_sizes(self):
+        assert workloads.VCALL.db_bytes == 384 << 30
+        assert workloads.COMM.db_bytes == 288 << 30
+        assert workloads.FSYS.db_bytes == int(1.25 * (1 << 40))
+
+    def test_geometry_preserves_scale(self):
+        base = PirParams.paper()
+        geo = workloads.COMM.geometry(base)
+        modeled = geo.num_db_polys * base.plain_poly_bytes
+        assert 0.5 * workloads.COMM.db_bytes < modeled < 2 * workloads.COMM.db_bytes
+
+    def test_synthesized(self):
+        wl = workloads.synthesized(2)
+        assert wl.db_bytes == 2 << 30
+        assert wl.num_records * wl.record_bytes == wl.db_bytes

@@ -1,0 +1,52 @@
+"""Figure-series generators: structure and JSON-serializability."""
+
+import json
+
+import pytest
+
+from repro.analysis import figures
+
+
+class TestSeriesShapes:
+    def test_fig4a(self):
+        data = figures.fig4a(db_gibs=(2, 4))
+        assert set(data) == {2, 4}
+        for shares in data.values():
+            assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_fig4b(self):
+        data = figures.fig4b()
+        assert max(data.values()) == pytest.approx(1.0)
+
+    def test_fig6(self):
+        left = figures.fig6_left(batches=(1, 16))
+        assert left[16]["RowSel"] > left[1]["RowSel"]
+        right = figures.fig6_right(batches=(1, 16))
+        assert right[16]["RowSel"] < right[1]["RowSel"]
+
+    def test_fig8(self):
+        data = figures.fig8()
+        assert set(data) == {"ExpandQuery", "ColTor"}
+        for caps in data.values():
+            for payload in caps.values():
+                assert payload["reduction_vs_bfs"]["BFS"] == 1.0
+
+    def test_fig12(self):
+        data = figures.fig12(db_gibs=(2,))
+        assert data[2]["IVE"]["qps"] > data[2]["CPU"]["qps"]
+
+    def test_fig13c(self):
+        data = figures.fig13c(batches=(1, 64))
+        assert data[64]["qps"] > data[1]["qps"]
+
+    def test_fig14a(self):
+        data = figures.fig14a()
+        assert data["ARK-like"]["edap"] > data["IVE"]["edap"]
+
+    def test_everything_is_json_serializable(self):
+        payload = {
+            "fig4a": figures.fig4a(db_gibs=(2,)),
+            "fig6_left": figures.fig6_left(batches=(1,)),
+            "fig13c": figures.fig13c(batches=(1,)),
+        }
+        assert json.loads(json.dumps(payload))

@@ -1,0 +1,113 @@
+"""Cross-validation: closed-form model vs event-driven cycle simulator."""
+
+import pytest
+
+from repro.arch.analytic import AnalyticModel
+from repro.arch.config import IveConfig
+from repro.arch.simulator import IveSimulator
+from repro.params import PirParams
+from repro.sched.tree import Traversal
+
+
+def params_for(gb: int) -> PirParams:
+    dims = {2: 9, 4: 10, 8: 11, 16: 12}[gb]
+    return PirParams.paper(d0=256, num_dims=dims)
+
+
+class TestCrossValidation:
+    """The two models describe the same machine: they must agree."""
+
+    @pytest.mark.parametrize("gb", [2, 8, 16])
+    def test_coltor_agreement(self, gb):
+        params = params_for(gb)
+        config = IveConfig.ive()
+        sim = IveSimulator(config, params)
+        model = AnalyticModel(config, params)
+        _, timing = sim.coltor_timing()
+        simulated = timing.cycles
+        analytic = model.coltor_step().bound_cycles
+        # The simulator adds dependency fill; the analytic bound is the
+        # steady-state floor.  They must agree within 35%.
+        assert analytic <= simulated * 1.05
+        assert simulated < analytic * 1.35
+
+    @pytest.mark.parametrize("gb", [2, 16])
+    def test_expand_agreement(self, gb):
+        params = params_for(gb)
+        config = IveConfig.ive()
+        sim = IveSimulator(config, params)
+        model = AnalyticModel(config, params)
+        _, timing = sim.expand_timing()
+        assert model.expand_step().bound_cycles <= timing.cycles * 1.05
+        assert timing.cycles < model.expand_step().bound_cycles * 2.0
+
+    @pytest.mark.parametrize("gb", [2, 8, 16])
+    def test_rowsel_exact_match(self, gb):
+        """RowSel is analytic in both; must match exactly."""
+        params = params_for(gb)
+        config = IveConfig.ive()
+        sim = IveSimulator(config, params)
+        model = AnalyticModel(config, params)
+        assert model.rowsel_seconds(64) == pytest.approx(sim.rowsel_seconds(64))
+
+    @pytest.mark.parametrize("batch", [1, 32, 64, 128])
+    def test_end_to_end_agreement(self, batch):
+        params = params_for(16)
+        config = IveConfig.ive()
+        sim_lat = IveSimulator(config, params).latency(batch)
+        sim_total = sim_lat.expand_s + sim_lat.rowsel_s + sim_lat.coltor_s
+        analytic_total = AnalyticModel(config, params).total_seconds(batch)
+        assert analytic_total == pytest.approx(sim_total, rel=0.35)
+
+    def test_agreement_across_traversals(self):
+        params = params_for(8)
+        config = IveConfig.ive()
+        for traversal in (Traversal.BFS, Traversal.HS_DFS):
+            sim = IveSimulator(config, params, traversal=traversal)
+            model = AnalyticModel(config, params, traversal=traversal)
+            _, timing = sim.coltor_timing()
+            assert timing.cycles == pytest.approx(
+                model.coltor_step().bound_cycles, rel=0.4
+            )
+
+    def test_ark_like_agreement(self):
+        params = params_for(16)
+        config = IveConfig.ark_like()
+        sim = IveSimulator(config, params)
+        model = AnalyticModel(config, params)
+        _, timing = sim.coltor_timing()
+        assert timing.cycles == pytest.approx(
+            model.coltor_step().bound_cycles, rel=0.5
+        )
+
+
+class TestAnalyticShape:
+    def test_memory_bound_steps_follow_traffic(self):
+        """With BFS scheduling the tree steps are memory-bound, so the
+        analytic bound equals the DRAM time."""
+        params = params_for(16)
+        model = AnalyticModel(IveConfig.ive(), params, traversal=Traversal.BFS)
+        step = model.coltor_step()
+        assert step.bound_cycles == pytest.approx(step.memory_cycles)
+
+    def test_hs_balances_memory_against_compute(self):
+        """BFS is heavily memory-bound; HS+RO brings DRAM time down to the
+        same order as the unit occupancy (the Section VI-B 'compute-bound
+        characteristics' claim)."""
+        params = params_for(16)
+        compute = max(
+            AnalyticModel(IveConfig.ive(), params).coltor_step().unit_cycles.values()
+        )
+        bfs_mem = (
+            AnalyticModel(IveConfig.ive(), params, traversal=Traversal.BFS)
+            .coltor_step()
+            .memory_cycles
+        )
+        hs_mem = AnalyticModel(IveConfig.ive(), params).coltor_step().memory_cycles
+        assert bfs_mem > 2.0 * compute
+        assert hs_mem < 1.5 * compute
+
+    def test_qps_matches_components(self):
+        params = params_for(2)
+        model = AnalyticModel(IveConfig.ive(), params)
+        assert model.qps(64) == pytest.approx(64 / model.total_seconds(64))

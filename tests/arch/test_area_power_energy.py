@@ -1,0 +1,95 @@
+"""Table II reproduction and design-point cost deltas (Fig. 13e, Fig. 14a)."""
+
+import pytest
+
+from repro.arch import energy
+from repro.arch.area import area as area_fn
+from repro.arch.power import power as power_fn
+from repro.arch.config import IveConfig
+from repro.arch.simulator import IveSimulator
+from repro.params import PirParams
+
+
+class TestTable2:
+    def test_area_matches_table2(self):
+        a = area_fn(IveConfig.ive())
+        assert a.core_total == pytest.approx(2.91, rel=0.02)
+        assert a.cores_total == pytest.approx(93.1, rel=0.02)
+        assert a.noc == pytest.approx(2.6)
+        assert a.hbm == pytest.approx(59.6)
+        assert a.total == pytest.approx(155.3, rel=0.02)
+
+    def test_power_matches_table2(self):
+        p = power_fn(IveConfig.ive())
+        assert p.core_total == pytest.approx(5.12, rel=0.02)
+        assert p.cores_total == pytest.approx(163.8, rel=0.02)
+        assert p.total == pytest.approx(239.1, rel=0.02)
+
+    def test_component_rows(self):
+        a = area_fn(IveConfig.ive())
+        assert a.per_core["sysNTTU"] == pytest.approx(0.77)
+        assert a.per_core["iCRTU"] == pytest.approx(0.05)
+        assert a.per_core["EWU"] == pytest.approx(0.10)
+        assert a.per_core["AutoU"] == pytest.approx(0.07)
+        assert a.per_core["RF & buffers"] == pytest.approx(1.38, rel=0.01)
+
+
+class TestDesignPoints:
+    """Fig. 13e: Base -> +Sp (-4% area/energy), +Sp -> IVE (-7% area)."""
+
+    def test_special_primes_reduce_area(self):
+        base = area_fn(IveConfig.base()).logic_total
+        sp = area_fn(IveConfig.base_sp()).logic_total
+        reduction = 1 - sp / base
+        assert 0.02 < reduction < 0.07  # paper: ~4%
+
+    def test_sysnttu_reduces_area(self):
+        sp = area_fn(IveConfig.base_sp()).logic_total
+        ive = area_fn(IveConfig.ive()).logic_total
+        reduction = 1 - ive / sp
+        assert 0.04 < reduction < 0.10  # paper: ~7%
+
+    def test_sysnttu_energy_penalty(self):
+        """Unified unit burns ~1.1x the energy of split units for equal work."""
+        sp = power_fn(IveConfig.base_sp())
+        ive = power_fn(IveConfig.ive())
+        split = sp.per_core["NTTU"] + sp.per_core["GEMM unit"]
+        assert ive.per_core["sysNTTU"] / split == pytest.approx(1.1, rel=0.02)
+
+    def test_ark_like_area_comparable(self):
+        """Section VI-E: total area of IVE comparable to the ARK-like system."""
+        ive = area_fn(IveConfig.ive()).total
+        ark = area_fn(IveConfig.ark_like()).total
+        assert 0.7 < ive / ark < 1.3
+
+
+class TestEnergy:
+    @pytest.mark.parametrize("gb,dims,paper_j", [(2, 9, 0.03), (4, 10, 0.05), (8, 11, 0.09)])
+    def test_joules_per_query_near_paper(self, gb, dims, paper_j):
+        sim = IveSimulator(IveConfig.ive(), PirParams.paper(d0=256, num_dims=dims))
+        j = energy.energy_per_query(sim, 64)
+        assert paper_j * 0.6 < j < paper_j * 1.4
+
+    def test_energy_scales_with_db(self):
+        js = []
+        for dims in (9, 10, 11):
+            sim = IveSimulator(IveConfig.ive(), PirParams.paper(d0=256, num_dims=dims))
+            js.append(energy.energy_per_query(sim, 64))
+        assert js[0] < js[1] < js[2]
+
+    def test_batching_amortizes_energy(self):
+        sim = IveSimulator(IveConfig.ive(), PirParams.paper(d0=256, num_dims=11))
+        assert energy.energy_per_query(sim, 64) < energy.energy_per_query(sim, 1)
+
+    def test_ark_like_consumes_more_energy(self):
+        """Fig. 14a: ARK-like burns ~2.4x more energy per retrieval."""
+        params = PirParams.paper(d0=256, num_dims=12)
+        ive = energy.energy_per_query(IveSimulator(IveConfig.ive(), params), 64)
+        ark = energy.energy_per_query(IveSimulator(IveConfig.ark_like(), params), 64)
+        assert 1.3 < ark / ive < 5.0
+
+    def test_edap(self):
+        assert energy.edap(2.0, 3.0, 4.0) == 24.0
+        assert energy.edap_ratio(1, 1, 1, 2, 3, 4) == 24.0
+        with pytest.raises(ValueError):
+            energy.edap(0, 1, 1)

@@ -1,0 +1,155 @@
+"""Fig. 10 NoC transposition: the fixed wiring produces the CLP layout."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import IveConfig
+from repro.arch.noc import (
+    NocGeometry,
+    clp_to_qlp,
+    global_exchange,
+    local_transpose,
+    qlp_to_clp,
+    transpose_cost,
+)
+from repro.errors import ParameterError
+
+
+def encode(query: int, coeff: int) -> int:
+    return query * 10000 + coeff
+
+
+def qlp_layout(geo: NocGeometry, rows: int) -> np.ndarray:
+    """QLP: core c, row r holds query (c*rows + r)'s coefficients 0..lanes."""
+    layout = np.empty((geo.num_cores, rows, geo.num_lanes), dtype=np.int64)
+    for c in range(geo.num_cores):
+        for r in range(rows):
+            for l in range(geo.num_lanes):
+                layout[c, r, l] = encode(c * rows + r, l)
+    return layout
+
+
+class TestFig10Example:
+    """The paper's illustration: 4 cores, 8 lanes, 2 queries per core."""
+
+    geo = NocGeometry(num_cores=4, num_lanes=8)
+
+    def test_local_transpose_interleaves_queries(self):
+        layout = qlp_layout(self.geo, rows=2)
+        local = local_transpose(layout, self.geo)
+        # Fig. 10-2: core 0 row 0 becomes "1 1 3 3 5 5 7 7" — alternating
+        # queries, odd coefficient positions.
+        row = local[0, 0]
+        coeffs = row % 10000
+        queries = row // 10000
+        assert list(coeffs) == [0, 0, 2, 2, 4, 4, 6, 6]
+        assert list(queries) == [0, 1, 0, 1, 0, 1, 0, 1]
+
+    def test_global_exchange_gathers_one_coefficient_per_row(self):
+        layout = qlp_layout(self.geo, rows=2)
+        final = qlp_to_clp(layout, self.geo)
+        # Fig. 10-3: each core row holds ONE coefficient index from all
+        # 8 queries.
+        for c in range(4):
+            for r in range(2):
+                coeffs = set(final[c, r] % 10000)
+                queries = sorted(final[c, r] // 10000)
+                assert len(coeffs) == 1
+                assert queries == list(range(8))
+
+    def test_each_core_owns_its_coefficient_slice(self):
+        layout = qlp_layout(self.geo, rows=2)
+        final = qlp_to_clp(layout, self.geo)
+        block = self.geo.block
+        for c in range(4):
+            owned = set(final[c].flatten() % 10000)
+            assert owned == set(range(c * block, (c + 1) * block))
+
+
+class TestPermutationProperties:
+    def test_transposition_is_a_permutation(self):
+        geo = NocGeometry(num_cores=4, num_lanes=16)
+        layout = qlp_layout(geo, rows=4)
+        final = qlp_to_clp(layout, geo)
+        assert sorted(final.flatten()) == sorted(layout.flatten())
+
+    def test_round_trip_restores_qlp(self):
+        geo = NocGeometry(num_cores=4, num_lanes=16)
+        layout = qlp_layout(geo, rows=4)
+        back = clp_to_qlp(qlp_to_clp(layout, geo), geo)
+        assert np.array_equal(back, layout)
+
+    def test_phases_are_involutions(self):
+        geo = NocGeometry(num_cores=2, num_lanes=8)
+        layout = qlp_layout(geo, rows=4)
+        assert np.array_equal(
+            local_transpose(local_transpose(layout, geo), geo), layout
+        )
+        assert np.array_equal(
+            global_exchange(global_exchange(layout, geo), geo), layout
+        )
+
+    def test_global_exchange_is_fixed_wiring(self):
+        """Every (core, lane) position receives from ONE fixed source."""
+        geo = NocGeometry(num_cores=4, num_lanes=8)
+        rows = geo.block  # minimum legal row count
+        layout = np.arange(4 * rows * 8, dtype=np.int64).reshape(4, rows, 8)
+        out = global_exchange(layout, geo)
+        sources = {}
+        for c in range(4):
+            for r in range(rows):
+                for l in range(8):
+                    src = int(out[c, r, l])
+                    sources[(c, r, l)] = src
+        # A permutation with each source position used exactly once.
+        assert len(set(sources.values())) == 4 * rows * 8
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        log_cores=st.integers(min_value=0, max_value=3),
+        row_factor=st.integers(min_value=1, max_value=3),
+    )
+    def test_clp_property_random_geometry(self, log_cores, row_factor):
+        cores = 1 << log_cores
+        geo = NocGeometry(num_cores=cores, num_lanes=cores * 4)
+        rows = geo.block * row_factor
+        layout = qlp_layout(geo, rows)
+        final = qlp_to_clp(layout, geo)
+        block = geo.block
+        for c in range(cores):
+            owned = set(final[c].flatten() % 10000)
+            assert owned == set(range(c * block, (c + 1) * block))
+
+
+class TestValidation:
+    def test_lane_core_mismatch(self):
+        with pytest.raises(ParameterError):
+            NocGeometry(num_cores=4, num_lanes=10)
+
+    def test_bad_layout_shape(self):
+        geo = NocGeometry(num_cores=4, num_lanes=8)
+        with pytest.raises(ParameterError):
+            local_transpose(np.zeros((4, 8)), geo)
+        with pytest.raises(ParameterError):
+            local_transpose(np.zeros((2, 2, 8)), geo)
+        with pytest.raises(ParameterError):
+            local_transpose(np.zeros((4, 3, 8)), geo)  # rows not multiple
+
+
+class TestCostModel:
+    def test_cost_scales_with_bytes(self):
+        config = IveConfig.ive()
+        small = transpose_cost(config, 1 << 20)
+        large = transpose_cost(config, 1 << 22)
+        assert large.total_cycles == pytest.approx(4 * small.total_cycles)
+
+    def test_per_core_time_constant_in_cores(self):
+        """Section IV-E: fixed wiring scales linearly with core count."""
+        from dataclasses import replace
+
+        data = 1 << 26
+        t32 = transpose_cost(IveConfig.ive(), data)
+        t64 = transpose_cost(replace(IveConfig.ive(), num_cores=64), data)
+        assert t64.total_cycles == pytest.approx(t32.total_cycles / 2)

@@ -1,0 +1,112 @@
+"""Operation-graph construction: structure, dependencies, unit coverage."""
+
+import pytest
+
+from repro.arch.config import IveConfig
+from repro.arch.opgraph import GraphBuilder
+from repro.arch.units import Unit, UnitTimings
+from repro.params import PirParams
+from repro.sched.traversal import schedule_coltor, schedule_expand
+from repro.sched.tree import ScheduleConfig, Traversal
+
+
+@pytest.fixture(scope="module")
+def env():
+    params = PirParams.paper(d0=64, num_dims=4)
+    config = IveConfig.ive()
+    timings = UnitTimings(config, params)
+    cfg = ScheduleConfig(capacity_bytes=config.rf_bytes, traversal=Traversal.HS_DFS)
+    return params, config, timings, cfg
+
+
+class TestGraphStructure:
+    def test_dependencies_are_topological(self, env):
+        params, config, timings, cfg = env
+        sched = schedule_coltor(params, cfg)
+        graph = GraphBuilder(timings, 64e9).build(sched)
+        for op in graph.ops:
+            for dep in op.deps:
+                assert dep < op.op_id
+
+    def test_cmux_unit_sequence(self, env):
+        """Each cmux expands to sub -> iNTT -> iCRT -> NTT -> GEMM -> add."""
+        params, config, timings, cfg = env
+        sched = schedule_coltor(params, cfg)
+        graph = GraphBuilder(timings, 64e9).build(sched)
+        compute = [op for op in graph.ops if op.cost.unit is not Unit.MEMORY]
+        per_node = len(compute) // sched.num_compute_steps
+        assert per_node == 6
+        units = [op.cost.unit for op in compute[:6]]
+        assert units == [
+            Unit.EWU,  # Y - X
+            Unit.SYSNTTU,  # iNTT
+            Unit.ICRTU,
+            Unit.SYSNTTU,  # digit NTTs
+            Unit.SYSNTTU,  # gadget GEMM (GEMM mode)
+            Unit.EWU,  # + X
+        ]
+
+    def test_subs_includes_automorphism(self, env):
+        params, config, timings, cfg = env
+        sched = schedule_expand(params, cfg)
+        graph = GraphBuilder(timings, 64e9).build(sched)
+        autos = [op for op in graph.ops if op.cost.unit is Unit.AUTOU]
+        assert len(autos) == sched.num_compute_steps
+
+    def test_memory_ops_match_schedule(self, env):
+        params, config, timings, cfg = env
+        sched = schedule_coltor(params, cfg)
+        graph = GraphBuilder(timings, 64e9).build(sched)
+        mem_ops = [op for op in graph.ops if op.cost.unit is Unit.MEMORY]
+        expected = sum(
+            (1 if s.key_load else 0)
+            + (1 if s.ct_loads else 0)
+            + (1 if s.ct_stores else 0)
+            for s in sched.steps
+        )
+        assert len(mem_ops) == expected
+
+    def test_memory_cycles_match_traffic(self, env):
+        """Total memory occupancy equals the schedule's bytes / bandwidth."""
+        params, config, timings, cfg = env
+        bw = 64e9
+        sched = schedule_coltor(params, cfg)
+        graph = GraphBuilder(timings, bw).build(sched)
+        mem_cycles = sum(
+            op.cost.cycles for op in graph.ops if op.cost.unit is Unit.MEMORY
+        )
+        expected = timings.dram_cycles(sched.traffic().total_bytes, bw)
+        assert mem_cycles == pytest.approx(expected)
+
+    def test_stores_do_not_gate_loads(self, env):
+        """Write-buffering: no load may depend on a store."""
+        params, config, timings, cfg = env
+        sched = schedule_coltor(params, cfg)
+        graph = GraphBuilder(timings, 64e9).build(sched)
+        stores = {
+            op.op_id for op in graph.ops if op.cost.label == "ct-store"
+        }
+        loads = [op for op in graph.ops if op.cost.label in ("ct-load", "key-load")]
+        for op in loads:
+            assert not (set(op.deps) & stores)
+
+    def test_gemm_maps_to_madu_on_ark(self):
+        params = PirParams.paper(d0=64, num_dims=4)
+        config = IveConfig.ark_like()
+        timings = UnitTimings(config, params)
+        cfg = ScheduleConfig(capacity_bytes=config.rf_bytes, traversal=Traversal.HS_DFS)
+        graph = GraphBuilder(timings, 32e9).build(schedule_coltor(params, cfg))
+        gemm_ops = [op for op in graph.ops if op.cost.label == "gadget-gemm"]
+        assert gemm_ops
+        assert all(op.cost.unit is Unit.EWU for op in gemm_ops)
+
+    def test_total_cycles_by_unit(self, env):
+        params, config, timings, cfg = env
+        sched = schedule_expand(params, cfg)
+        graph = GraphBuilder(timings, 64e9).build(sched)
+        totals = graph.total_cycles_by_unit()
+        assert totals[Unit.SYSNTTU] > 0
+        assert totals[Unit.ICRTU] > 0
+        assert sum(totals.values()) == pytest.approx(
+            sum(op.cost.cycles for op in graph.ops)
+        )

@@ -1,0 +1,173 @@
+"""Cycle simulator: invariants, paper-number reproduction, scaling laws."""
+
+import math
+
+import pytest
+
+from repro.arch.config import IveConfig
+from repro.arch.opgraph import GraphBuilder
+from repro.arch.simulator import IveSimulator, simulate_graph
+from repro.arch.units import Unit, UnitTimings
+from repro.params import PirParams
+from repro.sched.traversal import schedule_coltor
+from repro.sched.tree import ScheduleConfig, Traversal
+
+
+def paper_params(gb: int) -> PirParams:
+    dims = {2: 9, 4: 10, 8: 11, 16: 12}[gb]
+    return PirParams.paper(d0=256, num_dims=dims)
+
+
+@pytest.fixture(scope="module")
+def sim16():
+    return IveSimulator(IveConfig.ive(), paper_params(16))
+
+
+class TestSimulatorInvariants:
+    def test_makespan_at_least_busiest_unit(self, sim16):
+        _, timing = sim16.coltor_timing()
+        assert timing.cycles >= max(timing.busy_cycles_by_unit.values())
+
+    def test_makespan_at_most_sum_of_busy(self, sim16):
+        """Perfect serialization is the upper bound for a well-formed graph."""
+        _, timing = sim16.coltor_timing()
+        slack = 1.5  # pipeline-fill latencies on the critical path
+        assert timing.cycles <= slack * sum(timing.busy_cycles_by_unit.values())
+
+    def test_empty_graph(self):
+        from repro.arch.opgraph import OpGraph
+
+        timing = simulate_graph(OpGraph([]))
+        assert timing.cycles == 0.0
+
+    def test_latency_components_positive(self, sim16):
+        lat = sim16.latency(64)
+        for name, value in lat.breakdown().items():
+            assert value >= 0.0, name
+        assert lat.total_s > 0
+
+    def test_qps_definition(self, sim16):
+        lat = sim16.latency(64)
+        assert lat.qps == pytest.approx(64 / lat.total_s)
+
+    def test_batch_must_be_positive(self, sim16):
+        from repro.errors import SimulationError
+
+        with pytest.raises(SimulationError):
+            sim16.latency(0)
+
+
+class TestPaperNumbers:
+    """Fig. 12 / Fig. 13: batched QPS within 15% of the paper's values."""
+
+    @pytest.mark.parametrize(
+        "gb,paper_qps", [(2, 4261), (4, 2350), (8, 1242), (16, 591)]
+    )
+    def test_batched_qps(self, gb, paper_qps):
+        sim = IveSimulator(IveConfig.ive(), paper_params(gb))
+        qps = sim.latency(64).qps
+        assert paper_qps * 0.85 < qps < paper_qps * 1.15
+
+    def test_single_query_latency_16gb(self, sim16):
+        """Paper Fig. 14b: non-batching throughput limit ~17.8 QPS -> ~56 ms."""
+        lat = sim16.single_query_latency()
+        assert 0.03 < lat.total_s < 0.08
+
+    def test_rowsel_becomes_compute_bound_at_batch_64(self, sim16):
+        """Section VI-C: batching makes RowSel compute-bound by batch 64."""
+        p, c = sim16.params, sim16.config
+        macs = 64 * 2.0 * p.num_db_polys * p.rns_count * p.n
+        gemm_s = macs / (c.chip_gemm_macs_per_cycle * c.clock_hz)
+        assert sim16.rowsel_seconds(64) == pytest.approx(gemm_s)
+
+    def test_rowsel_memory_bound_unbatched(self, sim16):
+        """Without batching the DB stream dominates RowSel."""
+        assert sim16.rowsel_seconds(1) > sim16.min_db_read_seconds() * 0.99
+        p, c = sim16.params, sim16.config
+        macs = 2.0 * p.num_db_polys * p.rns_count * p.n
+        gemm_s = macs / (c.chip_gemm_macs_per_cycle * c.clock_hz)
+        assert sim16.rowsel_seconds(1) > gemm_s
+
+
+class TestScalingLaws:
+    def test_qps_saturates_with_batch(self, sim16):
+        """Fig. 13c: throughput rises then plateaus as RowSel saturates."""
+        qps = [sim16.latency(b).qps for b in (1, 8, 32, 64, 96)]
+        assert qps[1] > 2 * qps[0]
+        assert qps[3] > qps[2]
+        # Past saturation the gain is marginal (<15%).
+        assert qps[4] < qps[3] * 1.15
+
+    def test_latency_grows_linearly_past_saturation(self, sim16):
+        lat64 = sim16.latency(64).total_s
+        lat128 = sim16.latency(128).total_s
+        assert 1.6 < lat128 / lat64 < 2.4
+
+    def test_db_size_scales_throughput_inversely(self):
+        qps = {}
+        for gb in (2, 4, 8):
+            sim = IveSimulator(IveConfig.ive(), paper_params(gb))
+            qps[gb] = sim.latency(64).qps
+        assert 1.7 < qps[2] / qps[4] < 2.2
+        assert 1.7 < qps[4] / qps[8] < 2.2
+
+    def test_lpddr_offload_needs_larger_batch(self):
+        """Fig. 13d: lower DB bandwidth shifts the saturation point."""
+        params = paper_params(16)
+        cfg = IveConfig.ive()
+        hbm = IveSimulator(cfg, params)
+        lpddr = IveSimulator(cfg, params, db_bandwidth=cfg.memory.lpddr_bandwidth)
+        # At small batch the LPDDR system is slower; at 128 both compute-bound.
+        assert lpddr.latency(8).total_s > hbm.latency(8).total_s
+        ratio = lpddr.latency(128).qps / hbm.latency(128).qps
+        assert ratio > 0.9
+
+    def test_ark_like_is_slower(self):
+        """Fig. 14a: the ARK-like system loses ~4x on batched PIR."""
+        params = paper_params(16)
+        ive = IveSimulator(IveConfig.ive(), params).latency(64)
+        ark = IveSimulator(IveConfig.ark_like(), params).latency(64)
+        assert 2.5 < ark.total_s / ive.total_s < 7.0
+
+
+class TestUnitTimings:
+    def test_ntt_throughput_matches_lane_count(self):
+        params = PirParams.paper()
+        config = IveConfig.ive()
+        t = UnitTimings(config, params)
+        # N/lanes cycles per residue poly, R residues, split over the
+        # core's two sysNTTUs (independent residue polys fill both).
+        assert t.ntt_poly_cycles() == pytest.approx(
+            params.rns_count * params.n / 64 / config.sysnttu_per_core
+        )
+
+    def test_gemm_tops_matches_paper(self):
+        """Two sysNTTUs per core at 1 GHz give ~1 TOPS MMAD per core."""
+        cfg = IveConfig.ive()
+        per_core_tops = cfg.gemm_macs_per_core * cfg.clock_hz / 1e12
+        assert per_core_tops == pytest.approx(1.024)
+
+    def test_memory_cycles(self):
+        t = UnitTimings(IveConfig.ive(), PirParams.paper())
+        assert t.dram_cycles(64e9, 64e9) == pytest.approx(1e9)
+
+    def test_busy_units_cover_all_expected(self):
+        sim = IveSimulator(IveConfig.ive(), paper_params(2))
+        _, timing = sim.coltor_timing()
+        units = set(timing.busy_cycles_by_unit)
+        assert {Unit.SYSNTTU, Unit.ICRTU, Unit.EWU, Unit.MEMORY} <= units
+
+    def test_graph_size_matches_schedule(self):
+        params = paper_params(2)
+        cfg = ScheduleConfig(capacity_bytes=4 << 20, traversal=Traversal.HS_DFS)
+        sched = schedule_coltor(params, cfg)
+        sim = IveSimulator(IveConfig.ive(), params)
+        graph = GraphBuilder(sim.timings, 64e9).build(sched)
+        # Every cmux expands to 6 compute ops plus its memory ops.
+        mem_ops = sum(
+            (1 if s.key_load else 0)
+            + (1 if s.ct_loads else 0)
+            + (1 if s.ct_stores else 0)
+            for s in sched.steps
+        )
+        assert len(graph) == 6 * len(sched.steps) + mem_ops

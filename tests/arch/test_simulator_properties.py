@@ -1,0 +1,103 @@
+"""Property-based invariants of the performance models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch.config import IveConfig
+from repro.arch.simulator import IveSimulator
+from repro.params import PirParams
+from repro.sched.tree import Traversal
+
+CONFIG = IveConfig.ive()
+
+
+def _sim(dims: int, traversal=Traversal.HS_DFS) -> IveSimulator:
+    return IveSimulator(CONFIG, PirParams.paper(d0=256, num_dims=dims), traversal=traversal)
+
+
+class TestMonotonicity:
+    @settings(max_examples=12, deadline=None)
+    @given(
+        batch=st.integers(min_value=1, max_value=160),
+        dims=st.sampled_from([9, 11, 12]),
+    )
+    def test_latency_increases_with_batch(self, batch, dims):
+        sim = _sim(dims)
+        assert sim.latency(batch + 32).total_s > sim.latency(batch).total_s
+
+    @settings(max_examples=12, deadline=None)
+    @given(batch=st.integers(min_value=1, max_value=128))
+    def test_latency_increases_with_db_size(self, batch):
+        small = _sim(9).latency(batch).total_s
+        large = _sim(11).latency(batch).total_s
+        assert large > small
+
+    @settings(max_examples=10, deadline=None)
+    @given(batch=st.integers(min_value=1, max_value=128))
+    def test_latency_bounded_below_by_db_read(self, batch):
+        sim = _sim(11)
+        assert sim.latency(batch).rowsel_s >= 0.99 * min(
+            sim.min_db_read_seconds(), sim.rowsel_seconds(batch)
+        )
+
+    @settings(max_examples=8, deadline=None)
+    @given(batch=st.sampled_from([16, 32, 64, 128]))
+    def test_hs_never_slower_than_bfs(self, batch):
+        hs = _sim(11).latency(batch).total_s
+        bfs = _sim(11, Traversal.BFS).latency(batch).total_s
+        assert hs <= bfs * 1.001
+
+
+class TestConservation:
+    def test_qps_times_latency_equals_batch(self):
+        sim = _sim(10)
+        for batch in (1, 17, 64, 100):
+            lat = sim.latency(batch)
+            assert lat.qps * lat.total_s == pytest.approx(batch)
+
+    def test_breakdown_sums_to_total(self):
+        lat = _sim(10).latency(64)
+        assert sum(lat.breakdown().values()) == pytest.approx(lat.total_s)
+
+    def test_unit_busy_scales_with_batch(self):
+        sim = _sim(9)
+        busy32 = sim.unit_busy_seconds(32)
+        busy64 = sim.unit_busy_seconds(64)
+        for unit, seconds in busy32.items():
+            assert busy64[unit] == pytest.approx(2 * seconds, rel=0.01)
+
+
+class TestConfigSensitivity:
+    def test_more_cores_never_hurt(self):
+        from dataclasses import replace
+
+        params = PirParams.paper(d0=256, num_dims=11)
+        lat32 = IveSimulator(IveConfig.ive(), params).latency(64).total_s
+        lat64 = IveSimulator(
+            replace(IveConfig.ive(), num_cores=64), params
+        ).latency(64).total_s
+        assert lat64 <= lat32 * 1.001
+
+    def test_more_bandwidth_never_hurts(self):
+        from dataclasses import replace
+
+        params = PirParams.paper(d0=256, num_dims=12)
+        base = IveConfig.ive()
+        fat_mem = replace(
+            base, memory=replace(base.memory, hbm_bw_per_stack=1024e9)
+        )
+        lat_base = IveSimulator(base, params).latency(8).total_s
+        lat_fat = IveSimulator(fat_mem, params).latency(8).total_s
+        assert lat_fat <= lat_base * 1.001
+
+    def test_lpddr_only_slows_rowsel(self):
+        """DB offload affects the scan, never the client-data steps."""
+        params = PirParams.paper(d0=256, num_dims=12)
+        hbm = IveSimulator(IveConfig.ive(), params).latency(8)
+        lpddr = IveSimulator(
+            IveConfig.ive(), params, db_bandwidth=CONFIG.memory.lpddr_bandwidth
+        ).latency(8)
+        assert lpddr.rowsel_s > hbm.rowsel_s
+        assert lpddr.expand_s == pytest.approx(hbm.expand_s)
+        assert lpddr.coltor_s == pytest.approx(hbm.coltor_s)

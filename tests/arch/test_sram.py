@@ -1,0 +1,69 @@
+"""SRAM bandwidth validation: the RF never limits the pipeline (§VI-A)."""
+
+import pytest
+
+from repro.arch.analytic import AnalyticModel
+from repro.arch.config import IveConfig
+from repro.arch.sram import (
+    node_sram_traffic,
+    rowsel_db_buffer_bytes_per_cycle,
+    step_rf_demand_fraction,
+)
+from repro.params import PirParams
+from repro.sched.tree import StepKind
+
+
+@pytest.fixture(scope="module")
+def env():
+    params = PirParams.paper(d0=256, num_dims=12)
+    config = IveConfig.ive()
+    return config, params
+
+
+class TestRfBandwidth:
+    @pytest.mark.parametrize("kind", [StepKind.CMUX, StepKind.EXPAND])
+    def test_rf_keeps_up_with_units(self, env, kind):
+        """At full unit utilization, RF demand stays under its 2.04 TB/s."""
+        config, params = env
+        model = AnalyticModel(config, params)
+        node = model._node_cycles(kind)
+        node_cycles = max(node.values())
+        fraction = step_rf_demand_fraction(config, params, kind, node_cycles)
+        assert fraction < 1.0
+
+    def test_forwarding_reduces_rf_traffic(self, env):
+        """R.O.'s NTT->EWU forwarding path relieves RF pressure (§IV-F)."""
+        config, params = env
+        with_fw = node_sram_traffic(params, StepKind.CMUX, reduction_overlap=True)
+        without = node_sram_traffic(params, StepKind.CMUX, reduction_overlap=False)
+        assert with_fw.rf_bytes < without.rf_bytes
+
+    def test_cmux_moves_more_than_subs(self, env):
+        config, params = env
+        cmux = node_sram_traffic(params, StepKind.CMUX)
+        subs = node_sram_traffic(params, StepKind.EXPAND)
+        assert cmux.rf_bytes > subs.rf_bytes
+        assert cmux.icrt_buffer_bytes > subs.icrt_buffer_bytes
+
+    def test_icrt_buffer_holds_working_set(self, env):
+        """One node's iNTT+digit stream fits the 448 KB iCRT buffer when
+        drained continuously (bytes per poly, not the whole set at once)."""
+        config, params = env
+        traffic = node_sram_traffic(params, StepKind.CMUX)
+        # The buffer drains per polynomial: a single poly is 56 KB << 448 KB.
+        assert params.poly_bytes < config.icrt_buffer_bytes
+
+    def test_db_buffer_rate_within_bandwidth(self, env):
+        """Streaming the RowSel GEMM needs less than the 0.81 TB/s buffer."""
+        config, params = env
+        rate = rowsel_db_buffer_bytes_per_cycle(config, params)  # B/cycle
+        available = config.db_buffer_bandwidth / config.clock_hz
+        assert rate < available
+
+    def test_db_buffer_holds_gemm_tile(self, env):
+        """A (D0 x lanes)-ish working tile of DB residues fits the buffer."""
+        config, params = env
+        from repro.params import RESIDUE_BITS
+
+        tile_bytes = params.d0 * config.lanes * RESIDUE_BITS // 8
+        assert tile_bytes < config.db_buffer_bytes

@@ -1,0 +1,46 @@
+"""Shared fixtures: small parameter sets and HE contexts for fast tests."""
+
+import pytest
+
+from repro.he.bfv import BfvContext, SecretKey
+from repro.he.gadget import Gadget
+from repro.he.poly import RingContext
+from repro.he.sampling import Sampler
+from repro.params import PirParams
+
+
+@pytest.fixture(scope="session")
+def small_params():
+    """Odd-P small parameters (full payload, inverse-scaled expansion)."""
+    return PirParams.small(n=256, d0=8, num_dims=2, plain_modulus=65537)
+
+
+@pytest.fixture(scope="session")
+def pow2_params():
+    """Power-of-two-P small parameters (Table I style, reduced payload)."""
+    return PirParams.small(n=256, d0=8, num_dims=2, plain_modulus=1 << 16)
+
+
+@pytest.fixture(scope="session")
+def ring(small_params):
+    return RingContext(small_params)
+
+
+@pytest.fixture()
+def sampler(ring):
+    return Sampler(ring, seed=1234)
+
+
+@pytest.fixture()
+def bfv(ring, sampler):
+    return BfvContext(ring, sampler)
+
+
+@pytest.fixture()
+def secret_key(ring, bfv, sampler):
+    return SecretKey.generate(ring, sampler)
+
+
+@pytest.fixture()
+def gadget(ring):
+    return Gadget(ring)

@@ -1,0 +1,140 @@
+"""BFV encryption: roundtrips, homomorphic linearity, noise accounting."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.he.bfv import BfvCiphertext, BfvContext, SecretKey
+from repro.he.poly import Domain, RingContext
+from repro.he.sampling import Sampler
+from repro.params import PirParams
+
+
+def _random_plain(params, rng):
+    return rng.integers(0, params.plain_modulus, size=params.n, dtype=np.int64)
+
+
+class TestEncryptDecrypt:
+    def test_roundtrip(self, ring, bfv, secret_key):
+        rng = np.random.default_rng(0)
+        m = _random_plain(ring.params, rng)
+        ct = bfv.encrypt(m, secret_key)
+        assert np.array_equal(bfv.decrypt(ct, secret_key), m)
+
+    def test_zero_roundtrip(self, ring, bfv, secret_key):
+        ct = bfv.encrypt(np.zeros(ring.n, dtype=np.int64), secret_key)
+        assert np.all(bfv.decrypt(ct, secret_key) == 0)
+
+    def test_encrypt_zero_helper(self, ring, bfv, secret_key):
+        ct = bfv.encrypt_zero(secret_key)
+        assert np.all(bfv.decrypt(ct, secret_key) == 0)
+
+    def test_max_plaintext_value(self, ring, bfv, secret_key):
+        p = ring.params.plain_modulus
+        m = np.full(ring.n, p - 1, dtype=np.int64)
+        ct = bfv.encrypt(m, secret_key)
+        assert np.array_equal(bfv.decrypt(ct, secret_key), m)
+
+    def test_fresh_noise_is_small(self, ring, bfv, secret_key):
+        ct = bfv.encrypt_zero(secret_key)
+        assert bfv.noise(ct, secret_key) < 64  # ~6 sigma with sigma=3.2
+        assert bfv.noise_budget_bits(ct, secret_key) > 10
+
+    def test_different_keys_fail_to_decrypt(self, ring, bfv, sampler):
+        key1 = SecretKey.generate(ring, sampler)
+        key2 = SecretKey.generate(ring, sampler)
+        rng = np.random.default_rng(1)
+        m = _random_plain(ring.params, rng)
+        ct = bfv.encrypt(m, key1)
+        assert not np.array_equal(bfv.decrypt(ct, key2), m)
+
+
+class TestHomomorphicOps:
+    def test_addition(self, ring, bfv, secret_key):
+        rng = np.random.default_rng(2)
+        p = ring.params.plain_modulus
+        m1, m2 = _random_plain(ring.params, rng), _random_plain(ring.params, rng)
+        ct = bfv.encrypt(m1, secret_key) + bfv.encrypt(m2, secret_key)
+        assert np.array_equal(bfv.decrypt(ct, secret_key), (m1 + m2) % p)
+
+    def test_subtraction(self, ring, bfv, secret_key):
+        rng = np.random.default_rng(3)
+        p = ring.params.plain_modulus
+        m1, m2 = _random_plain(ring.params, rng), _random_plain(ring.params, rng)
+        ct = bfv.encrypt(m1, secret_key) - bfv.encrypt(m2, secret_key)
+        assert np.array_equal(bfv.decrypt(ct, secret_key), (m1 - m2) % p)
+
+    def test_negation(self, ring, bfv, secret_key):
+        rng = np.random.default_rng(4)
+        p = ring.params.plain_modulus
+        m = _random_plain(ring.params, rng)
+        ct = -bfv.encrypt(m, secret_key)
+        assert np.array_equal(bfv.decrypt(ct, secret_key), (-m) % p)
+
+    def test_plain_mul(self, ring, bfv, secret_key):
+        """Z * Enc(Y) -> Enc(Z*Y): the RowSel primitive."""
+        from repro.he.ntt import naive_negacyclic_convolution
+
+        rng = np.random.default_rng(5)
+        p = ring.params.plain_modulus
+        m = rng.integers(0, p, size=ring.n, dtype=np.int64)
+        z = rng.integers(0, 50, size=ring.n, dtype=np.int64)  # small: noise * |z|
+        ct = bfv.encrypt(m, secret_key).plain_mul(bfv.encode_plain(z))
+        expected = naive_negacyclic_convolution(m, z, p)
+        assert np.array_equal(bfv.decrypt(ct, secret_key), expected)
+
+    def test_monomial_mul(self, ring, bfv, secret_key):
+        rng = np.random.default_rng(6)
+        m = _random_plain(ring.params, rng)
+        ct = bfv.encrypt(m, secret_key).monomial_mul(1)
+        dec = bfv.decrypt(ct, secret_key)
+        p = ring.params.plain_modulus
+        expected = np.roll(m, 1)
+        expected[0] = (-m[-1]) % p
+        assert np.array_equal(dec, expected)
+
+    def test_scalar_mul(self, ring, bfv, secret_key):
+        rng = np.random.default_rng(7)
+        p = ring.params.plain_modulus
+        m = _random_plain(ring.params, rng)
+        ct = bfv.encrypt(m, secret_key).scalar_mul(3)
+        assert np.array_equal(bfv.decrypt(ct, secret_key), (3 * m) % p)
+
+    def test_linearity_chain(self, ring, bfv, secret_key):
+        """Eq. 1 in miniature: sum of plaintext-weighted encryptions of bits."""
+        rng = np.random.default_rng(8)
+        p = ring.params.plain_modulus
+        weights = [rng.integers(0, 40, size=ring.n, dtype=np.int64) for _ in range(4)]
+        sel = 2
+        cts = [
+            bfv.encrypt(np.full(ring.n, int(i == sel), dtype=np.int64) * 0 + (1 if i == sel else 0) * np.eye(1, ring.n, 0, dtype=np.int64)[0], secret_key)
+            for i in range(4)
+        ]
+        acc = cts[0].plain_mul(bfv.encode_plain(weights[0]))
+        for w, ct in zip(weights[1:], cts[1:]):
+            acc = acc + ct.plain_mul(bfv.encode_plain(w))
+        assert np.array_equal(bfv.decrypt(acc, secret_key), weights[sel] % p)
+
+
+class TestValidation:
+    def test_ciphertext_requires_ntt_domain(self, ring):
+        a = ring.zero(Domain.COEFF)
+        with pytest.raises(ParameterError):
+            BfvCiphertext(a, a)
+
+
+@settings(max_examples=10, deadline=None)
+@given(st.integers(min_value=0, max_value=65536), st.integers(min_value=0, max_value=65536))
+def test_addition_property(v1, v2):
+    params = PirParams.small(n=64, d0=4, num_dims=1)
+    ring = RingContext(params)
+    sampler = Sampler(ring, seed=v1 * 65537 + v2)
+    bfv = BfvContext(ring, sampler)
+    key = SecretKey.generate(ring, sampler)
+    p = params.plain_modulus
+    m1 = np.full(ring.n, v1 % p, dtype=np.int64)
+    m2 = np.full(ring.n, v2 % p, dtype=np.int64)
+    ct = bfv.encrypt(m1, key) + bfv.encrypt(m2, key)
+    assert np.array_equal(bfv.decrypt(ct, key), (m1 + m2) % p)

@@ -1,0 +1,134 @@
+"""Response modulus switching and public-key BFV (protocol extensions)."""
+
+import numpy as np
+import pytest
+
+from repro.errors import NoiseOverflowError, ParameterError
+from repro.he.modswitch import (
+    ModulusSwitcher,
+    min_moduli_for_noise,
+    switching_noise_bound,
+)
+from repro.he.publickey import PublicKey, encrypt_public
+from repro.params import PirParams
+from repro.pir.database import PirDatabase
+from repro.pir.protocol import PirProtocol
+
+
+class TestModulusSwitch:
+    def test_switched_ciphertext_still_decrypts(self, ring, bfv, secret_key):
+        rng = np.random.default_rng(0)
+        m = rng.integers(0, ring.params.plain_modulus, size=ring.n, dtype=np.int64)
+        ct = bfv.encrypt(m, secret_key)
+        switcher = ModulusSwitcher(ring, num_moduli=2)
+        switched = switcher.switch(ct)
+        assert np.array_equal(switcher.decrypt(switched, secret_key.coeffs), m)
+
+    def test_single_modulus_basis(self, ring, bfv, secret_key):
+        rng = np.random.default_rng(1)
+        m = rng.integers(0, ring.params.plain_modulus, size=ring.n, dtype=np.int64)
+        ct = bfv.encrypt(m, secret_key)
+        switcher = ModulusSwitcher(ring, num_moduli=1)
+        assert np.array_equal(
+            switcher.decrypt(switcher.switch(ct), secret_key.coeffs), m
+        )
+
+    def test_compression_ratio(self, ring, bfv, secret_key):
+        ct = bfv.encrypt_zero(secret_key)
+        switcher = ModulusSwitcher(ring, num_moduli=1)
+        switched = switcher.switch(ct)
+        full = ring.params.ct_bytes
+        assert switched.size_bytes(ring.params) == full // ring.params.rns_count
+        assert switcher.compression_ratio == ring.params.rns_count
+
+    def test_noise_scales_down_with_modulus(self, ring, bfv, secret_key):
+        """Switching preserves the noise-to-Δ ratio up to rounding."""
+        rng = np.random.default_rng(2)
+        m = rng.integers(0, ring.params.plain_modulus, size=ring.n, dtype=np.int64)
+        ct = bfv.encrypt(m, secret_key)
+        noise_before = bfv.noise(ct, secret_key)
+        switcher = ModulusSwitcher(ring, num_moduli=2)
+        switched = switcher.switch(ct)
+        noise_after = switcher.noise_after_switch(switched, secret_key.coeffs, m)
+        scale = switcher.small_params.q / ring.params.q
+        bound = noise_before * scale + 4 * switching_noise_bound(ring.params, 2)
+        assert noise_after <= bound
+
+    def test_invalid_basis_rejected(self, ring):
+        with pytest.raises(ParameterError):
+            ModulusSwitcher(ring, num_moduli=0)
+        with pytest.raises(ParameterError):
+            ModulusSwitcher(ring, num_moduli=ring.params.rns_count)
+
+    def test_min_moduli_for_noise(self, small_params):
+        # One ~2^27 modulus leaves Δ'/2 ≈ 2^10 < the ~2P Δ-mismatch bound,
+        # so the safe minimum basis for P = 2^16 is two moduli.
+        assert min_moduli_for_noise(small_params, 100.0) == 2
+        huge = small_params.q / 3.0
+        with pytest.raises(NoiseOverflowError):
+            min_moduli_for_noise(small_params, huge)
+
+    def test_min_moduli_monotone(self, small_params):
+        small = min_moduli_for_noise(small_params, 10.0)
+        large = min_moduli_for_noise(small_params, 2.0**40)
+        assert small <= large
+
+
+class TestCompressedRetrieval:
+    def test_end_to_end_compressed(self, small_params):
+        db = PirDatabase.random(small_params, num_records=32, record_bytes=64, seed=6)
+        protocol = PirProtocol(small_params, db, seed=7)
+        for index in (0, 13, 31):
+            assert protocol.retrieve_compressed(index) == db.record(index)
+
+    def test_response_smaller_than_plain(self, small_params):
+        db = PirDatabase.random(small_params, num_records=32, record_bytes=64, seed=8)
+        protocol = PirProtocol(small_params, db, seed=9)
+        protocol.retrieve(5)
+        plain_bytes = protocol.transcript.response_bytes
+        protocol.retrieve_compressed(5)
+        compressed_bytes = protocol.transcript.response_bytes - plain_bytes
+        assert compressed_bytes < plain_bytes
+
+    def test_explicit_basis(self, small_params):
+        db = PirDatabase.random(small_params, num_records=32, record_bytes=64, seed=10)
+        protocol = PirProtocol(small_params, db, seed=11)
+        assert protocol.retrieve_compressed(17, num_moduli=2) == db.record(17)
+
+
+class TestPublicKeyEncryption:
+    def test_roundtrip(self, ring, bfv, secret_key):
+        pk = PublicKey.generate(bfv, secret_key)
+        rng = np.random.default_rng(3)
+        m = rng.integers(0, ring.params.plain_modulus, size=ring.n, dtype=np.int64)
+        ct = encrypt_public(bfv, pk, m)
+        assert np.array_equal(bfv.decrypt(ct, secret_key), m)
+
+    def test_noise_larger_than_secret_key_but_bounded(self, ring, bfv, secret_key):
+        pk = PublicKey.generate(bfv, secret_key)
+        m = np.zeros(ring.n, dtype=np.int64)
+        sk_noise = bfv.noise(bfv.encrypt(m, secret_key), secret_key)
+        pk_noise = bfv.noise(encrypt_public(bfv, pk, m), secret_key)
+        assert pk_noise > sk_noise  # u*e + e1*s + e2 vs a single e
+        assert pk_noise < 1000 * sk_noise  # still tiny against Δ
+
+    def test_homomorphic_ops_work_on_public_encryptions(
+        self, ring, bfv, gadget, secret_key
+    ):
+        """The PIR pipeline is oblivious to how the query was encrypted."""
+        from repro.he.rgsw import external_product, rgsw_encrypt
+
+        pk = PublicKey.generate(bfv, secret_key)
+        rng = np.random.default_rng(4)
+        m = rng.integers(0, ring.params.plain_modulus, size=ring.n, dtype=np.int64)
+        ct = encrypt_public(bfv, pk, m)
+        rgsw = rgsw_encrypt(bfv, gadget, 1, secret_key)
+        out = external_product(rgsw, ct, gadget)
+        assert np.array_equal(bfv.decrypt(out, secret_key), m)
+
+    def test_two_encryptions_differ(self, ring, bfv, secret_key):
+        pk = PublicKey.generate(bfv, secret_key)
+        m = np.ones(ring.n, dtype=np.int64)
+        c1 = encrypt_public(bfv, pk, m)
+        c2 = encrypt_public(bfv, pk, m)
+        assert not np.array_equal(c1.a.residues, c2.a.residues)

@@ -1,0 +1,102 @@
+"""NTT correctness: roundtrips and agreement with schoolbook convolution."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.he import modmath
+from repro.he.ntt import NttContext, naive_negacyclic_convolution
+
+Q = modmath.special_primes(order=2 * 64, count=1)[0]
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return NttContext(64, Q)
+
+
+def test_forward_inverse_roundtrip(ctx):
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, Q, size=64, dtype=np.int64)
+    assert np.array_equal(ctx.inverse(ctx.forward(a)), a)
+
+
+def test_inverse_forward_roundtrip(ctx):
+    rng = np.random.default_rng(1)
+    a = rng.integers(0, Q, size=64, dtype=np.int64)
+    assert np.array_equal(ctx.forward(ctx.inverse(a)), a)
+
+
+def test_constant_polynomial_transforms_to_constant(ctx):
+    a = np.zeros(64, dtype=np.int64)
+    a[0] = 7
+    assert np.all(ctx.forward(a) == 7)
+
+
+def test_convolution_matches_schoolbook(ctx):
+    rng = np.random.default_rng(2)
+    a = rng.integers(0, Q, size=64, dtype=np.int64)
+    b = rng.integers(0, Q, size=64, dtype=np.int64)
+    fast = ctx.negacyclic_convolution(a, b)
+    slow = naive_negacyclic_convolution(a, b, Q)
+    assert np.array_equal(fast, slow)
+
+
+def test_negacyclic_wraparound_sign():
+    """X^(n-1) * X = -1 in the negacyclic ring."""
+    n = 64
+    ctx = NttContext(n, Q)
+    a = np.zeros(n, dtype=np.int64)
+    b = np.zeros(n, dtype=np.int64)
+    a[n - 1] = 1
+    b[1] = 1
+    out = ctx.negacyclic_convolution(a, b)
+    expected = np.zeros(n, dtype=np.int64)
+    expected[0] = Q - 1
+    assert np.array_equal(out, expected)
+
+
+def test_rejects_non_ntt_friendly_modulus():
+    from repro.errors import ParameterError
+
+    with pytest.raises(ParameterError):
+        NttContext(64, 97)  # 97 - 1 not divisible by 128
+
+
+def test_rejects_wrong_length(ctx):
+    from repro.errors import ParameterError
+
+    with pytest.raises(ParameterError):
+        ctx.forward(np.zeros(32, dtype=np.int64))
+
+
+@settings(max_examples=25, deadline=None)
+@given(st.lists(st.integers(min_value=0, max_value=Q - 1), min_size=32, max_size=32))
+def test_roundtrip_property(coeffs):
+    ctx = NttContext(32, Q)
+    a = np.array(coeffs, dtype=np.int64)
+    assert np.array_equal(ctx.inverse(ctx.forward(a)), a)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=Q - 1), min_size=16, max_size=16),
+    st.lists(st.integers(min_value=0, max_value=Q - 1), min_size=16, max_size=16),
+)
+def test_convolution_property(a, b):
+    ctx = NttContext(16, Q)
+    a = np.array(a, dtype=np.int64)
+    b = np.array(b, dtype=np.int64)
+    assert np.array_equal(
+        ctx.negacyclic_convolution(a, b), naive_negacyclic_convolution(a, b, Q)
+    )
+
+
+def test_linearity_of_forward(ctx):
+    rng = np.random.default_rng(3)
+    a = rng.integers(0, Q, size=64, dtype=np.int64)
+    b = rng.integers(0, Q, size=64, dtype=np.int64)
+    lhs = ctx.forward((a + b) % Q)
+    rhs = (ctx.forward(a) + ctx.forward(b)) % Q
+    assert np.array_equal(lhs, rhs)

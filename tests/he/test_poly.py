@@ -1,0 +1,177 @@
+"""RnsPoly: domain discipline, ring arithmetic, automorphism, monomials."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import DomainError, ParameterError
+from repro.he.ntt import naive_negacyclic_convolution
+from repro.he.poly import Domain, RingContext
+from repro.params import PirParams
+
+
+@pytest.fixture(scope="module")
+def tiny_ring():
+    return RingContext(PirParams.small(n=16, d0=4, num_dims=1))
+
+
+def _random_poly(ring, rng, domain=Domain.COEFF):
+    coeffs = rng.integers(0, 1000, size=ring.n, dtype=np.int64)
+    return ring.from_small_coeffs(coeffs, domain=domain)
+
+
+class TestDomains:
+    def test_roundtrip(self, tiny_ring):
+        rng = np.random.default_rng(0)
+        p = _random_poly(tiny_ring, rng)
+        back = p.to_ntt().to_coeff()
+        assert np.array_equal(back.residues, p.residues)
+
+    def test_mul_requires_ntt(self, tiny_ring):
+        rng = np.random.default_rng(1)
+        p = _random_poly(tiny_ring, rng)
+        with pytest.raises(DomainError):
+            _ = p * p
+
+    def test_add_requires_same_domain(self, tiny_ring):
+        rng = np.random.default_rng(2)
+        p = _random_poly(tiny_ring, rng)
+        with pytest.raises(DomainError):
+            _ = p + p.to_ntt()
+
+    def test_automorphism_requires_coeff(self, tiny_ring):
+        rng = np.random.default_rng(3)
+        p = _random_poly(tiny_ring, rng, domain=Domain.NTT)
+        with pytest.raises(DomainError):
+            p.automorphism(3)
+
+
+class TestArithmetic:
+    def test_ntt_mul_matches_schoolbook(self, tiny_ring):
+        rng = np.random.default_rng(4)
+        a = rng.integers(0, 500, size=tiny_ring.n, dtype=np.int64)
+        b = rng.integers(0, 500, size=tiny_ring.n, dtype=np.int64)
+        pa = tiny_ring.from_small_coeffs(a, domain=Domain.NTT)
+        pb = tiny_ring.from_small_coeffs(b, domain=Domain.NTT)
+        prod = (pa * pb).to_coeff()
+        for i, q in enumerate(tiny_ring.params.moduli):
+            expected = naive_negacyclic_convolution(a % q, b % q, q)
+            assert np.array_equal(prod.residues[i], expected)
+
+    def test_add_sub_neg(self, tiny_ring):
+        rng = np.random.default_rng(5)
+        a = _random_poly(tiny_ring, rng)
+        b = _random_poly(tiny_ring, rng)
+        zero = tiny_ring.zero(Domain.COEFF)
+        assert ((a + b) - b) == a
+        assert (a + (-a)) == zero
+
+    def test_scalar_mul_matches_repeated_add(self, tiny_ring):
+        rng = np.random.default_rng(6)
+        a = _random_poly(tiny_ring, rng)
+        assert a.scalar_mul(3) == (a + a + a)
+
+    def test_scalar_mul_handles_big_scalar(self, tiny_ring):
+        rng = np.random.default_rng(7)
+        a = _random_poly(tiny_ring, rng)
+        q = tiny_ring.params.q
+        assert a.scalar_mul(q + 2) == a.scalar_mul(2)
+
+    def test_constant_poly(self, tiny_ring):
+        c = tiny_ring.constant(9, domain=Domain.NTT)
+        one = tiny_ring.from_small_coeffs(
+            np.eye(1, tiny_ring.n, 0, dtype=np.int64)[0] * 9, domain=Domain.NTT
+        )
+        assert c == one
+
+
+class TestMonomial:
+    def test_monomial_mul_coeff_vs_ntt(self, tiny_ring):
+        rng = np.random.default_rng(8)
+        p = _random_poly(tiny_ring, rng)
+        for power in (0, 1, 5, tiny_ring.n - 1, tiny_ring.n, 2 * tiny_ring.n - 1, -1, -3):
+            via_coeff = p.monomial_mul(power).to_ntt()
+            via_ntt = p.to_ntt().monomial_mul(power)
+            assert via_coeff == via_ntt
+
+    def test_negative_monomial_inverts_positive(self, tiny_ring):
+        rng = np.random.default_rng(9)
+        p = _random_poly(tiny_ring, rng)
+        assert p.monomial_mul(3).monomial_mul(-3) == p
+
+    def test_x_to_the_n_is_minus_one(self, tiny_ring):
+        rng = np.random.default_rng(10)
+        p = _random_poly(tiny_ring, rng)
+        assert p.monomial_mul(tiny_ring.n) == -p
+
+
+class TestAutomorphism:
+    def test_automorphism_is_permutation_with_signs(self, tiny_ring):
+        """sigma_r(X^j) = +/- X^(jr mod n); verify against direct evaluation."""
+        n = tiny_ring.n
+        for r in (3, 5, n + 1, 2 * n - 1):
+            for j in (0, 1, n // 2, n - 1):
+                coeffs = np.zeros(n, dtype=np.int64)
+                coeffs[j] = 1
+                p = tiny_ring.from_small_coeffs(coeffs).automorphism(r)
+                idx = (j * r) % (2 * n)
+                expected = np.zeros(n, dtype=np.int64)
+                if idx < n:
+                    expected[idx] = 1
+                else:
+                    expected[idx - n] = -1
+                q = tiny_ring.from_small_coeffs(expected)
+                assert p == q
+
+    def test_automorphism_composes(self, tiny_ring):
+        rng = np.random.default_rng(11)
+        p = _random_poly(tiny_ring, rng)
+        n = tiny_ring.n
+        lhs = p.automorphism(3).automorphism(5)
+        rhs = p.automorphism((3 * 5) % (2 * n))
+        assert lhs == rhs
+
+    def test_automorphism_is_ring_homomorphism(self, tiny_ring):
+        rng = np.random.default_rng(12)
+        a = _random_poly(tiny_ring, rng)
+        b = _random_poly(tiny_ring, rng)
+        r = 2 * tiny_ring.n - 1
+        lhs = ((a.to_ntt() * b.to_ntt()).to_coeff()).automorphism(r)
+        rhs = (a.automorphism(r).to_ntt() * b.automorphism(r).to_ntt()).to_coeff()
+        assert lhs == rhs
+
+    def test_even_power_rejected(self, tiny_ring):
+        rng = np.random.default_rng(13)
+        p = _random_poly(tiny_ring, rng)
+        with pytest.raises(ParameterError):
+            p.automorphism(2)
+
+    def test_identity_automorphism(self, tiny_ring):
+        rng = np.random.default_rng(14)
+        p = _random_poly(tiny_ring, rng)
+        assert p.automorphism(1) == p
+
+
+class TestLift:
+    def test_lift_roundtrip(self, tiny_ring):
+        rng = np.random.default_rng(15)
+        values = [int(x) for x in rng.integers(0, 2**50, size=tiny_ring.n)]
+        p = tiny_ring.from_int_coeffs(values)
+        assert [int(v) for v in p.lift_coeffs()] == values
+
+    def test_lift_requires_coeff_domain(self, tiny_ring):
+        p = tiny_ring.zero(Domain.NTT)
+        with pytest.raises(DomainError):
+            p.lift_coeffs()
+
+
+@settings(max_examples=20, deadline=None)
+@given(st.integers(min_value=0, max_value=2**40), st.integers(min_value=1, max_value=31))
+def test_monomial_shift_property(value, power):
+    ring = RingContext(PirParams.small(n=32, d0=4, num_dims=1))
+    coeffs = [value] + [0] * (ring.n - 1)
+    p = ring.from_int_coeffs(coeffs)
+    shifted = p.monomial_mul(power)
+    lifted = shifted.lift_coeffs()
+    assert int(lifted[power]) == value % ring.params.q

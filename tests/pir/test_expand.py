@@ -1,0 +1,89 @@
+"""ExpandQuery: the binary-tree one-hot expansion (Fig. 2-(1))."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.he import modmath
+from repro.pir.expand import expand_query, expansion_powers
+
+
+class TestExpansionPowers:
+    def test_powers_sequence(self):
+        assert expansion_powers(256, 3) == [257, 129, 65]
+
+    def test_too_many_levels_rejected(self):
+        with pytest.raises(ParameterError):
+            expansion_powers(8, 4)
+
+    def test_zero_levels(self):
+        assert expansion_powers(64, 0) == []
+
+
+class TestExpandQuery:
+    @pytest.fixture()
+    def evks(self, ring, bfv, gadget, secret_key):
+        from repro.he.subs import generate_subs_key
+
+        levels = 3
+        return {
+            r: generate_subs_key(bfv, gadget, secret_key, r)
+            for r in expansion_powers(ring.n, levels)
+        }
+
+    def test_expand_one_hot(self, ring, bfv, gadget, secret_key, evks):
+        """Expanding Enc(X^t) yields Enc(2^levels) at slot t, 0 elsewhere."""
+        levels = 3
+        for target in (0, 1, 5, 7):
+            coeffs = np.zeros(ring.n, dtype=np.int64)
+            coeffs[target] = 1
+            ct = bfv.encrypt(coeffs, secret_key)
+            outs = expand_query(ct, evks, levels, gadget)
+            assert len(outs) == 1 << levels
+            for j, out in enumerate(outs):
+                dec = bfv.decrypt(out, secret_key)
+                expected = (1 << levels) if j == target else 0
+                assert dec[0] == expected
+                assert np.all(dec[1:] == 0)
+
+    def test_expand_dense_query(self, ring, bfv, gadget, secret_key, evks):
+        """Every slot j receives 2^levels * c_j — general coefficients."""
+        levels = 3
+        rng = np.random.default_rng(0)
+        p = ring.params.plain_modulus
+        coeffs = np.zeros(ring.n, dtype=np.int64)
+        coeffs[: 1 << levels] = rng.integers(0, p, size=1 << levels)
+        ct = bfv.encrypt(coeffs, secret_key)
+        outs = expand_query(ct, evks, levels, gadget)
+        for j, out in enumerate(outs):
+            dec = bfv.decrypt(out, secret_key)
+            assert dec[0] == ((1 << levels) * coeffs[j]) % p
+
+    def test_inverse_scaling_recovers_exact_one_hot(
+        self, ring, bfv, gadget, secret_key, evks
+    ):
+        """Client-side D0^{-1} pre-scaling (odd P) cancels the 2^levels factor."""
+        levels = 3
+        p = ring.params.plain_modulus
+        inv = modmath.mod_inverse(1 << levels, p)
+        coeffs = np.zeros(ring.n, dtype=np.int64)
+        coeffs[5] = inv
+        ct = bfv.encrypt(coeffs, secret_key)
+        outs = expand_query(ct, evks, levels, gadget)
+        for j, out in enumerate(outs):
+            dec = bfv.decrypt(out, secret_key)
+            assert dec[0] == (1 if j == 5 else 0)
+
+    def test_missing_evk_rejected(self, ring, bfv, gadget, secret_key, evks):
+        ct = bfv.encrypt_zero(secret_key)
+        partial = {r: k for r, k in evks.items() if r != ring.n + 1}
+        with pytest.raises(ParameterError):
+            expand_query(ct, partial, 3, gadget)
+
+    def test_single_level(self, ring, bfv, gadget, secret_key, evks):
+        coeffs = np.zeros(ring.n, dtype=np.int64)
+        coeffs[1] = 3
+        ct = bfv.encrypt(coeffs, secret_key)
+        outs = expand_query(ct, evks, 1, gadget)
+        assert bfv.decrypt(outs[0], secret_key)[0] == 0
+        assert bfv.decrypt(outs[1], secret_key)[0] == 6

@@ -1,0 +1,136 @@
+"""Failure injection: the protocol must fail loudly or soundly, not silently.
+
+These tests deliberately corrupt queries, keys, and responses to verify
+(a) wrong inputs produce wrong-but-well-formed results (PIR gives no
+integrity guarantee — corruption must not crash the pipeline), and
+(b) structurally invalid inputs are rejected with clear errors.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.he.poly import Domain
+from repro.he.rgsw import rgsw_encrypt
+from repro.params import PirParams
+from repro.pir.client import PirClient
+from repro.pir.database import PirDatabase
+from repro.pir.protocol import PirProtocol
+
+
+@pytest.fixture()
+def setup(small_params):
+    db = PirDatabase.random(small_params, num_records=32, record_bytes=64, seed=21)
+    protocol = PirProtocol(small_params, db, seed=22)
+    return protocol, db
+
+
+class TestCorruptedInputs:
+    def test_flipped_selection_bit_fetches_sibling(self, small_params):
+        """Flipping a ColTor bit retrieves the neighbouring column."""
+        # One record per polynomial so poly index == record index.
+        db = PirDatabase.random(small_params, num_records=32, record_bytes=512, seed=23)
+        protocol = PirProtocol(small_params, db, seed=24)
+        client, layout = protocol.client, db.layout
+        index = 5  # poly 5: row 5, col 0 -> flipping bit 0 selects col 1
+        query = client.build_query(index, layout)
+        flipped = rgsw_encrypt(client.bfv, client.gadget, 1, client.secret_key)
+        query.selection_bits[0] = flipped
+        response = protocol.server.answer(query)
+        record = client.decode_response(response, index, layout)
+        sibling = index + small_params.d0  # same row, next column
+        assert record == db.record(sibling)
+        assert record != db.record(index)
+
+    def test_garbage_query_ct_decodes_to_garbage_not_crash(self, setup):
+        protocol, db = setup
+        client, layout = protocol.client, db.layout
+        query = client.build_query(3, layout)
+        # Replace the packed ct with an encryption of a non-one-hot mess.
+        noise = np.arange(protocol.params.n, dtype=np.int64) % 7
+        query = type(query)(
+            packed=client.bfv.encrypt(noise, client.secret_key),
+            selection_bits=query.selection_bits,
+        )
+        response = protocol.server.answer(query)
+        record = client.decode_response(response, 3, layout)
+        assert record != db.record(3)
+
+    def test_wrong_client_cannot_decode(self, setup):
+        """A different key holder decrypts noise, not the record."""
+        protocol, db = setup
+        other = PirClient(protocol.params, seed=999)
+        query = protocol.client.build_query(7, db.layout)
+        response = protocol.server.answer(query)
+        record = other.decode_response(response, 7, db.layout)
+        assert record != db.record(7)
+
+    def test_decoding_wrong_slot_returns_wrong_record(self, setup):
+        """Packed records: the offset is the client's responsibility."""
+        protocol, db = setup
+        params = protocol.params
+        if db.layout.records_per_poly < 2:
+            pytest.skip("geometry does not pack multiple records per poly")
+        query = protocol.client.build_query(0, db.layout)
+        response = protocol.server.answer(query)
+        wrong = protocol.client.decode_response(response, 1, db.layout)
+        assert wrong == db.record(1)  # same poly, different slot
+
+
+def small_params_d0(protocol) -> int:
+    return protocol.params.d0
+
+
+class TestStructuralRejection:
+    def test_missing_selection_bits(self, setup):
+        protocol, db = setup
+        query = protocol.client.build_query(0, db.layout)
+        query.selection_bits.clear()
+        with pytest.raises(ParameterError):
+            protocol.server.answer(query)
+
+    def test_extra_selection_bits(self, setup):
+        protocol, db = setup
+        client = protocol.client
+        query = client.build_query(0, db.layout)
+        query.selection_bits.append(
+            rgsw_encrypt(client.bfv, client.gadget, 0, client.secret_key)
+        )
+        with pytest.raises(ParameterError):
+            protocol.server.answer(query)
+
+    def test_response_plane_mismatch_rejected(self, setup):
+        from repro.errors import LayoutError
+
+        protocol, db = setup
+        query = protocol.client.build_query(0, db.layout)
+        response = protocol.server.answer(query)
+        response.plane_cts.append(response.plane_cts[0])
+        with pytest.raises(LayoutError):
+            protocol.client.decode_response(response, 0, db.layout)
+
+
+class TestNoiseExhaustion:
+    def test_noise_overflow_corrupts_decryption(self, small_params):
+        """Scalar-multiplying the error past Δ/2 destroys the plaintext and
+        leaves (nearly) no measurable budget."""
+        from repro.errors import NoiseOverflowError
+        from repro.he.bfv import BfvContext, SecretKey
+        from repro.he.poly import RingContext
+        from repro.he.sampling import Sampler
+
+        ring = RingContext(small_params)
+        sampler = Sampler(ring, seed=33)
+        bfv = BfvContext(ring, sampler)
+        key = SecretKey.generate(ring, sampler)
+        ct = bfv.encrypt_zero(key)
+        for _ in range(12):
+            ct = ct.scalar_mul(1 << 8)
+        # Decryption of the once-zero plaintext is now garbage.
+        assert np.count_nonzero(bfv.decrypt(ct, key)) > small_params.n // 2
+        # The headroom is (near) exhausted: either the check fires or at
+        # most a couple of bits remain (the wrapped error aliases below Δ/2).
+        try:
+            assert bfv.noise_budget_bits(ct, key) < 2.0
+        except NoiseOverflowError:
+            pass

@@ -1,0 +1,88 @@
+"""SimplePIR functional baseline (Table IV substrate)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LayoutError, ParameterError
+from repro.pir.simplepir import (
+    SimplePirClient,
+    SimplePirParams,
+    SimplePirServer,
+    db_matrix_shape,
+)
+
+
+@pytest.fixture(scope="module")
+def setup():
+    params = SimplePirParams(lwe_dim=128)
+    rng = np.random.default_rng(0)
+    db = rng.integers(0, params.p, size=(32, 32), dtype=np.int64)
+    server = SimplePirServer(db, params, seed=1)
+    client = SimplePirClient(server, seed=2)
+    return db, server, client
+
+
+class TestSimplePir:
+    def test_retrieves_entries(self, setup):
+        db, server, client = setup
+        for row, col in ((0, 0), (5, 9), (31, 31), (12, 0)):
+            query, secret = client.build_query(col)
+            answer = server.answer(query)
+            assert client.recover(answer, secret, row) == db[row, col]
+
+    def test_whole_column_recoverable(self, setup):
+        """One query yields every row of the column — SimplePIR's rate."""
+        db, server, client = setup
+        query, secret = client.build_query(7)
+        answer = server.answer(query)
+        for row in range(db.shape[0]):
+            assert client.recover(answer, secret, row) == db[row, 7]
+
+    def test_query_size_independent_of_target(self, setup):
+        _, server, client = setup
+        q1, _ = client.build_query(0)
+        q2, _ = client.build_query(31)
+        assert q1.shape == q2.shape
+
+    def test_bad_column_rejected(self, setup):
+        _, _, client = setup
+        with pytest.raises(LayoutError):
+            client.build_query(32)
+
+    def test_bad_query_shape_rejected(self, setup):
+        _, server, _ = setup
+        with pytest.raises(LayoutError):
+            server.answer(np.zeros(5, dtype=np.int64))
+
+    def test_oversized_entries_rejected(self):
+        params = SimplePirParams()
+        with pytest.raises(LayoutError):
+            SimplePirServer(np.full((4, 4), params.p, dtype=np.int64), params)
+
+    def test_non_matrix_rejected(self):
+        params = SimplePirParams()
+        with pytest.raises(LayoutError):
+            SimplePirServer(np.zeros(16, dtype=np.int64), params)
+
+    def test_overflow_guard(self):
+        with pytest.raises(ParameterError):
+            SimplePirParams(q_log2=40, p_log2=24)
+
+
+class TestShapeHelper:
+    def test_square(self):
+        assert db_matrix_shape(1024) == (32, 32)
+
+    def test_non_square(self):
+        rows, cols = db_matrix_shape(48)
+        assert rows * cols == 48
+        assert rows <= cols
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=1, max_value=10000))
+    def test_factorization_property(self, n):
+        rows, cols = db_matrix_shape(n)
+        assert rows * cols == n
+        assert 1 <= rows <= cols

@@ -1,0 +1,193 @@
+"""Scheduling invariants: op-equivalence, capacity bounds, traffic ordering."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.params import PirParams
+from repro.sched import (
+    ScheduleConfig,
+    StepKind,
+    Traversal,
+    dcp_transient_bytes,
+    max_subtree_depth,
+    schedule_coltor,
+    schedule_expand,
+)
+
+PAPER = PirParams.paper(d0=256, num_dims=11)  # the 8 GB Fig. 8 geometry
+CAP_4MB = 4 << 20
+CAP_2MB = 2 << 20
+
+ALL_TRAVERSALS = [Traversal.BFS, Traversal.DFS, Traversal.HS_BFS, Traversal.HS_DFS]
+
+
+def _cfg(traversal, cap=CAP_4MB, ro=False):
+    return ScheduleConfig(capacity_bytes=cap, traversal=traversal, reduction_overlap=ro)
+
+
+class TestOpEquivalence:
+    """HS reorders scheduling but never changes the computed operations."""
+
+    @pytest.mark.parametrize("traversal", ALL_TRAVERSALS)
+    def test_coltor_node_count(self, traversal):
+        sched = schedule_coltor(PAPER, _cfg(traversal))
+        assert sched.num_compute_steps == (1 << PAPER.num_dims) - 1
+
+    @pytest.mark.parametrize("traversal", ALL_TRAVERSALS)
+    def test_coltor_level_multiset(self, traversal):
+        """Each tree level contributes exactly its node count, any order."""
+        sched = schedule_coltor(PAPER, _cfg(traversal))
+        by_level = {}
+        for step in sched.steps:
+            by_level[step.level] = by_level.get(step.level, 0) + 1
+        for level in range(PAPER.num_dims):
+            assert by_level[level] == 1 << (PAPER.num_dims - level - 1)
+
+    @pytest.mark.parametrize("traversal", ALL_TRAVERSALS)
+    def test_expand_node_count(self, traversal):
+        sched = schedule_expand(PAPER, _cfg(traversal))
+        assert sched.num_compute_steps == PAPER.d0 - 1
+
+    @pytest.mark.parametrize("traversal", ALL_TRAVERSALS)
+    def test_expand_level_multiset(self, traversal):
+        sched = schedule_expand(PAPER, _cfg(traversal))
+        by_level = {}
+        for step in sched.steps:
+            by_level[step.level] = by_level.get(step.level, 0) + 1
+        for level in range(PAPER.num_evks):
+            assert by_level[level] == 1 << level
+
+    @pytest.mark.parametrize("traversal", ALL_TRAVERSALS)
+    def test_coltor_leaf_loads_complete(self, traversal):
+        """Every policy must fetch all 2^d RowSel outputs exactly once."""
+        sched = schedule_coltor(PAPER, _cfg(traversal))
+        leaf_loads = sum(s.ct_loads for s in sched.steps if s.level == 0)
+        assert leaf_loads == 1 << PAPER.num_dims
+
+
+class TestTrafficOrdering:
+    """The paper's Fig. 8 ordering: HS+RO <= HS <= min(BFS, DFS)."""
+
+    def test_hs_beats_bfs_coltor(self):
+        bfs = schedule_coltor(PAPER, _cfg(Traversal.BFS)).traffic().total_bytes
+        hs = schedule_coltor(PAPER, _cfg(Traversal.HS_DFS)).traffic().total_bytes
+        assert hs < bfs
+
+    def test_hs_beats_bfs_expand(self):
+        bfs = schedule_expand(PAPER, _cfg(Traversal.BFS)).traffic().total_bytes
+        hs = schedule_expand(PAPER, _cfg(Traversal.HS_DFS)).traffic().total_bytes
+        assert hs < bfs
+
+    def test_ro_no_worse_than_plain_hs(self):
+        plain = schedule_coltor(PAPER, _cfg(Traversal.HS_DFS)).traffic().total_bytes
+        ro = (
+            schedule_coltor(PAPER, _cfg(Traversal.HS_DFS, ro=True)).traffic().total_bytes
+        )
+        assert ro <= plain
+
+    def test_dfs_thrashes_keys_in_coltor(self):
+        """Fig. 7b: DFS reloads ct_RGSW, limiting its benefit."""
+        bfs = schedule_coltor(PAPER, _cfg(Traversal.BFS)).traffic()
+        dfs = schedule_coltor(PAPER, _cfg(Traversal.DFS)).traffic()
+        assert dfs.key_load_bytes > bfs.key_load_bytes
+        assert dfs.ct_load_bytes < bfs.ct_load_bytes
+
+    def test_paper_reduction_ratios_ballpark(self):
+        """Overall HS+RO reduction: paper reports 1.87x (Expand), 2.24x (ColTor)."""
+        for builder, reported in (
+            (schedule_expand, 1.87),
+            (schedule_coltor, 2.24),
+        ):
+            bfs = builder(PAPER, _cfg(Traversal.BFS)).traffic().total_bytes
+            best = builder(PAPER, _cfg(Traversal.HS_DFS, ro=True)).traffic().total_bytes
+            ratio = bfs / best
+            assert reported / 2 < ratio < reported * 2
+
+    def test_smaller_capacity_never_reduces_traffic(self):
+        for builder in (schedule_coltor, schedule_expand):
+            big = builder(PAPER, _cfg(Traversal.HS_DFS, cap=CAP_4MB)).traffic()
+            small = builder(PAPER, _cfg(Traversal.HS_DFS, cap=CAP_2MB)).traffic()
+            assert small.total_bytes >= big.total_bytes
+
+
+class TestSubtreeDepth:
+    def test_paper_working_set_formulas(self):
+        """Section IV-A: DFS subtrees fit deeper than BFS at equal capacity."""
+        transient = dcp_transient_bytes(PAPER, StepKind.CMUX, reduction_overlap=True)
+        dfs_depth = max_subtree_depth(
+            11, CAP_4MB, PAPER.ct_bytes, PAPER.rgsw_bytes, transient, inner_dfs=True
+        )
+        bfs_depth = max_subtree_depth(
+            11, CAP_4MB, PAPER.ct_bytes, PAPER.rgsw_bytes, transient, inner_dfs=False
+        )
+        assert dfs_depth >= bfs_depth
+
+    def test_ro_allows_deeper_subtrees(self):
+        """R.O. shrinks the Dcp transient, permitting a larger subtree."""
+        without = dcp_transient_bytes(PAPER, StepKind.CMUX, reduction_overlap=False)
+        with_ro = dcp_transient_bytes(PAPER, StepKind.CMUX, reduction_overlap=True)
+        assert with_ro < without
+        d_without = max_subtree_depth(
+            11, CAP_4MB, PAPER.ct_bytes, PAPER.rgsw_bytes, without, inner_dfs=True
+        )
+        d_with = max_subtree_depth(
+            11, CAP_4MB, PAPER.ct_bytes, PAPER.rgsw_bytes, with_ro, inner_dfs=True
+        )
+        assert d_with >= d_without
+
+    def test_capacity_too_small_raises(self):
+        with pytest.raises(ParameterError):
+            max_subtree_depth(
+                8, 1 << 10, PAPER.ct_bytes, PAPER.rgsw_bytes, 0, inner_dfs=True
+            )
+
+    def test_explicit_subtree_depth_respected(self):
+        cfg = ScheduleConfig(
+            capacity_bytes=CAP_4MB, traversal=Traversal.HS_DFS, subtree_depth=2
+        )
+        sched = schedule_coltor(PAPER, cfg)
+        assert sched.subtree_depth == 2
+
+
+class TestEdgeCases:
+    def test_zero_dims_empty_coltor(self):
+        params = PirParams.paper(num_dims=0)
+        sched = schedule_coltor(params, _cfg(Traversal.BFS))
+        assert sched.num_compute_steps == 0
+        assert sched.traffic().total_bytes == 0
+
+    def test_dfs_capacity_too_small(self):
+        with pytest.raises(ParameterError):
+            schedule_coltor(PAPER, _cfg(Traversal.DFS, cap=1 << 20))
+
+    def test_invalid_config(self):
+        with pytest.raises(ParameterError):
+            ScheduleConfig(capacity_bytes=0, traversal=Traversal.BFS)
+        with pytest.raises(ParameterError):
+            ScheduleConfig(
+                capacity_bytes=CAP_4MB, traversal=Traversal.HS_DFS, subtree_depth=0
+            )
+
+
+@settings(max_examples=20, deadline=None)
+@given(
+    dims=st.integers(min_value=1, max_value=8),
+    log_cap=st.integers(min_value=22, max_value=27),
+    traversal=st.sampled_from(ALL_TRAVERSALS),
+)
+def test_schedule_property(dims, log_cap, traversal):
+    """Node counts and leaf loads hold for arbitrary geometry/capacity."""
+    params = PirParams.paper(d0=64, num_dims=dims)
+    try:
+        sched = schedule_coltor(
+            params,
+            ScheduleConfig(capacity_bytes=1 << log_cap, traversal=traversal),
+        )
+    except ParameterError:
+        return  # capacity legitimately too small for this policy
+    assert sched.num_compute_steps == (1 << dims) - 1
+    leaf_loads = sum(s.ct_loads for s in sched.steps if s.level == 0)
+    assert leaf_loads == 1 << dims
+    assert sum(s.ct_stores for s in sched.steps) >= 1

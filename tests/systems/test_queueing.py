@@ -1,0 +1,113 @@
+"""Batch scheduler + Poisson queue simulation (Fig. 14b, Section VI-F)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.systems import (
+    BatchPolicy,
+    break_even_rate,
+    simulate_batching,
+    simulate_fifo,
+    window_from_db_read,
+)
+
+
+def linear_service(batch: int) -> float:
+    """Toy service model: fixed overhead + per-query cost."""
+    return 0.010 + 0.001 * batch
+
+
+class TestPolicy:
+    def test_dispatch_on_window_expiry(self):
+        policy = BatchPolicy(waiting_window_s=0.03, max_batch=64)
+        assert not policy.should_dispatch(queued=5, oldest_wait_s=0.01)
+        assert policy.should_dispatch(queued=5, oldest_wait_s=0.03)
+
+    def test_dispatch_on_full_batch(self):
+        policy = BatchPolicy(waiting_window_s=0.03, max_batch=64)
+        assert policy.should_dispatch(queued=64, oldest_wait_s=0.0)
+
+    def test_no_dispatch_when_empty(self):
+        policy = BatchPolicy(waiting_window_s=0.0, max_batch=64)
+        assert not policy.should_dispatch(queued=0, oldest_wait_s=1.0)
+
+    def test_invalid_policy(self):
+        with pytest.raises(ParameterError):
+            BatchPolicy(waiting_window_s=-1.0)
+        with pytest.raises(ParameterError):
+            BatchPolicy(waiting_window_s=0.1, max_batch=0)
+
+    def test_window_from_db_read(self):
+        assert window_from_db_read(0.027) == 0.027
+
+
+class TestFifo:
+    def test_light_load_latency_is_service_time(self):
+        point = simulate_fifo(single_query_time=0.05, arrival_qps=0.5, seed=1)
+        assert point.mean_latency_s == pytest.approx(0.05, rel=0.15)
+
+    def test_overload_blows_up(self):
+        """Past 1/service the queue grows without bound."""
+        service = 0.05  # 20 QPS capacity
+        light = simulate_fifo(service, arrival_qps=10, num_queries=3000, seed=2)
+        heavy = simulate_fifo(service, arrival_qps=40, num_queries=3000, seed=2)
+        assert heavy.mean_latency_s > 10 * light.mean_latency_s
+
+    def test_latency_never_below_service(self):
+        point = simulate_fifo(0.05, arrival_qps=15, seed=3)
+        assert point.mean_latency_s >= 0.05
+
+
+class TestBatching:
+    def test_latency_bounded_by_window_plus_service(self):
+        policy = BatchPolicy(waiting_window_s=0.03, max_batch=64)
+        point = simulate_batching(linear_service, policy, arrival_qps=100, seed=4)
+        worst_service = linear_service(64)
+        assert point.p95_latency_s <= 0.03 + 2 * worst_service
+
+    def test_mean_batch_grows_with_load(self):
+        policy = BatchPolicy(waiting_window_s=0.03, max_batch=64)
+        low = simulate_batching(linear_service, policy, arrival_qps=20, seed=5)
+        high = simulate_batching(linear_service, policy, arrival_qps=400, seed=5)
+        assert high.mean_batch > 2 * low.mean_batch
+
+    def test_all_queries_served(self):
+        policy = BatchPolicy(waiting_window_s=0.02, max_batch=32)
+        point = simulate_batching(
+            linear_service, policy, arrival_qps=50, num_queries=500, seed=6
+        )
+        assert point.served == 500
+
+    def test_sustains_load_beyond_fifo_limit(self):
+        """The Section VI-F claim: batching extends the stable region."""
+        single = linear_service(1)  # 11 ms -> FIFO caps at ~90 QPS
+        policy = BatchPolicy(waiting_window_s=0.02, max_batch=64)
+        rate = 300.0  # far beyond FIFO capacity, well within batched capacity
+        fifo = simulate_fifo(single, rate, num_queries=3000, seed=7)
+        batched = simulate_batching(
+            linear_service, policy, rate, num_queries=3000, seed=7
+        )
+        assert batched.mean_latency_s < fifo.mean_latency_s / 5
+
+    def test_break_even_exists(self):
+        policy = BatchPolicy(waiting_window_s=0.02, max_batch=64)
+        rates = [2.0, 5.0, 20.0, 60.0, 120.0]
+        batching = [
+            simulate_batching(linear_service, policy, r, num_queries=800, seed=8)
+            for r in rates
+        ]
+        fifo = [
+            simulate_fifo(linear_service(1), r, num_queries=800, seed=8)
+            for r in rates
+        ]
+        rate = break_even_rate(batching, fifo)
+        assert rate is not None
+        # At very light load FIFO wins (no waiting window).
+        assert rate > rates[0]
+
+    def test_invalid_rate_rejected(self):
+        policy = BatchPolicy(waiting_window_s=0.02, max_batch=64)
+        with pytest.raises(ParameterError):
+            simulate_batching(linear_service, policy, arrival_qps=0)
+        with pytest.raises(ParameterError):
+            simulate_fifo(0.05, arrival_qps=-1)

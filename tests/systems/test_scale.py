@@ -1,0 +1,98 @@
+"""Scale-up placement, cluster RLP, and capacity rules (Section V)."""
+
+import pytest
+
+from repro.arch.config import GB, IveConfig
+from repro.errors import ParameterError
+from repro.params import PirParams
+from repro.systems import DbPlacement, IveCluster, ScaleUpSystem
+
+
+def params_for(gb: int) -> PirParams:
+    import math
+
+    dims = int(math.log2(gb * GB / (16 * 1024) / 256))
+    return PirParams.paper(d0=256, num_dims=dims)
+
+
+class TestScaleUp:
+    def test_small_db_lives_in_hbm(self):
+        system = ScaleUpSystem(params_for(16))
+        assert system.placement is DbPlacement.HBM
+
+    def test_large_db_offloads_to_lpddr(self):
+        system = ScaleUpSystem(params_for(128))
+        assert system.placement is DbPlacement.LPDDR
+
+    def test_oversized_db_rejected(self):
+        with pytest.raises(ParameterError):
+            ScaleUpSystem(params_for(256))
+
+    def test_max_raw_db_matches_paper(self):
+        """Section V: one IVE system supports up to ~128 GB of raw DB."""
+        system = ScaleUpSystem(params_for(16))
+        assert 120 * GB < system.max_raw_db_bytes < 160 * GB
+
+    def test_lpddr_saturates_at_larger_batch(self):
+        """Fig. 13d: LPDDR systems need batch ~128 to saturate."""
+        hbm = ScaleUpSystem(params_for(16))
+        lpddr = ScaleUpSystem(params_for(128))
+        assert hbm.saturation_batch() <= lpddr.saturation_batch()
+
+    def test_hbm_faster_than_lpddr_at_small_batch(self):
+        hbm = ScaleUpSystem(params_for(16))
+        # Same geometry, forced LPDDR via a bigger twin on the same DB size
+        lpddr = ScaleUpSystem(params_for(128))
+        # At batch 1, latency is dominated by the DB stream: LPDDR's larger
+        # DB and lower bandwidth must be slower than HBM's smaller DB by
+        # more than the size ratio alone.
+        size_ratio = 128 / 16
+        t_ratio = lpddr.latency(1).total_s / hbm.latency(1).total_s
+        assert t_ratio > size_ratio * 2  # 4x bandwidth gap on top of size
+
+    def test_min_db_read_floor(self):
+        system = ScaleUpSystem(params_for(16))
+        # 16 GB raw -> 56 GB preprocessed over 2 TB/s HBM: ~27 ms.
+        assert 0.02 < system.min_db_read_seconds() < 0.04
+
+
+class TestCluster:
+    def test_per_system_qps_times_db_size_constant(self):
+        """Section VI-C: QPS x DB-size stays ~constant at saturation."""
+        single = ScaleUpSystem(params_for(128))
+        cluster = IveCluster(params_for(1024), 16)
+        single_product = single.qps(128) * 128
+        cluster_product = cluster.latency(128).per_system_qps * 1024
+        assert cluster_product == pytest.approx(single_product, rel=0.35)
+
+    def test_cluster_gather_overhead_negligible(self):
+        """Fig. 13d: Comm.(Sys.<->Sys.) < 8% of end-to-end latency."""
+        cluster = IveCluster(params_for(1024), 16)
+        lat = cluster.latency(128)
+        assert lat.gather_s / lat.total_s < 0.08
+
+    def test_cluster_scales_nearly_linearly(self):
+        """Doubling systems on the same DB nearly doubles throughput."""
+        p = params_for(256)
+        q8 = IveCluster(p, 8).qps(128)
+        q16 = IveCluster(p, 16).qps(128)
+        assert 1.5 < q16 / q8 <= 2.05
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ParameterError):
+            IveCluster(params_for(128), 3)
+
+    def test_too_many_systems_rejected(self):
+        with pytest.raises(ParameterError):
+            IveCluster(PirParams.paper(num_dims=2), 16)
+
+    def test_paper_1tb_qps(self):
+        """Fig. 13d: 1 TB DB on 16 systems -> ~9.89 QPS per system."""
+        cluster = IveCluster(params_for(1024), 16)
+        per_system = cluster.latency(128).per_system_qps
+        assert 6.0 < per_system < 16.0
+
+    def test_paper_128gb_qps(self):
+        """Fig. 13d: 128 GB DB on one system -> ~79.9 QPS at batch 128."""
+        system = ScaleUpSystem(params_for(128))
+        assert 55.0 < system.qps(128) < 110.0

@@ -1,0 +1,44 @@
+"""CLI smoke tests (python -m repro ...)."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestCli:
+    def test_demo(self, capsys):
+        assert main(["demo", "--records", "16", "--record-bytes", "32"]) == 0
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "query" in out
+
+    def test_demo_index_wraps(self, capsys):
+        assert main(["demo", "--records", "8", "--record-bytes", "16", "--index", "100"]) == 0
+
+    def test_qps(self, capsys):
+        assert main(["qps", "--db-gib", "2", "--batch", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "QPS" in out and "RowSel" in out
+
+    def test_qps_rejects_unknown_size(self, capsys):
+        assert main(["qps", "--db-gib", "3"]) == 2
+
+    def test_figures(self, capsys):
+        assert main(["figures"]) == 0
+        out = capsys.readouterr().out
+        assert "Table II" in out and "bench_fig12_throughput" in out
+
+    def test_area(self, capsys):
+        assert main(["area"]) == 0
+        out = capsys.readouterr().out
+        assert "sysNTTU" in out and "chip total" in out
+
+    def test_workloads(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        for name in ("Vcall", "Comm", "Fsys"):
+            assert name in out
+
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])

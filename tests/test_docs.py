@@ -1,0 +1,42 @@
+"""Documentation guards: the README snippets and package docstring run."""
+
+import doctest
+import pathlib
+import re
+
+import repro
+
+
+class TestPackageDoctest:
+    def test_module_docstring_examples(self):
+        results = doctest.testmod(repro, verbose=False)
+        assert results.failed == 0
+        assert results.attempted >= 1
+
+
+class TestReadmeSnippets:
+    def _python_blocks(self) -> list[str]:
+        readme = pathlib.Path(__file__).resolve().parents[1] / "README.md"
+        text = readme.read_text()
+        return re.findall(r"```python\n(.*?)```", text, flags=re.DOTALL)
+
+    def test_readme_has_python_examples(self):
+        assert len(self._python_blocks()) >= 2
+
+    def test_readme_python_blocks_execute(self):
+        for block in self._python_blocks():
+            namespace: dict = {}
+            exec(compile(block, "<README>", "exec"), namespace)  # noqa: S102
+
+    def test_readme_mentions_all_layers(self):
+        readme = pathlib.Path(__file__).resolve().parents[1] / "README.md"
+        text = readme.read_text()
+        for layer in ("he/", "pir/", "sched/", "arch/", "systems/", "baselines/"):
+            assert layer in text
+
+    def test_design_and_experiments_exist(self):
+        root = pathlib.Path(__file__).resolve().parents[1]
+        assert (root / "DESIGN.md").read_text().startswith("# DESIGN")
+        experiments = (root / "EXPERIMENTS.md").read_text()
+        for anchor in ("Fig. 8", "Table II", "Fig. 12", "Table IV", "Fig. 14"):
+            assert anchor in experiments
