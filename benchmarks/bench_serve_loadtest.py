@@ -1,0 +1,97 @@
+"""Serving-runtime load test: QPS and latency percentiles vs arrival rate.
+
+Drives the async multi-shard runtime (repro.serve) on the virtual-time
+event loop with the per-shard ScaleUpSystem latency model, sweeping the
+offered Poisson rate from light load to past saturation.  Emits the
+results as JSON (BENCH_serve_loadtest.json next to this file) so future
+scaling PRs have a trajectory to compare against.
+"""
+
+import json
+import pathlib
+
+from conftest import params_for_gb, run_once
+
+from repro.serve import (
+    ServeRuntime,
+    SimShardRegistry,
+    SimulatedBackend,
+    poisson_arrivals,
+    run_in_virtual_time,
+    run_open_loop,
+    uniform_indices,
+)
+from repro.serve.dispatcher import AdmissionConfig
+from repro.systems.batching import BatchPolicy
+
+RATES_QPS = [500.0, 2000.0, 8000.0, 32000.0]
+QUERIES_PER_RATE = 3000
+NUM_SHARDS = 4
+
+_OUT = pathlib.Path(__file__).resolve().parent / "BENCH_serve_loadtest.json"
+
+
+def _one_rate(registry: SimShardRegistry, rate: float) -> dict:
+    policy = BatchPolicy(waiting_window_s=registry.waiting_window_s(), max_batch=128)
+
+    async def main():
+        runtime = ServeRuntime(
+            registry,
+            SimulatedBackend(registry),
+            policy,
+            AdmissionConfig(max_queue_depth=512),
+        )
+        runtime.start()
+        arrivals = poisson_arrivals(rate, QUERIES_PER_RATE, seed=17)
+        indices = uniform_indices(registry.num_records, QUERIES_PER_RATE, seed=18)
+        return await run_open_loop(runtime, arrivals, indices)
+
+    report, virtual_s = run_in_virtual_time(main())
+    m = report.metrics
+    return {
+        "offered_qps": rate,
+        "achieved_qps": m["achieved_qps"],
+        "p50_ms": m["latency"]["p50_s"] * 1e3,
+        "p95_ms": m["latency"]["p95_s"] * 1e3,
+        "p99_ms": m["latency"]["p99_s"] * 1e3,
+        "mean_batch": m["mean_batch"],
+        "rejected": report.rejected,
+        "virtual_s": virtual_s,
+    }
+
+
+def test_serve_loadtest_rate_sweep(benchmark, report):
+    registry = SimShardRegistry(params_for_gb(2), num_shards=NUM_SHARDS)
+
+    def sweep():
+        return [_one_rate(registry, rate) for rate in RATES_QPS]
+
+    points = run_once(benchmark, sweep)
+    payload = {
+        "db_gib": 2,
+        "shards": NUM_SHARDS,
+        "queries_per_rate": QUERIES_PER_RATE,
+        "points": points,
+    }
+    _OUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [
+        f"{'offered':>9s} {'achieved':>9s} {'p50 ms':>8s} {'p95 ms':>8s} "
+        f"{'p99 ms':>8s} {'batch':>6s} {'shed':>6s}"
+    ]
+    for p in points:
+        lines.append(
+            f"{p['offered_qps']:>9.0f} {p['achieved_qps']:>9.0f} "
+            f"{p['p50_ms']:>8.2f} {p['p95_ms']:>8.2f} {p['p99_ms']:>8.2f} "
+            f"{p['mean_batch']:>6.1f} {p['rejected']:>6d}"
+        )
+    lines.append(f"JSON written to {_OUT.name}")
+    report("Serving runtime — open-loop Poisson rate sweep (2 GiB, 4 shards)", lines)
+
+    # Light load keeps up with the offered rate...
+    assert points[0]["achieved_qps"] > 0.85 * points[0]["offered_qps"]
+    # ...percentiles are ordered and non-degenerate...
+    for p in points:
+        assert 0 < p["p50_ms"] <= p["p95_ms"] <= p["p99_ms"]
+    # ...and batching amortization grows with load.
+    assert points[-1]["mean_batch"] > points[0]["mean_batch"]

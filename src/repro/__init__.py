@@ -8,6 +8,7 @@ Layers
 ``repro.sched``     BFS/DFS/hierarchical-search operation scheduling (Fig. 7/8).
 ``repro.arch``      The IVE accelerator: cycle simulator + area/power/energy.
 ``repro.systems``   Scale-up (HBM+LPDDR), scale-out cluster, batch scheduler.
+``repro.serve``     Async multi-shard serving runtime + load-test harness.
 ``repro.baselines`` CPU/GPU/ARK-like/INSPIRE/SimplePIR/KsPIR comparisons.
 ``repro.analysis``  Complexity, arithmetic-intensity, and workload models.
 

@@ -7,6 +7,8 @@ Commands
 ``figures``     list every reproduced table/figure and its bench target
 ``workloads``   show the Table III application workloads on the cluster
 ``area``        print the Table II area/power breakdown
+``serve``       real-crypto smoke of the multi-shard serving runtime
+``loadtest``    open-loop load test (sim clock at paper scale, or real crypto)
 """
 
 from __future__ import annotations
@@ -14,6 +16,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.errors import ReproError
 from repro.params import PirParams
 
 _FIGURES = {
@@ -71,6 +74,143 @@ def cmd_qps(args: argparse.Namespace) -> int:
         print(f"  {name:<12s} {value * 1e3:8.2f} ms")
     print(f"  energy   {energy_per_query(system.simulator, args.batch):8.4f} J/query")
     return 0
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Byte-correct records through the full serve path (real crypto)."""
+    import asyncio
+
+    from repro.serve import RealCryptoBackend, RealShardRegistry, ServeRuntime
+    from repro.systems.batching import BatchPolicy
+
+    params = PirParams.small(n=256, d0=8, num_dims=2)
+    registry = RealShardRegistry.random(
+        params,
+        num_records=args.records,
+        record_bytes=args.record_bytes,
+        num_shards=args.shards,
+        seed=3,
+    )
+    policy = BatchPolicy(
+        waiting_window_s=args.window_ms / 1e3, max_batch=args.max_batch
+    )
+
+    async def run() -> list:
+        runtime = ServeRuntime(registry, RealCryptoBackend(registry), policy)
+        indices = [i % registry.num_records for i in range(args.queries)]
+        async with runtime:
+            results = await asyncio.gather(
+                *(runtime.serve_index(i) for i in indices)
+            )
+        return [runtime.metrics, results]
+
+    metrics, results = asyncio.run(run())
+    correct = sum(
+        registry.decode(r.request, r.response)
+        == registry.expected(r.request.global_index)
+        for r in results
+    )
+    print(
+        f"served {metrics.served} queries on {registry.num_shards} shards: "
+        f"{correct}/{len(results)} byte-correct "
+        f"({'OK' if correct == len(results) else 'MISMATCH'})"
+    )
+    lat = metrics.latency_percentiles()
+    print(
+        f"mean batch {metrics.mean_batch:.1f}, p50 {lat['p50_s'] * 1e3:.0f} ms, "
+        f"p95 {lat['p95_s'] * 1e3:.0f} ms, achieved {metrics.achieved_qps:.1f} QPS"
+    )
+    return 0 if correct == len(results) else 1
+
+
+def cmd_loadtest(args: argparse.Namespace) -> int:
+    """Open-loop load test; prints a JSON report to stdout."""
+    import asyncio
+    import json
+    import time
+
+    from repro.serve import loadgen
+    from repro.serve.dispatcher import AdmissionConfig, ServeRuntime
+    from repro.systems.batching import BatchPolicy
+
+    if args.queries is None:
+        args.queries = 10000 if args.mode == "sim" else 24
+    if args.rate is None:
+        args.rate = 2000.0 if args.mode == "sim" else 50.0
+    if args.pattern == "poisson":
+        arrivals = loadgen.poisson_arrivals(args.rate, args.queries, seed=args.seed)
+    elif args.pattern == "bursty":
+        arrivals = loadgen.bursty_arrivals(
+            args.rate / 2, 2 * args.rate, args.queries, seed=args.seed
+        )
+    else:
+        arrivals = loadgen.diurnal_arrivals(
+            args.rate, args.queries, period_s=60.0, seed=args.seed
+        )
+    admission = AdmissionConfig(max_queue_depth=args.max_queue)
+    wall_start = time.monotonic()
+
+    if args.mode == "sim":
+        from repro.serve import SimShardRegistry, SimulatedBackend
+
+        if args.db_gib not in _DIMS:
+            print(f"supported DB sizes: {sorted(_DIMS)} GiB", file=sys.stderr)
+            return 2
+        registry = SimShardRegistry(
+            PirParams.paper(d0=256, num_dims=_DIMS[args.db_gib]),
+            num_shards=args.shards,
+        )
+        policy = BatchPolicy(
+            waiting_window_s=registry.waiting_window_s(), max_batch=args.max_batch
+        )
+        backend = SimulatedBackend(registry)
+    else:
+        from repro.serve import RealCryptoBackend, RealShardRegistry
+
+        params = PirParams.small(n=256, d0=8, num_dims=2)
+        registry = RealShardRegistry.random(
+            params,
+            num_records=args.records,
+            record_bytes=args.record_bytes,
+            num_shards=args.shards,
+            seed=args.seed,
+        )
+        policy = BatchPolicy(
+            waiting_window_s=args.window_ms / 1e3, max_batch=args.max_batch
+        )
+        backend = RealCryptoBackend(registry)
+
+    async def run():
+        runtime = ServeRuntime(registry, backend, policy, admission)
+        runtime.start()
+        indices = loadgen.uniform_indices(
+            registry.num_records, args.queries, seed=args.seed
+        )
+        return await loadgen.run_open_loop(runtime, arrivals, indices)
+
+    if args.mode == "sim":
+        from repro.serve import run_in_virtual_time
+
+        report, virtual_s = run_in_virtual_time(run())
+    else:
+        report = asyncio.run(run())
+        virtual_s = None
+
+    out = {
+        "mode": args.mode,
+        "pattern": args.pattern,
+        "shards": args.shards,
+        "offered": report.offered,
+        "offered_qps": report.offered_qps,
+        "completed": report.completed,
+        "rejected": report.rejected,
+        "errored": report.errored,
+        "wall_s": time.monotonic() - wall_start,
+        "virtual_s": virtual_s,
+        "metrics": report.metrics,
+    }
+    print(json.dumps(out, indent=2))
+    return 0 if report.errored == 0 else 1
 
 
 def cmd_figures(_: argparse.Namespace) -> int:
@@ -138,12 +278,46 @@ def build_parser() -> argparse.ArgumentParser:
 
     area_cmd = sub.add_parser("area", help="Table II area/power breakdown")
     area_cmd.set_defaults(func=cmd_area)
+
+    serve = sub.add_parser("serve", help="real-crypto serving runtime smoke")
+    serve.add_argument("--records", type=int, default=16)
+    serve.add_argument("--record-bytes", type=int, default=64)
+    serve.add_argument("--shards", type=int, default=2)
+    serve.add_argument("--queries", type=int, default=16)
+    serve.add_argument("--window-ms", type=float, default=10.0)
+    serve.add_argument("--max-batch", type=int, default=8)
+    serve.set_defaults(func=cmd_serve)
+
+    loadtest = sub.add_parser("loadtest", help="open-loop serving load test")
+    loadtest.add_argument("--mode", choices=("sim", "real"), default="sim")
+    loadtest.add_argument(
+        "--pattern", choices=("poisson", "bursty", "diurnal"), default="poisson"
+    )
+    loadtest.add_argument(
+        "--queries", type=int, default=None, help="default: 10000 sim / 24 real"
+    )
+    loadtest.add_argument(
+        "--rate", type=float, default=None, help="QPS; default: 2000 sim / 50 real"
+    )
+    loadtest.add_argument("--shards", type=int, default=4)
+    loadtest.add_argument("--max-batch", type=int, default=128)
+    loadtest.add_argument("--max-queue", type=int, default=4096)
+    loadtest.add_argument("--seed", type=int, default=0)
+    loadtest.add_argument("--db-gib", type=int, default=2, help="sim mode DB size")
+    loadtest.add_argument("--records", type=int, default=16, help="real mode records")
+    loadtest.add_argument("--record-bytes", type=int, default=64)
+    loadtest.add_argument("--window-ms", type=float, default=10.0)
+    loadtest.set_defaults(func=cmd_loadtest)
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
 
 if __name__ == "__main__":

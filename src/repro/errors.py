@@ -23,3 +23,19 @@ class LayoutError(ReproError):
 
 class SimulationError(ReproError):
     """The architectural simulator reached an inconsistent state."""
+
+
+class ServeError(ReproError):
+    """Base class for errors raised by the serving runtime (repro.serve)."""
+
+
+class QueueFullError(ServeError):
+    """Admission control shed the query: the shard queue is at capacity."""
+
+
+class ShuttingDownError(ServeError):
+    """The runtime is draining and no longer accepts new queries."""
+
+
+class RoutingError(ServeError):
+    """A query could not be mapped to a shard."""

@@ -89,15 +89,43 @@ class NttContext:
 
 
 def naive_negacyclic_convolution(a, b, q: int) -> np.ndarray:
-    """Schoolbook negacyclic convolution, used to validate the NTT."""
-    a = np.asarray(a, dtype=object)
-    b = np.asarray(b, dtype=object)
+    """Schoolbook negacyclic convolution, used to validate the NTT.
+
+    Vectorised int64 path: the linear convolution is computed with
+    ``np.convolve`` over chunks of ``a`` small enough that every partial
+    sum of products stays below 2^63, reducing mod ``q`` between chunks;
+    the negacyclic wrap then folds the upper half back with a sign flip.
+    Moduli too large for that bound fall back to exact object arithmetic.
+    """
+    n = len(a)
+    if len(b) != n:
+        raise ParameterError(f"length mismatch: {n} vs {len(b)}")
+    # Largest chunk with chunk * (q-1)^2 < 2^63 (partial sums cannot wrap).
+    chunk = (1 << 62) // max(1, (q - 1) ** 2)
+    if chunk < 1:
+        return _object_negacyclic_convolution(a, b, q)
+    try:
+        a64 = np.asarray(a, dtype=np.int64) % q
+        b64 = np.asarray(b, dtype=np.int64) % q
+    except OverflowError:
+        # Unreduced coefficients beyond int64: keep the old exact contract.
+        return _object_negacyclic_convolution(a, b, q)
+    full = np.zeros(2 * n, dtype=np.int64)  # linear convolution, padded
+    for start in range(0, n, chunk):
+        part = np.convolve(a64[start : start + chunk], b64) % q
+        full[start : start + len(part)] = (full[start : start + len(part)] + part) % q
+    return (full[:n] - full[n:]) % q
+
+
+def _object_negacyclic_convolution(a, b, q: int) -> np.ndarray:
+    """Arbitrary-precision fallback (and ground truth for the int64 path)."""
     n = len(a)
     out = [0] * n
     for i in range(n):
+        ai = int(a[i])
         for j in range(n):
             k = i + j
-            term = int(a[i]) * int(b[j])
+            term = ai * int(b[j])
             if k >= n:
                 out[k - n] -= term
             else:

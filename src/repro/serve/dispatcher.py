@@ -1,0 +1,257 @@
+"""Admission-controlled, waiting-window batch dispatch (the serving core).
+
+Each shard owns one :class:`ShardDispatcher`: a bounded queue plus an async
+run loop that applies the paper's waiting-window policy
+(:class:`~repro.systems.batching.BatchPolicy`) — a batch launches when the
+oldest query has waited one window, when ``max_batch`` queries are queued,
+or immediately while draining.  Batches execute one at a time per shard
+(the replica is a single serially-reused accelerator), so the queue keeps
+filling while a batch is in flight, exactly like the discrete-event model
+in :mod:`repro.systems.queueing`.
+
+Admission control is load shedding at the door: a submit against a full
+queue raises :class:`~repro.errors.QueueFullError` instead of letting the
+queue — and every queued client's latency — grow without bound.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ParameterError, QueueFullError, ShuttingDownError
+from repro.serve.metrics import ServeMetrics
+from repro.serve.registry import ServeRequest
+from repro.systems.batching import BatchPolicy
+
+#: Shortest window-countdown sleep.  A residual wait below one nanosecond
+#: can be smaller than one ulp of the loop clock, in which case the timer
+#: would fire without time having visibly advanced and the countdown loop
+#: would spin at a frozen ``oldest_wait`` forever.
+_MIN_WAIT_S = 1e-9
+
+
+@dataclass(frozen=True)
+class AdmissionConfig:
+    """Bounded-queue admission control for one shard."""
+
+    max_queue_depth: int = 1024
+
+    def __post_init__(self):
+        if self.max_queue_depth < 1:
+            raise ParameterError("queue depth must be at least 1")
+
+
+@dataclass
+class _Pending:
+    request: ServeRequest
+    arrival_s: float
+    future: asyncio.Future
+
+
+@dataclass(frozen=True)
+class ServeResult:
+    """What a served query resolves to."""
+
+    request: ServeRequest
+    response: object
+    arrival_s: float
+    dispatch_s: float
+    finish_s: float
+    batch_size: int
+
+    @property
+    def latency_s(self) -> float:
+        return self.finish_s - self.arrival_s
+
+    @property
+    def queue_wait_s(self) -> float:
+        return self.dispatch_s - self.arrival_s
+
+
+class ShardDispatcher:
+    """Waiting-window batch scheduler for one shard replica."""
+
+    def __init__(
+        self,
+        shard_id: int,
+        backend,
+        policy: BatchPolicy,
+        admission: AdmissionConfig,
+        metrics: ServeMetrics,
+    ):
+        self.shard_id = shard_id
+        self.backend = backend
+        self.policy = policy
+        self.admission = admission
+        self.metrics = metrics
+        self._queue: deque[_Pending] = deque()
+        self._arrived = asyncio.Event()
+        self._draining = False
+        self._task: asyncio.Task | None = None
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        if self._task is None:
+            self._task = asyncio.create_task(
+                self._run(), name=f"shard-{self.shard_id}-dispatcher"
+            )
+
+    async def drain(self) -> None:
+        """Flush the queue (ignoring the window) and stop the run loop."""
+        self._draining = True
+        self._arrived.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+    @property
+    def queue_depth(self) -> int:
+        return len(self._queue)
+
+    # -- admission ---------------------------------------------------------
+    def submit(self, request: ServeRequest) -> asyncio.Future:
+        """Enqueue or shed.  Synchronous: admission is decided at the door."""
+        loop = asyncio.get_running_loop()
+        now = loop.time()
+        if self._draining:
+            self.metrics.record_submit(accepted=False, now_s=now)
+            raise ShuttingDownError(
+                f"shard {self.shard_id} is draining; query rejected"
+            )
+        if len(self._queue) >= self.admission.max_queue_depth:
+            self.metrics.record_submit(accepted=False, now_s=now)
+            raise QueueFullError(
+                f"shard {self.shard_id} queue at capacity "
+                f"({self.admission.max_queue_depth}); query shed"
+            )
+        self.metrics.record_submit(accepted=True, now_s=now)
+        pending = _Pending(request=request, arrival_s=now, future=loop.create_future())
+        self._queue.append(pending)
+        self.metrics.record_queue_depth(len(self._queue))
+        self._arrived.set()
+        return pending.future
+
+    # -- run loop ----------------------------------------------------------
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            if not self._queue:
+                if self._draining:
+                    return
+                self._arrived.clear()
+                await self._arrived.wait()
+                continue
+            # Window countdown: wait until the policy fires or drain starts.
+            while not self._draining:
+                self._arrived.clear()
+                oldest_wait = loop.time() - self._queue[0].arrival_s
+                if self.policy.should_dispatch(len(self._queue), oldest_wait):
+                    break
+                remaining = self.policy.waiting_window_s - oldest_wait
+                try:
+                    # Wakes early if the queue grows (possibly to max_batch).
+                    await asyncio.wait_for(
+                        self._arrived.wait(), max(remaining, _MIN_WAIT_S)
+                    )
+                except asyncio.TimeoutError:  # builtin alias only since 3.11
+                    pass
+            batch = [
+                self._queue.popleft()
+                for _ in range(min(self.policy.max_batch, len(self._queue)))
+            ]
+            self.metrics.record_dispatch(self.shard_id, len(batch), len(self._queue))
+            await self._serve(batch)
+
+    async def _serve(self, batch: list[_Pending]) -> None:
+        loop = asyncio.get_running_loop()
+        dispatch_s = loop.time()
+        try:
+            responses = await self.backend.answer(
+                self.shard_id, [p.request for p in batch]
+            )
+        except Exception as exc:  # noqa: BLE001 — fault isolation per batch
+            self.metrics.record_failed(self.shard_id, len(batch))
+            for pending in batch:
+                if not pending.future.done():
+                    pending.future.set_exception(exc)
+            return
+        finish_s = loop.time()
+        for pending, response in zip(batch, responses):
+            result = ServeResult(
+                request=pending.request,
+                response=response,
+                arrival_s=pending.arrival_s,
+                dispatch_s=dispatch_s,
+                finish_s=finish_s,
+                batch_size=len(batch),
+            )
+            self.metrics.record_served(
+                self.shard_id, result.latency_s, result.queue_wait_s, finish_s
+            )
+            if not pending.future.done():
+                pending.future.set_result(result)
+
+
+class ServeRuntime:
+    """The multi-shard serving runtime: registry + backend + dispatchers.
+
+    Usage::
+
+        runtime = ServeRuntime(registry, backend, policy)
+        async with runtime:
+            result = await runtime.serve_index(123)
+    """
+
+    def __init__(
+        self,
+        registry,
+        backend,
+        policy: BatchPolicy,
+        admission: AdmissionConfig | None = None,
+        metrics: ServeMetrics | None = None,
+    ):
+        self.registry = registry
+        self.backend = backend
+        self.policy = policy
+        self.admission = admission if admission is not None else AdmissionConfig()
+        num_shards = registry.map.num_shards
+        self.metrics = metrics if metrics is not None else ServeMetrics(num_shards)
+        self.dispatchers = [
+            ShardDispatcher(s, backend, policy, self.admission, self.metrics)
+            for s in range(num_shards)
+        ]
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self) -> None:
+        for dispatcher in self.dispatchers:
+            dispatcher.start()
+
+    async def drain(self) -> None:
+        """Serve everything queued, then stop accepting and shut down."""
+        await asyncio.gather(*(d.drain() for d in self.dispatchers))
+        self.backend.close()
+
+    async def __aenter__(self) -> "ServeRuntime":
+        self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.drain()
+
+    # -- serving -----------------------------------------------------------
+    def submit(self, request: ServeRequest) -> asyncio.Future:
+        """Route to the shard dispatcher; raises typed errors when shed."""
+        return self.dispatchers[request.shard_id].submit(request)
+
+    async def serve(self, request: ServeRequest) -> ServeResult:
+        return await self.submit(request)
+
+    async def serve_index(self, global_index: int) -> ServeResult:
+        """Convenience: route, build the query, and await the result."""
+        return await self.serve(self.registry.make_request(global_index))
+
+    @property
+    def total_queue_depth(self) -> int:
+        return sum(d.queue_depth for d in self.dispatchers)

@@ -1,0 +1,152 @@
+"""Open-loop load generation: Poisson, bursty, and diurnal arrivals.
+
+Open loop means arrivals do not wait for responses — the generator keeps
+firing at its own rate regardless of how far behind the server falls,
+which is what exposes queueing collapse and makes admission control earn
+its keep.  Arrival schedules are plain arrays of absolute times so the
+same schedule replays under the wall clock or the virtual-time loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import ParameterError, ServeError
+
+
+def poisson_arrivals(rate_qps: float, num: int, seed: int = 0) -> np.ndarray:
+    """Homogeneous Poisson process: exponential inter-arrival gaps."""
+    if rate_qps <= 0:
+        raise ParameterError("arrival rate must be positive")
+    rng = np.random.default_rng(seed)
+    return np.cumsum(rng.exponential(1.0 / rate_qps, size=num))
+
+
+def _inhomogeneous_arrivals(rate_fn, num: int, seed: int) -> np.ndarray:
+    """Time-varying Poisson process by per-arrival rate evaluation.
+
+    Each gap is drawn at the instantaneous rate at the previous arrival —
+    accurate while the rate changes slowly relative to one gap, which holds
+    for the burst/diurnal periods used here.
+    """
+    rng = np.random.default_rng(seed)
+    times = np.empty(num)
+    t = 0.0
+    for i in range(num):
+        rate = rate_fn(t)
+        if rate <= 0:
+            raise ParameterError("instantaneous rate must stay positive")
+        t += rng.exponential(1.0 / rate)
+        times[i] = t
+    return times
+
+
+def bursty_arrivals(
+    base_qps: float,
+    burst_qps: float,
+    num: int,
+    period_s: float = 1.0,
+    duty: float = 0.5,
+    seed: int = 0,
+) -> np.ndarray:
+    """On/off modulated Poisson: ``burst_qps`` for ``duty`` of each period."""
+    if not 0.0 < duty < 1.0:
+        raise ParameterError("duty cycle must be in (0, 1)")
+    if period_s <= 0:
+        raise ParameterError("burst period must be positive")
+
+    def rate(t: float) -> float:
+        return burst_qps if (t % period_s) < duty * period_s else base_qps
+
+    return _inhomogeneous_arrivals(rate, num, seed)
+
+
+def diurnal_arrivals(
+    mean_qps: float,
+    num: int,
+    period_s: float = 86400.0,
+    amplitude: float = 0.5,
+    seed: int = 0,
+) -> np.ndarray:
+    """Sinusoidal day/night rate: ``mean * (1 + A * sin(2*pi*t/period))``."""
+    if not 0.0 <= amplitude < 1.0:
+        raise ParameterError("amplitude must be in [0, 1)")
+
+    def rate(t: float) -> float:
+        return mean_qps * (1.0 + amplitude * math.sin(2.0 * math.pi * t / period_s))
+
+    return _inhomogeneous_arrivals(rate, num, seed)
+
+
+def uniform_indices(num_records: int, num: int, seed: int = 0) -> np.ndarray:
+    """Uniformly random record indices (every shard equally hot)."""
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, num_records, size=num)
+
+
+def zipf_indices(num_records: int, num: int, a: float = 1.2, seed: int = 0) -> np.ndarray:
+    """Zipf-skewed indices: a hot head concentrated on the first shards."""
+    rng = np.random.default_rng(seed)
+    return (rng.zipf(a, size=num) - 1) % num_records
+
+
+@dataclass
+class LoadReport:
+    """Outcome of one open-loop run (admission + completion accounting)."""
+
+    offered: int
+    completed: int
+    rejected: int
+    errored: int
+    offered_qps: float
+    metrics: dict
+
+    @property
+    def reject_rate(self) -> float:
+        return self.rejected / self.offered if self.offered else 0.0
+
+
+async def run_open_loop(
+    runtime,
+    arrivals: np.ndarray,
+    indices: np.ndarray,
+    drain: bool = True,
+) -> LoadReport:
+    """Drive ``runtime`` with the given arrival schedule.
+
+    At each arrival time a request for the paired record index is submitted
+    without waiting for earlier responses.  Shed queries count as rejected;
+    backend failures as errored.  Returns the combined report after
+    (optionally) draining the runtime.
+    """
+    if len(arrivals) != len(indices):
+        raise ParameterError("need one record index per arrival")
+    loop = asyncio.get_running_loop()
+    epoch = loop.time()
+    futures: list[asyncio.Future] = []
+    rejected = 0
+    for offset, index in zip(arrivals, indices):
+        delay = epoch + float(offset) - loop.time()
+        if delay > 0:
+            await asyncio.sleep(delay)
+        try:
+            futures.append(runtime.submit(runtime.registry.make_request(int(index))))
+        except ServeError:
+            rejected += 1
+    if drain:
+        await runtime.drain()
+    outcomes = await asyncio.gather(*futures, return_exceptions=True)
+    errored = sum(1 for o in outcomes if isinstance(o, BaseException))
+    offered_span = float(arrivals[-1] - arrivals[0]) if len(arrivals) > 1 else 0.0
+    return LoadReport(
+        offered=len(arrivals),
+        completed=len(outcomes) - errored,
+        rejected=rejected,
+        errored=errored,
+        offered_qps=(len(arrivals) - 1) / offered_span if offered_span > 0 else 0.0,
+        metrics=runtime.metrics.snapshot(),
+    )

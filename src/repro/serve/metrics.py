@@ -1,0 +1,122 @@
+"""Serving metrics: throughput, latency percentiles, queue and batch shape.
+
+One :class:`ServeMetrics` instance is shared by every shard dispatcher of a
+:class:`~repro.serve.dispatcher.ServeRuntime`.  All timestamps are event-loop
+time (``loop.time()``), so the same accounting works under the wall clock and
+under the virtual-time loop used for million-user simulations.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import numpy as np
+
+
+def percentile(values, p: float) -> float:
+    """Linear-interpolation percentile; 0.0 on an empty sample."""
+    if len(values) == 0:
+        return 0.0
+    return float(np.percentile(np.asarray(values, dtype=np.float64), p))
+
+
+class ServeMetrics:
+    """Counters and reservoirs for one serving run."""
+
+    def __init__(self, num_shards: int = 1):
+        self.num_shards = num_shards
+        self.submitted = 0
+        self.accepted = 0
+        self.rejected = 0
+        self.served = 0
+        self.failed = 0
+        self.latencies_s: list[float] = []
+        self.queue_waits_s: list[float] = []
+        self.batch_sizes: list[int] = []
+        self.queue_depths: list[int] = []
+        self.served_by_shard: Counter = Counter()
+        self.first_arrival_s: float | None = None
+        self.last_finish_s: float | None = None
+
+    # -- recording hooks (called by the dispatcher) -----------------------
+    def record_submit(self, accepted: bool, now_s: float) -> None:
+        self.submitted += 1
+        if accepted:
+            self.accepted += 1
+            if self.first_arrival_s is None:
+                self.first_arrival_s = now_s
+        else:
+            self.rejected += 1
+
+    def record_queue_depth(self, depth: int) -> None:
+        """Sampled on every accepted enqueue, so peaks are visible."""
+        self.queue_depths.append(depth)
+
+    def record_dispatch(self, shard_id: int, batch_size: int, depth_after: int) -> None:
+        self.batch_sizes.append(batch_size)
+        self.queue_depths.append(depth_after)
+
+    def record_served(
+        self, shard_id: int, latency_s: float, queue_wait_s: float, finish_s: float
+    ) -> None:
+        self.served += 1
+        self.served_by_shard[shard_id] += 1
+        self.latencies_s.append(latency_s)
+        self.queue_waits_s.append(queue_wait_s)
+        if self.last_finish_s is None or finish_s > self.last_finish_s:
+            self.last_finish_s = finish_s
+
+    def record_failed(self, shard_id: int, count: int = 1) -> None:
+        self.failed += count
+
+    # -- derived quantities -----------------------------------------------
+    @property
+    def elapsed_s(self) -> float:
+        if self.first_arrival_s is None or self.last_finish_s is None:
+            return 0.0
+        return max(0.0, self.last_finish_s - self.first_arrival_s)
+
+    @property
+    def achieved_qps(self) -> float:
+        elapsed = self.elapsed_s
+        return self.served / elapsed if elapsed > 0 else 0.0
+
+    def latency_percentiles(self) -> dict[str, float]:
+        return {
+            "p50_s": percentile(self.latencies_s, 50),
+            "p95_s": percentile(self.latencies_s, 95),
+            "p99_s": percentile(self.latencies_s, 99),
+        }
+
+    def batch_histogram(self) -> dict[int, int]:
+        """Batch size -> number of dispatches at that size."""
+        return dict(sorted(Counter(self.batch_sizes).items()))
+
+    @property
+    def mean_batch(self) -> float:
+        return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+
+    @property
+    def max_queue_depth(self) -> int:
+        return max(self.queue_depths, default=0)
+
+    def snapshot(self) -> dict:
+        """JSON-serializable summary of the run."""
+        return {
+            "submitted": self.submitted,
+            "accepted": self.accepted,
+            "rejected": self.rejected,
+            "served": self.served,
+            "failed": self.failed,
+            "elapsed_s": self.elapsed_s,
+            "achieved_qps": self.achieved_qps,
+            "latency": self.latency_percentiles()
+            | {"mean_s": float(np.mean(self.latencies_s)) if self.latencies_s else 0.0},
+            "queue_wait_mean_s": (
+                float(np.mean(self.queue_waits_s)) if self.queue_waits_s else 0.0
+            ),
+            "mean_batch": self.mean_batch,
+            "max_queue_depth": self.max_queue_depth,
+            "batch_histogram": {str(k): v for k, v in self.batch_histogram().items()},
+            "served_by_shard": {str(k): v for k, v in sorted(self.served_by_shard.items())},
+        }

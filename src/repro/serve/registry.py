@@ -1,0 +1,242 @@
+"""Shard registry: one logical database partitioned across server replicas.
+
+Record-level parallelism at the serving layer (Section V): a logical
+database of R records is split into contiguous shards, each held by its own
+replica.  Two registries implement the same routing interface:
+
+* :class:`RealShardRegistry` — every shard is a real :class:`PirServer`
+  over a slice of the records, sharing one client ring so queries and
+  responses are byte-correct end to end.
+* :class:`SimShardRegistry` — geometry only; each shard is backed by the
+  :class:`~repro.systems.scale_up.ScaleUpSystem` latency model so
+  million-user load tests run in simulated time.
+
+Both reuse the Section V placement rule
+(:func:`repro.systems.scale_up.choose_placement`) to decide whether a
+shard's preprocessed slice lives in HBM or spills to LPDDR.
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.arch.config import IveConfig
+from repro.errors import ParameterError, RoutingError
+from repro.he import modmath
+from repro.params import PirParams
+from repro.pir.client import PirClient, PirQuery, PirResponse
+from repro.pir.database import PirDatabase
+from repro.pir.server import PirServer
+from repro.systems.scale_up import DbPlacement, ScaleUpSystem, choose_placement
+
+
+class ShardMap:
+    """Contiguous, near-equal partition of ``num_records`` across shards."""
+
+    def __init__(self, num_records: int, num_shards: int):
+        if num_shards < 1:
+            raise ParameterError("need at least one shard")
+        if num_records < num_shards:
+            raise ParameterError(
+                f"cannot split {num_records} records across {num_shards} shards"
+            )
+        self.num_records = num_records
+        self.num_shards = num_shards
+        base, extra = divmod(num_records, num_shards)
+        sizes = [base + (1 if s < extra else 0) for s in range(num_shards)]
+        self.starts = [0] * num_shards
+        for s in range(1, num_shards):
+            self.starts[s] = self.starts[s - 1] + sizes[s - 1]
+        self.sizes = sizes
+
+    def route(self, global_index: int) -> tuple[int, int]:
+        """Global record index -> (shard id, shard-local index)."""
+        if not 0 <= global_index < self.num_records:
+            raise RoutingError(
+                f"record {global_index} out of range [0, {self.num_records})"
+            )
+        shard = bisect.bisect_right(self.starts, global_index) - 1
+        return shard, global_index - self.starts[shard]
+
+    def global_index(self, shard_id: int, local_index: int) -> int:
+        if not 0 <= shard_id < self.num_shards:
+            raise RoutingError(f"shard {shard_id} out of range")
+        if not 0 <= local_index < self.sizes[shard_id]:
+            raise RoutingError(
+                f"local index {local_index} out of range for shard {shard_id}"
+            )
+        return self.starts[shard_id] + local_index
+
+
+@dataclass
+class ServeRequest:
+    """One routed query travelling through the serving runtime."""
+
+    global_index: int
+    shard_id: int
+    local_index: int
+    query: PirQuery | None = None  # real-crypto payload; None in sim mode
+
+
+@dataclass(frozen=True)
+class ShardSpec:
+    """Static description of one shard."""
+
+    shard_id: int
+    start: int
+    num_records: int
+    placement: DbPlacement
+    preprocessed_bytes: int
+
+
+class RealShardRegistry:
+    """N real ``PirServer`` replicas over one logical record set.
+
+    One :class:`PirClient` (and its ring context) is shared across shards:
+    the client's evaluation keys are registered with every replica at build
+    time — the per-shard setup management a deployment would do per user.
+    """
+
+    def __init__(
+        self,
+        params: PirParams,
+        records: list[bytes],
+        num_shards: int,
+        record_bytes: int | None = None,
+        seed: int | None = None,
+        config: IveConfig | None = None,
+    ):
+        self.params = params
+        self.map = ShardMap(len(records), num_shards)
+        self.client = PirClient(params, seed=seed)
+        setup = self.client.setup_message()
+        memory = (config if config is not None else IveConfig.ive()).memory
+        self._records = list(records)
+        self._dbs: list[PirDatabase] = []
+        self._servers: list[PirServer] = []
+        self.specs: list[ShardSpec] = []
+        for shard_id in range(num_shards):
+            start = self.map.starts[shard_id]
+            size = self.map.sizes[shard_id]
+            db = PirDatabase.from_records(
+                records[start : start + size], params, record_bytes
+            )
+            pre = db.preprocess(self.client.ring)
+            placement, _ = choose_placement(pre.stored_bytes, memory)
+            self._dbs.append(db)
+            self._servers.append(PirServer(pre, setup))
+            self.specs.append(
+                ShardSpec(
+                    shard_id=shard_id,
+                    start=start,
+                    num_records=size,
+                    placement=placement,
+                    preprocessed_bytes=pre.stored_bytes,
+                )
+            )
+
+    @classmethod
+    def random(
+        cls,
+        params: PirParams,
+        num_records: int,
+        record_bytes: int,
+        num_shards: int,
+        seed: int | None = None,
+    ) -> "RealShardRegistry":
+        rng = np.random.default_rng(seed)
+        records = [rng.bytes(record_bytes) for _ in range(num_records)]
+        return cls(params, records, num_shards, record_bytes, seed=seed)
+
+    @property
+    def num_shards(self) -> int:
+        return self.map.num_shards
+
+    @property
+    def num_records(self) -> int:
+        return self.map.num_records
+
+    def server(self, shard_id: int) -> PirServer:
+        return self._servers[shard_id]
+
+    def shard_db(self, shard_id: int) -> PirDatabase:
+        return self._dbs[shard_id]
+
+    def make_request(self, global_index: int) -> ServeRequest:
+        """Route and build the real cryptographic query for a record."""
+        shard_id, local = self.map.route(global_index)
+        query = self.client.build_query(local, self._dbs[shard_id].layout)
+        return ServeRequest(
+            global_index=global_index, shard_id=shard_id, local_index=local, query=query
+        )
+
+    def decode(self, request: ServeRequest, response: PirResponse) -> bytes:
+        """Decrypt a shard's response back to record bytes."""
+        layout = self._dbs[request.shard_id].layout
+        return self.client.decode_response(response, request.local_index, layout)
+
+    def expected(self, global_index: int) -> bytes:
+        """Ground-truth record bytes (for verification in tests/examples)."""
+        return self._records[global_index]
+
+
+@dataclass
+class SimShardRegistry:
+    """Geometry-only registry for simulated-clock serving.
+
+    The logical database is ``params.num_db_polys`` records; shards follow
+    the :class:`~repro.systems.cluster.IveCluster` record-level split, so
+    each shard drops ``log2(num_shards)`` ColTor dimensions and is served by
+    one :class:`ScaleUpSystem` whose simulator provides batched latencies.
+    """
+
+    params: PirParams
+    num_shards: int = 1
+    config: IveConfig | None = None
+    _service_cache: dict[int, float] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self):
+        if not modmath.is_power_of_two(self.num_shards):
+            raise ParameterError("shard count must be a power of two")
+        levels = modmath.ilog2(self.num_shards)
+        if self.params.num_dims < levels:
+            raise ParameterError(
+                f"cannot split {self.params.num_dims} ColTor dimensions across "
+                f"{self.num_shards} shards"
+            )
+        self.shard_params = self.params.with_db(
+            num_dims=self.params.num_dims - levels
+        )
+        # Identical shards share one latency model.
+        self.system = ScaleUpSystem(
+            self.shard_params,
+            self.config if self.config is not None else IveConfig.ive(),
+        )
+        self.map = ShardMap(self.params.num_db_polys, self.num_shards)
+
+    @property
+    def num_records(self) -> int:
+        return self.map.num_records
+
+    @property
+    def placement(self) -> DbPlacement:
+        return self.system.placement
+
+    def make_request(self, global_index: int) -> ServeRequest:
+        shard_id, local = self.map.route(global_index)
+        return ServeRequest(
+            global_index=global_index, shard_id=shard_id, local_index=local
+        )
+
+    def service_seconds(self, batch: int) -> float:
+        """Batched service time of one shard (cached per batch size)."""
+        if batch not in self._service_cache:
+            self._service_cache[batch] = self.system.latency(batch).total_s
+        return self._service_cache[batch]
+
+    def waiting_window_s(self) -> float:
+        """Paper policy: window = one RowSel DB read of the shard slice."""
+        return self.system.min_db_read_seconds()

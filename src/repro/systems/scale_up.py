@@ -30,6 +30,24 @@ class DbPlacement(enum.Enum):
 _HBM_WORKING_RESERVE = 8 << 30
 
 
+def choose_placement(preprocessed_db_bytes: int, memory) -> tuple[DbPlacement, float]:
+    """Adaptive placement rule of Section V: (placement, DB bandwidth).
+
+    The preprocessed database goes to HBM while it fits next to the
+    per-query working set, spills to the LPDDR expander otherwise.  Shared
+    by :class:`ScaleUpSystem` and the serving shard registry so both layers
+    agree on where a database of a given size lives.
+    """
+    if preprocessed_db_bytes <= memory.hbm_capacity - _HBM_WORKING_RESERVE:
+        return DbPlacement.HBM, memory.hbm_bandwidth
+    if preprocessed_db_bytes <= memory.lpddr_capacity:
+        return DbPlacement.LPDDR, memory.lpddr_bandwidth
+    raise ParameterError(
+        f"preprocessed DB of {preprocessed_db_bytes / (1 << 30):.0f} GiB exceeds "
+        f"the LPDDR capacity of one IVE system; use an IveCluster"
+    )
+
+
 @dataclass
 class ScaleUpSystem:
     """One IVE chip plus its adaptive memory system."""
@@ -41,19 +59,9 @@ class ScaleUpSystem:
     def __post_init__(self):
         if self.config is None:
             self.config = IveConfig.ive()
-        db_bytes = self.preprocessed_db_bytes
-        mem = self.config.memory
-        if db_bytes <= mem.hbm_capacity - _HBM_WORKING_RESERVE:
-            self.placement = DbPlacement.HBM
-            db_bandwidth = mem.hbm_bandwidth
-        elif db_bytes <= mem.lpddr_capacity:
-            self.placement = DbPlacement.LPDDR
-            db_bandwidth = mem.lpddr_bandwidth
-        else:
-            raise ParameterError(
-                f"preprocessed DB of {db_bytes / (1 << 30):.0f} GiB exceeds the "
-                f"LPDDR capacity of one IVE system; use an IveCluster"
-            )
+        self.placement, db_bandwidth = choose_placement(
+            self.preprocessed_db_bytes, self.config.memory
+        )
         self.simulator = IveSimulator(
             self.config,
             self.params,

@@ -6,7 +6,11 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.he import modmath
-from repro.he.ntt import NttContext, naive_negacyclic_convolution
+from repro.he.ntt import (
+    NttContext,
+    _object_negacyclic_convolution,
+    naive_negacyclic_convolution,
+)
 
 Q = modmath.special_primes(order=2 * 64, count=1)[0]
 
@@ -91,6 +95,55 @@ def test_convolution_property(a, b):
     assert np.array_equal(
         ctx.negacyclic_convolution(a, b), naive_negacyclic_convolution(a, b, Q)
     )
+
+
+def test_vectorized_matches_object_and_ntt(ctx):
+    """The chunked int64 path agrees with exact arithmetic and the NTT."""
+    rng = np.random.default_rng(7)
+    a = rng.integers(0, Q, size=64, dtype=np.int64)
+    b = rng.integers(0, Q, size=64, dtype=np.int64)
+    vectorized = naive_negacyclic_convolution(a, b, Q)
+    exact = _object_negacyclic_convolution(a, b, Q)
+    assert np.array_equal(vectorized, exact)
+    assert np.array_equal(vectorized, ctx.negacyclic_convolution(a, b))
+
+
+def test_vectorized_worst_case_coefficients():
+    """All-(q-1) inputs maximize every partial sum — no int64 wraparound."""
+    n = 128
+    a = np.full(n, Q - 1, dtype=np.int64)
+    assert np.array_equal(
+        naive_negacyclic_convolution(a, a, Q),
+        _object_negacyclic_convolution(a, a, Q),
+    )
+
+
+def test_large_modulus_falls_back_to_object_path():
+    """A modulus whose squared products could overflow int64 still works."""
+    q = (1 << 40) + 1  # chunk bound (2^62 / (q-1)^2) < 1 -> object fallback
+    rng = np.random.default_rng(8)
+    a = rng.integers(0, q, size=32).astype(object)
+    b = rng.integers(0, q, size=32).astype(object)
+    assert np.array_equal(
+        naive_negacyclic_convolution(a, b, q),
+        _object_negacyclic_convolution(a, b, q),
+    )
+
+
+def test_unreduced_huge_coefficients_still_reduce_correctly():
+    """Inputs beyond int64 (not pre-reduced mod q) keep the old contract."""
+    a = [2**64 + 3, 1]
+    b = [1, 0]
+    out = naive_negacyclic_convolution(a, b, Q)
+    assert out[0] == (2**64 + 3) % Q
+    assert out[1] == 1
+
+
+def test_naive_rejects_length_mismatch():
+    from repro.errors import ParameterError
+
+    with pytest.raises(ParameterError):
+        naive_negacyclic_convolution(np.zeros(8), np.zeros(16), Q)
 
 
 def test_linearity_of_forward(ctx):

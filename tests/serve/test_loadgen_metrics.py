@@ -1,0 +1,137 @@
+"""Load generators, metrics accounting, and the sim-clock load harness."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.params import PirParams
+from repro.serve import (
+    ServeRuntime,
+    SimShardRegistry,
+    SimulatedBackend,
+    bursty_arrivals,
+    diurnal_arrivals,
+    poisson_arrivals,
+    run_in_virtual_time,
+    run_open_loop,
+    uniform_indices,
+    zipf_indices,
+)
+from repro.serve.dispatcher import AdmissionConfig
+from repro.serve.metrics import ServeMetrics, percentile
+from repro.systems.batching import BatchPolicy
+
+
+class TestArrivalProcesses:
+    def test_poisson_rate_and_monotonicity(self):
+        times = poisson_arrivals(100.0, 5000, seed=3)
+        assert len(times) == 5000
+        assert np.all(np.diff(times) > 0)
+        achieved = 4999 / (times[-1] - times[0])
+        assert achieved == pytest.approx(100.0, rel=0.1)
+
+    def test_poisson_rejects_bad_rate(self):
+        with pytest.raises(ParameterError):
+            poisson_arrivals(0.0, 10)
+
+    def test_bursty_alternates_rates(self):
+        times = bursty_arrivals(10.0, 1000.0, 4000, period_s=1.0, duty=0.5, seed=4)
+        assert np.all(np.diff(times) > 0)
+        in_burst = (times % 1.0) < 0.5
+        # The burst half of each period should absorb the vast majority.
+        assert in_burst.mean() > 0.8
+
+    def test_bursty_validates_duty(self):
+        with pytest.raises(ParameterError):
+            bursty_arrivals(1.0, 2.0, 10, duty=1.5)
+
+    def test_diurnal_rate_tracks_the_sinusoid(self):
+        period = 100.0
+        times = diurnal_arrivals(50.0, 4000, period_s=period, amplitude=0.9, seed=5)
+        assert np.all(np.diff(times) > 0)
+        phase = (times % period) / period
+        # More arrivals land in the rising half-period than the trough.
+        peak = ((phase > 0.0) & (phase < 0.5)).sum()
+        trough = ((phase > 0.5) & (phase < 1.0)).sum()
+        assert peak > 1.5 * trough
+
+    def test_index_samplers_stay_in_range(self):
+        uni = uniform_indices(1000, 500, seed=0)
+        zipf = zipf_indices(1000, 500, seed=0)
+        for sample in (uni, zipf):
+            assert sample.min() >= 0 and sample.max() < 1000
+        # Zipf is head-heavy, uniform is not.
+        assert (zipf < 10).mean() > (uni < 10).mean()
+
+
+class TestMetrics:
+    def test_percentile_empty_sample(self):
+        assert percentile([], 95) == 0.0
+
+    def test_counters_and_derived_quantities(self):
+        m = ServeMetrics(2)
+        m.record_submit(accepted=True, now_s=0.0)
+        m.record_submit(accepted=False, now_s=0.5)
+        m.record_dispatch(0, batch_size=3, depth_after=1)
+        m.record_served(0, latency_s=0.2, queue_wait_s=0.1, finish_s=2.0)
+        m.record_served(1, latency_s=0.4, queue_wait_s=0.1, finish_s=4.0)
+        assert m.submitted == 2 and m.accepted == 1 and m.rejected == 1
+        assert m.elapsed_s == 4.0
+        assert m.achieved_qps == pytest.approx(0.5)
+        assert m.batch_histogram() == {3: 1}
+        snap = m.snapshot()
+        assert snap["served_by_shard"] == {"0": 1, "1": 1}
+        assert snap["latency"]["p50_s"] == pytest.approx(0.3)
+
+    def test_snapshot_is_json_serializable(self):
+        import json
+
+        m = ServeMetrics(1)
+        m.record_submit(accepted=True, now_s=0.0)
+        m.record_dispatch(0, 1, 0)
+        m.record_served(0, 0.1, 0.0, 1.0)
+        json.dumps(m.snapshot())
+
+
+class TestOpenLoopHarness:
+    @pytest.fixture(scope="class")
+    def registry(self):
+        return SimShardRegistry(PirParams.paper(d0=256, num_dims=9), num_shards=4)
+
+    def _run(self, registry, rate, n, max_queue=4096):
+        policy = BatchPolicy(
+            waiting_window_s=registry.waiting_window_s(), max_batch=128
+        )
+
+        async def main():
+            runtime = ServeRuntime(
+                registry,
+                SimulatedBackend(registry),
+                policy,
+                AdmissionConfig(max_queue_depth=max_queue),
+            )
+            runtime.start()
+            arrivals = poisson_arrivals(rate, n, seed=1)
+            indices = uniform_indices(registry.num_records, n, seed=2)
+            return await run_open_loop(runtime, arrivals, indices)
+
+        return run_in_virtual_time(main())
+
+    def test_moderate_load_serves_everything(self, registry):
+        report, virtual_s = self._run(registry, rate=2000.0, n=2000)
+        assert report.completed == 2000
+        assert report.rejected == 0 and report.errored == 0
+        m = report.metrics
+        assert m["achieved_qps"] == pytest.approx(2000.0, rel=0.15)
+        lat = m["latency"]
+        assert 0 < lat["p50_s"] <= lat["p95_s"] <= lat["p99_s"]
+        assert virtual_s > 0
+
+    def test_overload_sheds_instead_of_collapsing(self, registry):
+        # Far past shard saturation with a tiny queue: the runtime must
+        # shed load and keep the latency of accepted queries bounded.
+        report, _ = self._run(registry, rate=500000.0, n=3000, max_queue=64)
+        assert report.rejected > 0
+        assert report.completed == report.offered - report.rejected
+        assert report.metrics["latency"]["p99_s"] < 5.0
+        assert report.metrics["max_queue_depth"] <= 64

@@ -1,0 +1,102 @@
+"""Shard routing and registry construction."""
+
+import pytest
+
+from repro.errors import ParameterError, RoutingError
+from repro.params import PirParams
+from repro.serve.registry import RealShardRegistry, ShardMap, SimShardRegistry
+from repro.systems.scale_up import DbPlacement
+
+
+class TestShardMap:
+    def test_even_partition(self):
+        m = ShardMap(12, 3)
+        assert m.sizes == [4, 4, 4]
+        assert m.starts == [0, 4, 8]
+
+    def test_uneven_partition_spreads_remainder(self):
+        m = ShardMap(10, 3)
+        assert m.sizes == [4, 3, 3]
+        assert sum(m.sizes) == 10
+
+    def test_route_roundtrip_covers_every_record(self):
+        m = ShardMap(37, 5)
+        seen = set()
+        for g in range(37):
+            shard, local = m.route(g)
+            assert m.global_index(shard, local) == g
+            seen.add((shard, local))
+        assert len(seen) == 37
+
+    def test_route_rejects_out_of_range(self):
+        m = ShardMap(8, 2)
+        with pytest.raises(RoutingError):
+            m.route(8)
+        with pytest.raises(RoutingError):
+            m.route(-1)
+
+    def test_global_index_rejects_bad_shard(self):
+        m = ShardMap(8, 2)
+        with pytest.raises(RoutingError):
+            m.global_index(2, 0)
+        with pytest.raises(RoutingError):
+            m.global_index(0, 4)
+
+    def test_more_shards_than_records_rejected(self):
+        with pytest.raises(ParameterError):
+            ShardMap(2, 3)
+
+
+class TestRealShardRegistry:
+    @pytest.fixture(scope="class")
+    def registry(self):
+        params = PirParams.small(n=256, d0=8, num_dims=2)
+        return RealShardRegistry.random(
+            params, num_records=10, record_bytes=32, num_shards=3, seed=9
+        )
+
+    def test_shards_partition_the_records(self, registry):
+        assert registry.num_shards == 3
+        assert sum(spec.num_records for spec in registry.specs) == 10
+
+    def test_request_routes_to_owning_shard(self, registry):
+        req = registry.make_request(7)
+        assert req.global_index == 7
+        assert registry.map.global_index(req.shard_id, req.local_index) == 7
+        assert req.query is not None
+
+    def test_answer_decodes_to_original_record(self, registry):
+        for g in (0, 4, 9):  # one record per shard
+            req = registry.make_request(g)
+            response = registry.server(req.shard_id).answer(req.query)
+            assert registry.decode(req, response) == registry.expected(g)
+
+    def test_small_shards_live_in_hbm(self, registry):
+        assert all(spec.placement is DbPlacement.HBM for spec in registry.specs)
+
+
+class TestSimShardRegistry:
+    def test_shard_split_drops_coltor_dimensions(self):
+        reg = SimShardRegistry(PirParams.paper(d0=256, num_dims=9), num_shards=4)
+        assert reg.shard_params.num_dims == 7
+        assert reg.num_records == reg.params.num_db_polys
+
+    def test_rejects_non_power_of_two_shards(self):
+        with pytest.raises(ParameterError):
+            SimShardRegistry(PirParams.paper(d0=256, num_dims=9), num_shards=3)
+
+    def test_rejects_too_many_shards(self):
+        with pytest.raises(ParameterError):
+            SimShardRegistry(PirParams.paper(d0=256, num_dims=2), num_shards=8)
+
+    def test_service_seconds_monotone_and_cached(self):
+        reg = SimShardRegistry(PirParams.paper(d0=256, num_dims=9), num_shards=2)
+        t1, t64 = reg.service_seconds(1), reg.service_seconds(64)
+        assert 0 < t1 < t64  # batching amortizes but adds work
+        assert reg.service_seconds(64) == t64  # cache hit is deterministic
+        # Batching wins per query.
+        assert t64 / 64 < t1
+
+    def test_window_matches_shard_db_read(self):
+        reg = SimShardRegistry(PirParams.paper(d0=256, num_dims=9), num_shards=4)
+        assert reg.waiting_window_s() == reg.system.min_db_read_seconds()

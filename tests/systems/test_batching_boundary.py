@@ -1,0 +1,45 @@
+"""Boundary behavior of the waiting-window dispatch rule (Section V)."""
+
+import pytest
+
+from repro.errors import ParameterError
+from repro.systems.batching import BatchPolicy, window_from_db_read
+
+
+class TestShouldDispatchBoundaries:
+    def test_window_exactly_reached(self):
+        policy = BatchPolicy(waiting_window_s=0.010, max_batch=8)
+        assert not policy.should_dispatch(queued=1, oldest_wait_s=0.010 - 1e-9)
+        assert policy.should_dispatch(queued=1, oldest_wait_s=0.010)
+
+    def test_queue_exactly_max_batch(self):
+        policy = BatchPolicy(waiting_window_s=1.0, max_batch=4)
+        assert not policy.should_dispatch(queued=3, oldest_wait_s=0.0)
+        assert policy.should_dispatch(queued=4, oldest_wait_s=0.0)
+        assert policy.should_dispatch(queued=5, oldest_wait_s=0.0)
+
+    def test_zero_window_dispatches_any_nonempty_queue(self):
+        policy = BatchPolicy(waiting_window_s=0.0, max_batch=128)
+        assert policy.should_dispatch(queued=1, oldest_wait_s=0.0)
+        assert not policy.should_dispatch(queued=0, oldest_wait_s=0.0)
+
+    def test_empty_queue_never_dispatches(self):
+        policy = BatchPolicy(waiting_window_s=0.0, max_batch=1)
+        assert not policy.should_dispatch(queued=0, oldest_wait_s=99.0)
+        assert not policy.should_dispatch(queued=-1, oldest_wait_s=99.0)
+
+    def test_max_batch_one_is_fifo(self):
+        policy = BatchPolicy(waiting_window_s=5.0, max_batch=1)
+        assert policy.should_dispatch(queued=1, oldest_wait_s=0.0)
+
+    def test_rejects_negative_window(self):
+        with pytest.raises(ParameterError):
+            BatchPolicy(waiting_window_s=-0.001)
+
+    def test_rejects_zero_max_batch(self):
+        with pytest.raises(ParameterError):
+            BatchPolicy(waiting_window_s=0.0, max_batch=0)
+
+
+def test_window_from_db_read_is_identity():
+    assert window_from_db_read(0.0037) == 0.0037

@@ -39,6 +39,48 @@ class TestCli:
         for name in ("Vcall", "Comm", "Fsys"):
             assert name in out
 
+    def test_serve_real_crypto_smoke(self, capsys):
+        assert (
+            main(["serve", "--records", "8", "--shards", "2", "--queries", "8"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "byte-correct" in out and "OK" in out
+
+    def test_loadtest_sim_reports_json_metrics(self, capsys):
+        import json
+
+        assert main(["loadtest", "--mode", "sim", "--queries", "500"]) == 0
+        out = json.loads(capsys.readouterr().out)
+        assert out["completed"] == 500
+        lat = out["metrics"]["latency"]
+        assert 0 < lat["p50_s"] <= lat["p95_s"] <= lat["p99_s"]
+        assert out["metrics"]["achieved_qps"] > 0
+
+    def test_loadtest_real_crypto(self, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "loadtest",
+                    "--mode",
+                    "real",
+                    "--queries",
+                    "6",
+                    "--records",
+                    "8",
+                    "--rate",
+                    "100",
+                ]
+            )
+            == 0
+        )
+        out = json.loads(capsys.readouterr().out)
+        assert out["completed"] == 6 and out["errored"] == 0
+
+    def test_loadtest_sim_rejects_unknown_db_size(self, capsys):
+        assert main(["loadtest", "--mode", "sim", "--db-gib", "3"]) == 2
+
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
