@@ -1,0 +1,139 @@
+"""Batch PIR amortization: per-query server cost vs batch size k.
+
+Two halves, one claim.  The real-crypto half runs the full cuckoo-batched
+pipeline at tiny parameters (n=256, 32 K records) and times the server's
+per-bucket passes against k independent single-query retrievals over the
+same database.  The model half prices the same amortization on the IVE
+accelerator at paper scale (2 GiB DB) via the cycle simulator's batched
+pass.  Both halves must show the k=64 amortized per-query cost at least
+4x below a single query — results land in BENCH_batchpir.json so future
+PRs have a trajectory to compare against.
+"""
+
+import json
+import pathlib
+import time
+
+import numpy as np
+
+from conftest import params_for_gb, run_once
+
+from repro.batchpir import BatchPirProtocol, amortized_cost_curve
+from repro.params import PirParams
+from repro.pir.database import PirDatabase
+from repro.pir.protocol import PirProtocol
+
+NUM_RECORDS = 32768
+RECORD_BYTES = 32
+REAL_KS = (8, 32, 64)
+MODEL_KS = (8, 32, 64, 256)
+
+_OUT = pathlib.Path(__file__).resolve().parent / "BENCH_batchpir.json"
+
+
+def _real_crypto_points() -> dict:
+    """Tiny-parameter measurement: one batch deployment per design k."""
+    params = PirParams.small(n=256, d0=16, num_dims=7)
+    rng = np.random.default_rng(7)
+    records = [rng.bytes(RECORD_BYTES) for _ in range(NUM_RECORDS)]
+
+    # Baseline: independent single queries over the unbucketed database.
+    single = PirProtocol(params, PirDatabase.from_records(records, params), seed=1)
+    query = single.client.build_query(12345, single.db.layout)
+    single.server.answer(query)  # warm numpy caches
+    start = time.monotonic()
+    reps = 2
+    for _ in range(reps):
+        single.server.answer(query)
+    single_s = (time.monotonic() - start) / reps
+
+    points = []
+    for k in REAL_KS:
+        protocol = BatchPirProtocol(
+            params, records, max_batch=k, record_bytes=RECORD_BYTES, seed=1
+        )
+        indices = [int(i) for i in rng.choice(NUM_RECORDS, size=k, replace=False)]
+        plan = protocol.client.plan(indices)
+        batch_query = protocol.client.build_queries(plan)
+        start = time.monotonic()
+        response = protocol.server.answer(batch_query)
+        batch_s = time.monotonic() - start
+        decoded = protocol.client.decode(plan, response)
+        correct = sum(decoded[g] == records[g] for g in indices)
+        bucket = protocol.layout.bucket_params
+        points.append(
+            {
+                "k": k,
+                "num_buckets": protocol.layout.num_buckets,
+                "rounds": plan.num_rounds,
+                "bucket_d0": bucket.d0,
+                "bucket_dims": bucket.num_dims,
+                "replication": protocol.layout.replication_factor,
+                "batch_pass_s": batch_s,
+                "amortized_per_query_s": batch_s / k,
+                "speedup_vs_single": single_s / (batch_s / k),
+                "correct": correct,
+            }
+        )
+    return {
+        "num_records": NUM_RECORDS,
+        "record_bytes": RECORD_BYTES,
+        "single_query_s": single_s,
+        "points": points,
+    }
+
+
+def _model_points() -> list[dict]:
+    """Paper-scale accelerator model on the 2 GiB Table I database."""
+    return [
+        {
+            "k": p.k,
+            "num_buckets": p.num_buckets,
+            "single_query_ms": p.single_query_s * 1e3,
+            "batch_pass_ms": p.batch_pass_s * 1e3,
+            "amortized_per_query_ms": p.amortized_per_query_s * 1e3,
+            "speedup_vs_single": p.speedup,
+            "placement": p.placement,
+            "replicated_db_gib": p.replicated_db_bytes / (1 << 30),
+        }
+        for p in amortized_cost_curve(params_for_gb(2), ks=MODEL_KS)
+    ]
+
+
+def test_batchpir_amortization(benchmark, report):
+    real, model = run_once(benchmark, lambda: (_real_crypto_points(), _model_points()))
+    payload = {"real_crypto": real, "model_2gib": model}
+    _OUT.write_text(json.dumps(payload, indent=2) + "\n")
+
+    lines = [f"real crypto, {NUM_RECORDS} records: single query "
+             f"{real['single_query_s'] * 1e3:.0f} ms"]
+    lines.append(
+        f"{'k':>4s} {'buckets':>8s} {'pass s':>7s} {'amort ms':>9s} {'speedup':>8s}"
+    )
+    for p in real["points"]:
+        lines.append(
+            f"{p['k']:>4d} {p['num_buckets']:>8d} {p['batch_pass_s']:>7.2f} "
+            f"{p['amortized_per_query_s'] * 1e3:>9.2f} "
+            f"{p['speedup_vs_single']:>7.1f}x"
+        )
+    lines.append("IVE model, 2 GiB DB:")
+    for p in model:
+        lines.append(
+            f"{p['k']:>4d} {p['num_buckets']:>8d} "
+            f"{p['batch_pass_ms'] / 1e3:>7.4f} {p['amortized_per_query_ms']:>9.3f} "
+            f"{p['speedup_vs_single']:>7.1f}x  ({p['placement']})"
+        )
+    lines.append(f"JSON written to {_OUT.name}")
+    report("Batch PIR — amortized per-query server cost vs k", lines)
+
+    # Every batched record decodes byte-correct at every k...
+    for p in real["points"]:
+        assert p["correct"] == p["k"]
+    # ...and the k=64 amortization clears 4x in BOTH halves (acceptance).
+    real64 = next(p for p in real["points"] if p["k"] == 64)
+    model64 = next(p for p in model if p["k"] == 64)
+    assert real64["speedup_vs_single"] >= 4.0
+    assert model64["speedup_vs_single"] >= 4.0
+    # Amortization improves monotonically with k in the model.
+    model_speedups = [p["speedup_vs_single"] for p in model]
+    assert model_speedups == sorted(model_speedups)

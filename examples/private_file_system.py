@@ -50,7 +50,7 @@ def cluster_demo() -> None:
     assert cluster.system.placement is DbPlacement.LPDDR
     lat = cluster.latency(batch=128)
     print(f"per-system slice: 2^{cluster.slice_params.num_dims} x 256 polynomials, "
-          f"streamed from LPDDR")
+          "streamed from LPDDR")
     print(f"batch-128 latency {lat.total_s:.2f} s -> {lat.qps:.0f} QPS "
           f"({lat.per_system_qps:.1f}/system; paper reports 127.5 total)")
 

@@ -203,7 +203,7 @@ class IveSimulator:
         return self._coltor_cache
 
     # -- RowSel (CLP, chip-wide tiled GEMM) -------------------------------------
-    def rowsel_seconds(self, batch: int) -> float:
+    def rowsel_seconds(self, batch: int, db_copies: int = 1) -> float:
         """Roofline of the batched first dimension: max(DB stream, GEMM, cts).
 
         The decoupled orchestration prefetches the DB stream and writes
@@ -211,9 +211,16 @@ class IveSimulator:
         overlap; the step takes the maximum of the three occupancies.  The
         DB may stream from LPDDR (scale-up offload) while the per-query
         ciphertexts always ride on HBM — separate channels.
+
+        ``db_copies`` is the number of distinct ``num_db_polys``-sized
+        databases streamed during the step.  Plain multi-client batching
+        shares ONE database across the batch (``db_copies=1``); a cuckoo
+        batch-PIR pass runs each query against its own bucket database, so
+        the stream covers every bucket once (``db_copies=num_buckets``)
+        while each query's GEMM still touches only its bucket.
         """
         p, c = self.params, self.config
-        db_bytes = p.num_db_polys * p.poly_bytes
+        db_bytes = db_copies * p.num_db_polys * p.poly_bytes
         stream_s = db_bytes / self.db_bandwidth
         macs = batch * 2.0 * p.num_db_polys * p.rns_count * p.n
         gemm_s = macs / (c.chip_gemm_macs_per_cycle * c.clock_hz)
@@ -253,7 +260,7 @@ class IveSimulator:
         return batch * exposed / self.config.pcie_bandwidth
 
     # -- end-to-end -------------------------------------------------------------
-    def latency(self, batch: int) -> PirLatency:
+    def latency(self, batch: int, db_copies: int = 1) -> PirLatency:
         """Batched pipeline latency: steps are sequential (Section IV-C)."""
         if batch < 1:
             raise SimulationError("batch must be >= 1")
@@ -266,11 +273,20 @@ class IveSimulator:
             params=self.params,
             batch=batch,
             expand_s=TIMING_OVERHEAD * rounds * expand.cycles / clock,
-            rowsel_s=TIMING_OVERHEAD * self.rowsel_seconds(batch),
+            rowsel_s=TIMING_OVERHEAD * self.rowsel_seconds(batch, db_copies),
             coltor_s=TIMING_OVERHEAD * rounds * coltor.cycles / clock,
             noc_s=self.noc_seconds(batch),
             comm_s=self.comm_seconds(batch),
         )
+
+    def batchpir_pass_latency(self, num_buckets: int) -> PirLatency:
+        """One cuckoo batch-PIR pass on this simulator's BUCKET geometry.
+
+        The pass is ``num_buckets`` queries — one per bucket, dummies
+        included — each expanded/toured like any query, with RowSel
+        streaming every bucket's database exactly once.
+        """
+        return self.latency(num_buckets, db_copies=num_buckets)
 
     def qps(self, batch: int) -> float:
         return self.latency(batch).qps

@@ -1,0 +1,126 @@
+"""Batch PIR server and end-to-end protocol harness.
+
+The server runs the standard ExpandQuery -> RowSel -> ColTor pipeline once
+per bucket per round — each against that bucket's small preprocessed
+database.  One full batch pass therefore scans ``replication_factor * D``
+polynomials in total (independent of k), versus ``k * D`` for k separate
+single-query retrievals: the amortization that makes multi-record
+workloads (contact discovery, feed assembly, CT auditing) affordable.
+
+``BatchPirProtocol`` mirrors :class:`repro.pir.protocol.PirProtocol` for
+the batched flow and keeps the same communication transcript accounting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.batchpir.client import (
+    BatchPirClient,
+    BatchPlan,
+    BatchQuery,
+    BatchResponse,
+)
+from repro.batchpir.hashing import CuckooConfig
+from repro.batchpir.layout import BatchDatabase, BatchLayout
+from repro.errors import ParameterError
+from repro.params import PirParams
+from repro.pir.client import ClientSetup
+from repro.pir.database import PirDatabase
+from repro.pir.protocol import Transcript
+from repro.pir.server import PirServer
+
+
+class BatchPirServer:
+    """One PirServer per bucket, sharing the client's evaluation keys."""
+
+    def __init__(self, db: BatchDatabase, ring, setup: ClientSetup):
+        self.layout = db.layout
+        self.db = db
+        self.servers = [
+            PirServer(bucket_db.preprocess(ring), setup)
+            for bucket_db in db.bucket_dbs
+        ]
+
+    def answer(self, query: BatchQuery) -> BatchResponse:
+        """One per-bucket pipeline per query; rounds run back to back."""
+        rounds = []
+        for queries in query.rounds:
+            if len(queries) != self.layout.num_buckets:
+                raise ParameterError(
+                    f"batch round has {len(queries)} queries, layout has "
+                    f"{self.layout.num_buckets} buckets"
+                )
+            rounds.append(
+                [server.answer(q) for server, q in zip(self.servers, queries)]
+            )
+        return BatchResponse(rounds=rounds)
+
+
+@dataclass
+class BatchRetrievalResult:
+    """Returned by :meth:`BatchPirProtocol.retrieve_batch`."""
+
+    records: list[bytes]
+    plan: BatchPlan
+    num_rounds: int
+
+
+class BatchPirProtocol:
+    """A batch client/server pair over one logical record set."""
+
+    def __init__(
+        self,
+        params: PirParams,
+        records: list[bytes],
+        max_batch: int,
+        record_bytes: int | None = None,
+        hash_seed: int = 0,
+        seed: int | None = None,
+        config: CuckooConfig | None = None,
+    ):
+        size = record_bytes if record_bytes is not None else len(records[0])
+        self.config = (
+            config
+            if config is not None
+            else CuckooConfig.for_batch(max_batch, seed=hash_seed)
+        )
+        self.layout = BatchLayout.build(params, len(records), size, self.config)
+        self.db = BatchDatabase(self.layout, records)
+        self.client = BatchPirClient(self.layout, seed=seed)
+        setup = self.client.setup_message()
+        self.server = BatchPirServer(self.db, self.client.pir.ring, setup)
+        self.transcript = Transcript(
+            setup_bytes=setup.size_bytes(self.layout.bucket_params)
+        )
+
+    @classmethod
+    def over_database(
+        cls, db: PirDatabase, max_batch: int, hash_seed: int = 0, seed: int | None = None
+    ) -> "BatchPirProtocol":
+        """Re-bucket an existing single-query database for batched serving."""
+        records = [db.record(i) for i in range(db.num_records)]
+        return cls(
+            db.params,
+            records,
+            max_batch,
+            record_bytes=db.layout.record_bytes,
+            hash_seed=hash_seed,
+            seed=seed,
+        )
+
+    def retrieve_batch(self, indices: list[int]) -> BatchRetrievalResult:
+        """Full round trip: plan, encrypt, answer per bucket, decode."""
+        plan = self.client.plan(indices)
+        query = self.client.build_queries(plan)
+        response = self.server.answer(query)
+        decoded = self.client.decode(plan, response)
+        params = self.layout.bucket_params
+        self.transcript.query_bytes += query.size_bytes(params)
+        self.transcript.response_bytes += response.size_bytes(params)
+        self.transcript.queries_served += len(indices)
+        return BatchRetrievalResult(
+            records=[decoded[int(g)] for g in indices],
+            plan=plan,
+            num_rounds=plan.num_rounds,
+        )

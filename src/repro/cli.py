@@ -9,6 +9,7 @@ Commands
 ``area``        print the Table II area/power breakdown
 ``serve``       real-crypto smoke of the multi-shard serving runtime
 ``loadtest``    open-loop load test (sim clock at paper scale, or real crypto)
+``batchpir``    cuckoo-batched multi-record retrieval + amortization model
 """
 
 from __future__ import annotations
@@ -183,9 +184,14 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     async def run():
         runtime = ServeRuntime(registry, backend, policy, admission)
         runtime.start()
-        indices = loadgen.uniform_indices(
-            registry.num_records, args.queries, seed=args.seed
-        )
+        if args.distribution == "zipf":
+            indices = loadgen.zipf_indices(
+                registry.num_records, args.queries, a=args.zipf_a, seed=args.seed
+            )
+        else:
+            indices = loadgen.uniform_indices(
+                registry.num_records, args.queries, seed=args.seed
+            )
         return await loadgen.run_open_loop(runtime, arrivals, indices)
 
     if args.mode == "sim":
@@ -199,6 +205,7 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     out = {
         "mode": args.mode,
         "pattern": args.pattern,
+        "distribution": args.distribution,
         "shards": args.shards,
         "offered": report.offered,
         "offered_qps": report.offered_qps,
@@ -211,6 +218,60 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     }
     print(json.dumps(out, indent=2))
     return 0 if report.errored == 0 else 1
+
+
+def cmd_batchpir(args: argparse.Namespace) -> int:
+    """Cuckoo-batched multi-record retrieval: real crypto + amortization model."""
+    import time
+
+    import numpy as np
+
+    from repro.batchpir import BatchPirProtocol, amortized_cost_curve
+
+    if args.db_gib not in _DIMS:
+        print(f"supported DB sizes: {sorted(_DIMS)} GiB", file=sys.stderr)
+        return 2
+    params = PirParams.small(n=256, d0=8, num_dims=2)
+    rng = np.random.default_rng(args.seed)
+    records = [rng.bytes(args.record_bytes) for _ in range(args.records)]
+    protocol = BatchPirProtocol(
+        params, records, max_batch=args.k, record_bytes=args.record_bytes,
+        seed=args.seed,
+    )
+    k = min(args.k, args.records)
+    indices = [int(i) for i in rng.choice(args.records, size=k, replace=False)]
+    start = time.monotonic()
+    result = protocol.retrieve_batch(indices)
+    elapsed = time.monotonic() - start
+    ok = all(rec == records[g] for rec, g in zip(result.records, indices))
+    layout = protocol.layout
+    print(
+        f"retrieved {k} records from {args.records} across "
+        f"{layout.num_buckets} buckets ({result.num_rounds} round"
+        f"{'s' if result.num_rounds != 1 else ''}): "
+        f"{'OK' if ok else 'MISMATCH'} in {elapsed:.2f}s"
+    )
+    print(
+        f"replication {layout.replication_factor:.2f}x, bucket geometry "
+        f"D0={layout.bucket_params.d0} d={layout.bucket_params.num_dims}, "
+        f"{protocol.transcript.per_query_online_bytes() / 1024:.0f} KiB "
+        "online/query"
+    )
+    points = amortized_cost_curve(
+        PirParams.paper(d0=256, num_dims=_DIMS[args.db_gib]), ks=(4, 16, 64)
+    )
+    print(f"modeled on IVE, {args.db_gib} GiB DB (amortized batch pass):")
+    print(
+        f"  {'k':>4s} {'buckets':>8s} {'single ms':>10s} {'amort ms':>9s} "
+        f"{'speedup':>8s} {'placement':>9s}"
+    )
+    for p in points:
+        print(
+            f"  {p.k:>4d} {p.num_buckets:>8d} {p.single_query_s * 1e3:>10.2f} "
+            f"{p.amortized_per_query_s * 1e3:>9.3f} {p.speedup:>7.1f}x "
+            f"{p.placement:>9s}"
+        )
+    return 0 if ok else 1
 
 
 def cmd_figures(_: argparse.Namespace) -> int:
@@ -270,6 +331,16 @@ def build_parser() -> argparse.ArgumentParser:
     qps.add_argument("--batch", type=int, default=64)
     qps.set_defaults(func=cmd_qps)
 
+    batchpir = sub.add_parser(
+        "batchpir", help="cuckoo-batched multi-record retrieval"
+    )
+    batchpir.add_argument("--records", type=int, default=256)
+    batchpir.add_argument("--record-bytes", type=int, default=32)
+    batchpir.add_argument("--k", type=int, default=16, help="records per batch")
+    batchpir.add_argument("--seed", type=int, default=0)
+    batchpir.add_argument("--db-gib", type=int, default=2, help="model DB size")
+    batchpir.set_defaults(func=cmd_batchpir)
+
     figures = sub.add_parser("figures", help="list reproduced tables/figures")
     figures.set_defaults(func=cmd_figures)
 
@@ -292,6 +363,15 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--mode", choices=("sim", "real"), default="sim")
     loadtest.add_argument(
         "--pattern", choices=("poisson", "bursty", "diurnal"), default="poisson"
+    )
+    loadtest.add_argument(
+        "--distribution",
+        choices=("uniform", "zipf"),
+        default="uniform",
+        help="record-popularity distribution of the generated indices",
+    )
+    loadtest.add_argument(
+        "--zipf-a", type=float, default=1.2, help="Zipf exponent (with zipf)"
     )
     loadtest.add_argument(
         "--queries", type=int, default=None, help="default: 10000 sim / 24 real"

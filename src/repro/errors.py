@@ -25,6 +25,14 @@ class SimulationError(ReproError):
     """The architectural simulator reached an inconsistent state."""
 
 
+class BatchPirError(ReproError):
+    """Base class for errors raised by the batch-PIR layer (repro.batchpir)."""
+
+
+class BatchPlanError(BatchPirError):
+    """A batch of indices could not be cuckoo-placed within the stash bound."""
+
+
 class ServeError(ReproError):
     """Base class for errors raised by the serving runtime (repro.serve)."""
 

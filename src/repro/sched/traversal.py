@@ -152,7 +152,7 @@ def _coltor_dfs(params: PirParams, cfg: ScheduleConfig, depth: int) -> Schedule:
     if ct_budget < 2 * ct:
         raise ParameterError(
             f"capacity {cfg.capacity_bytes} B cannot hold one key plus a cmux "
-            f"operand pair for DFS ColTor"
+            "operand pair for DFS ColTor"
         )
     resident_slots = min(depth + 1, ct_budget // ct)
     spare = cfg.capacity_bytes - transient - resident_slots * ct
@@ -300,7 +300,7 @@ def _expand_dfs(params: PirParams, cfg: ScheduleConfig, depth: int) -> Schedule:
     if ct_budget < 2 * ct:
         raise ParameterError(
             f"capacity {cfg.capacity_bytes} B cannot hold one evk plus an "
-            f"expansion pair for DFS ExpandQuery"
+            "expansion pair for DFS ExpandQuery"
         )
     resident_slots = min(depth + 1, ct_budget // ct)
     spare = cfg.capacity_bytes - transient - resident_slots * ct

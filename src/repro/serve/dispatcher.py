@@ -20,7 +20,12 @@ import asyncio
 from collections import deque
 from dataclasses import dataclass
 
-from repro.errors import ParameterError, QueueFullError, ShuttingDownError
+from repro.errors import (
+    ParameterError,
+    QueueFullError,
+    ServeError,
+    ShuttingDownError,
+)
 from repro.serve.metrics import ServeMetrics
 from repro.serve.registry import ServeRequest
 from repro.systems.batching import BatchPolicy
@@ -251,6 +256,31 @@ class ServeRuntime:
     async def serve_index(self, global_index: int) -> ServeResult:
         """Convenience: route, build the query, and await the result."""
         return await self.serve(self.registry.make_request(global_index))
+
+    async def serve_many(self, global_indices) -> list[ServeResult]:
+        """Submit a multi-record fetch in one shot and await all results.
+
+        All requests are submitted before any is awaited, so queries for
+        the same shard land in the same waiting window whenever the policy
+        allows — which is what lets a batch-aware backend (e.g.
+        ``repro.batchpir.serving.BatchCryptoBackend``) coalesce the
+        window's distinct indices into one amortized batched pass.
+        """
+        requests = [self.registry.make_request(int(g)) for g in global_indices]
+        futures: list[asyncio.Future] = []
+        try:
+            for request in requests:
+                futures.append(self.submit(request))
+        except ServeError:
+            # Don't abandon what was already enqueued — those batches still
+            # execute; retrieve them before surfacing the admission failure.
+            await asyncio.gather(*futures, return_exceptions=True)
+            raise
+        results = await asyncio.gather(*futures, return_exceptions=True)
+        for result in results:
+            if isinstance(result, BaseException):
+                raise result
+        return list(results)
 
     @property
     def total_queue_depth(self) -> int:

@@ -16,14 +16,18 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import ParameterError, ServeError
+from repro.systems.queueing import poisson_arrival_times
 
 
 def poisson_arrivals(rate_qps: float, num: int, seed: int = 0) -> np.ndarray:
-    """Homogeneous Poisson process: exponential inter-arrival gaps."""
-    if rate_qps <= 0:
-        raise ParameterError("arrival rate must be positive")
-    rng = np.random.default_rng(seed)
-    return np.cumsum(rng.exponential(1.0 / rate_qps, size=num))
+    """Homogeneous Poisson process: exponential inter-arrival gaps.
+
+    Seed-taking wrapper over the shared sampler
+    (:func:`repro.systems.queueing.poisson_arrival_times`), so the serving
+    load generator and the discrete-event queue models draw identical
+    schedules.
+    """
+    return poisson_arrival_times(rate_qps, num, np.random.default_rng(seed))
 
 
 def _inhomogeneous_arrivals(rate_fn, num: int, seed: int) -> np.ndarray:
@@ -90,6 +94,8 @@ def uniform_indices(num_records: int, num: int, seed: int = 0) -> np.ndarray:
 
 def zipf_indices(num_records: int, num: int, a: float = 1.2, seed: int = 0) -> np.ndarray:
     """Zipf-skewed indices: a hot head concentrated on the first shards."""
+    if a <= 1.0:
+        raise ParameterError("Zipf exponent must be greater than 1")
     rng = np.random.default_rng(seed)
     return (rng.zipf(a, size=num) - 1) % num_records
 

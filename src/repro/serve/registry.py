@@ -19,6 +19,7 @@ shard's preprocessed slice lives in HBM or spills to LPDDR.
 from __future__ import annotations
 
 import bisect
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -196,6 +197,8 @@ class SimShardRegistry:
     params: PirParams
     num_shards: int = 1
     config: IveConfig | None = None
+    batchpir: bool = False
+    design_batch: int = 64
     _service_cache: dict[int, float] = field(default_factory=dict, repr=False)
 
     def __post_init__(self):
@@ -216,6 +219,22 @@ class SimShardRegistry:
             self.config if self.config is not None else IveConfig.ive(),
         )
         self.map = ShardMap(self.params.num_db_polys, self.num_shards)
+        self.batch_system = None
+        if self.batchpir:
+            # Batch-aware mode: a dispatch window's distinct indices are
+            # served by amortized cuckoo-batch passes instead of per-query
+            # scans.  Imported lazily — repro.batchpir sits above this layer.
+            from repro.batchpir.model import model_bucket_params
+            from repro.systems.scale_up import BatchScaleUpSystem
+
+            if self.design_batch < 1:
+                raise ParameterError("design batch must be at least 1")
+            cuckoo, bucket_params = model_bucket_params(
+                self.shard_params, self.design_batch
+            )
+            self.batch_system = BatchScaleUpSystem(
+                bucket_params, cuckoo.num_buckets, self.config
+            )
 
     @property
     def num_records(self) -> int:
@@ -232,11 +251,30 @@ class SimShardRegistry:
         )
 
     def service_seconds(self, batch: int) -> float:
-        """Batched service time of one shard (cached per batch size)."""
+        """Batched service time of one shard (cached per batch size).
+
+        In batchpir mode a window of ``batch`` queries costs
+        ``ceil(batch / design_batch)`` amortized passes over the replicated
+        bucket set — the coalesced cost model, not per-query pipelines.
+        """
         if batch not in self._service_cache:
-            self._service_cache[batch] = self.system.latency(batch).total_s
+            if self.batch_system is not None:
+                passes = math.ceil(batch / self.design_batch)
+                seconds = passes * self.batch_system.pass_latency().total_s
+            else:
+                seconds = self.system.latency(batch).total_s
+            self._service_cache[batch] = seconds
         return self._service_cache[batch]
 
     def waiting_window_s(self) -> float:
-        """Paper policy: window = one RowSel DB read of the shard slice."""
+        """Paper policy: window = one RowSel DB read of the shard slice.
+
+        The batchpir analog reads every bucket database once (the
+        replicated set), which is what one coalesced pass amortizes.
+        """
+        if self.batch_system is not None:
+            return (
+                self.batch_system.num_buckets
+                * self.batch_system.simulator.min_db_read_seconds()
+            )
         return self.system.min_db_read_seconds()

@@ -23,9 +23,16 @@ from repro.errors import ParameterError
 from repro.systems.batching import BatchPolicy, ServicePoint
 
 
-def _poisson_arrivals(
+def poisson_arrival_times(
     rate_qps: float, num_queries: int, rng: np.random.Generator
 ) -> np.ndarray:
+    """Homogeneous Poisson arrival instants: cumulative exponential gaps.
+
+    The one shared sampler behind both the discrete-event queue models here
+    and the open-loop load generator (:mod:`repro.serve.loadgen`).
+    """
+    if rate_qps <= 0:
+        raise ParameterError("arrival rate must be positive")
     gaps = rng.exponential(1.0 / rate_qps, size=num_queries)
     return np.cumsum(gaps)
 
@@ -41,7 +48,7 @@ def simulate_batching(
     if arrival_qps <= 0:
         raise ParameterError("arrival rate must be positive")
     rng = np.random.default_rng(seed)
-    arrivals = _poisson_arrivals(arrival_qps, num_queries, rng)
+    arrivals = poisson_arrival_times(arrival_qps, num_queries, rng)
     latencies: list[float] = []
     batches: list[int] = []
     server_free = 0.0
@@ -88,7 +95,7 @@ def simulate_fifo(
     if arrival_qps <= 0:
         raise ParameterError("arrival rate must be positive")
     rng = np.random.default_rng(seed)
-    arrivals = _poisson_arrivals(arrival_qps, num_queries, rng)
+    arrivals = poisson_arrival_times(arrival_qps, num_queries, rng)
     latencies = np.empty(len(arrivals))
     server_free = 0.0
     for i, t in enumerate(arrivals):

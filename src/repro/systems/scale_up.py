@@ -44,7 +44,7 @@ def choose_placement(preprocessed_db_bytes: int, memory) -> tuple[DbPlacement, f
         return DbPlacement.LPDDR, memory.lpddr_bandwidth
     raise ParameterError(
         f"preprocessed DB of {preprocessed_db_bytes / (1 << 30):.0f} GiB exceeds "
-        f"the LPDDR capacity of one IVE system; use an IveCluster"
+        "the LPDDR capacity of one IVE system; use an IveCluster"
     )
 
 
@@ -101,3 +101,56 @@ class ScaleUpSystem:
             if rates[b] >= 0.95 * best:
                 return b
         return max(candidates)
+
+
+@dataclass
+class BatchScaleUpSystem:
+    """One IVE system serving a cuckoo-bucketed batch-PIR deployment.
+
+    The database lives replicated across ``num_buckets`` small bucket
+    databases (``repro.batchpir.layout``); one amortized pass answers up to
+    the design batch of k queries by running every bucket's pipeline once.
+    Placement follows the same Section V rule as the single-query system,
+    but against the REPLICATED preprocessed footprint — batch PIR trades
+    ~``replication_factor``x storage for a ~``k / replication_factor``x
+    smaller per-query scan.
+    """
+
+    bucket_params: PirParams
+    num_buckets: int
+    config: IveConfig = None  # type: ignore[assignment]
+    traversal: Traversal = Traversal.HS_DFS
+
+    def __post_init__(self):
+        if self.num_buckets < 1:
+            raise ParameterError("need at least one bucket")
+        if self.config is None:
+            self.config = IveConfig.ive()
+        self.placement, db_bandwidth = choose_placement(
+            self.preprocessed_db_bytes, self.config.memory
+        )
+        self.simulator = IveSimulator(
+            self.config,
+            self.bucket_params,
+            traversal=self.traversal,
+            db_bandwidth=db_bandwidth,
+        )
+
+    @property
+    def preprocessed_db_bytes(self) -> int:
+        """Replicated footprint: every bucket database, preprocessed."""
+        return (
+            self.num_buckets
+            * self.bucket_params.num_db_polys
+            * self.bucket_params.poly_bytes
+        )
+
+    def pass_latency(self) -> PirLatency:
+        """One batch pass: every bucket's pipeline, DB streamed once."""
+        return self.simulator.batchpir_pass_latency(self.num_buckets)
+
+    def amortized_per_query_s(self, k: int) -> float:
+        """Per-query share of one pass serving k retrievals."""
+        if k < 1:
+            raise ParameterError("amortization needs at least one query")
+        return self.pass_latency().total_s / k

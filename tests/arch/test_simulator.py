@@ -1,6 +1,5 @@
 """Cycle simulator: invariants, paper-number reproduction, scaling laws."""
 
-import math
 
 import pytest
 

@@ -1,0 +1,70 @@
+"""Amortized accelerator cost model: speedups, placement, geometry."""
+
+import pytest
+
+from repro.batchpir.model import amortized_cost_curve, model_bucket_params
+from repro.errors import ParameterError
+from repro.params import PirParams
+from repro.systems.scale_up import BatchScaleUpSystem, ScaleUpSystem
+
+
+@pytest.fixture(scope="module")
+def paper():
+    return PirParams.paper(d0=256, num_dims=9)  # 2 GiB Table I database
+
+
+class TestModelGeometry:
+    def test_bucket_capacity_covers_mean_occupancy(self, paper):
+        config, bucket_params = model_bucket_params(paper, k=64)
+        need = config.num_hashes * paper.num_db_polys / config.num_buckets
+        assert bucket_params.num_db_polys >= need
+        assert config.num_buckets == 96
+
+    def test_shares_ring_with_base(self, paper):
+        _, bucket_params = model_bucket_params(paper, k=16)
+        assert bucket_params.n == paper.n
+        assert bucket_params.moduli == paper.moduli
+
+
+class TestBatchScaleUpSystem:
+    def test_replicated_footprint_drives_placement(self, paper):
+        config, bucket_params = model_bucket_params(paper, k=64)
+        system = BatchScaleUpSystem(bucket_params, config.num_buckets)
+        single = ScaleUpSystem(paper)
+        assert system.preprocessed_db_bytes > single.preprocessed_db_bytes
+        assert system.preprocessed_db_bytes == (
+            config.num_buckets
+            * bucket_params.num_db_polys
+            * bucket_params.poly_bytes
+        )
+
+    def test_pass_latency_positive_breakdown(self, paper):
+        config, bucket_params = model_bucket_params(paper, k=16)
+        system = BatchScaleUpSystem(bucket_params, config.num_buckets)
+        lat = system.pass_latency()
+        assert lat.batch == config.num_buckets
+        assert lat.total_s > 0
+        assert lat.rowsel_s > 0
+
+    def test_amortized_needs_positive_k(self, paper):
+        config, bucket_params = model_bucket_params(paper, k=4)
+        system = BatchScaleUpSystem(bucket_params, config.num_buckets)
+        with pytest.raises(ParameterError):
+            system.amortized_per_query_s(0)
+
+
+class TestAmortizedCurve:
+    def test_k64_speedup_clears_4x(self, paper):
+        (point,) = amortized_cost_curve(paper, ks=(64,))
+        assert point.speedup >= 4.0
+
+    def test_speedup_grows_with_k(self, paper):
+        points = amortized_cost_curve(paper, ks=(4, 16, 64))
+        speedups = [p.speedup for p in points]
+        assert speedups == sorted(speedups)
+        assert all(p.single_query_s == points[0].single_query_s for p in points)
+
+    def test_pass_cost_is_sublinear_in_k(self, paper):
+        points = amortized_cost_curve(paper, ks=(4, 64))
+        # 16x the batch should cost far less than 16x the pass time.
+        assert points[1].batch_pass_s < 4 * points[0].batch_pass_s

@@ -10,7 +10,6 @@ from repro.he.modswitch import (
     switching_noise_bound,
 )
 from repro.he.publickey import PublicKey, encrypt_public
-from repro.params import PirParams
 from repro.pir.database import PirDatabase
 from repro.pir.protocol import PirProtocol
 

@@ -1,6 +1,5 @@
 """Noise model (Section II-C): estimates bound measurements; errors additive."""
 
-import numpy as np
 import pytest
 
 from repro.he import noise

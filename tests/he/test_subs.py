@@ -3,7 +3,6 @@
 import numpy as np
 import pytest
 
-from repro.he.bfv import SecretKey
 from repro.he.subs import generate_subs_key, substitute
 
 

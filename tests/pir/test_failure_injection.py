@@ -10,9 +10,7 @@ import numpy as np
 import pytest
 
 from repro.errors import ParameterError
-from repro.he.poly import Domain
 from repro.he.rgsw import rgsw_encrypt
-from repro.params import PirParams
 from repro.pir.client import PirClient
 from repro.pir.database import PirDatabase
 from repro.pir.protocol import PirProtocol

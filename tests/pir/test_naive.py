@@ -1,6 +1,5 @@
 """Naive one-hot PIR (Section II-A) and its communication blow-up."""
 
-import numpy as np
 import pytest
 
 from repro.errors import LayoutError

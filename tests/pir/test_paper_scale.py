@@ -7,7 +7,6 @@ essential end-to-end properties are checked here; breadth lives in the
 fast small-ring suites.
 """
 
-import numpy as np
 import pytest
 
 from repro.he import noise

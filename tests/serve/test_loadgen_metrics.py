@@ -34,6 +34,16 @@ class TestArrivalProcesses:
         with pytest.raises(ParameterError):
             poisson_arrivals(0.0, 10)
 
+    def test_poisson_shares_sampler_with_queueing_models(self):
+        from repro.systems.queueing import poisson_arrival_times
+
+        direct = poisson_arrival_times(50.0, 200, np.random.default_rng(9))
+        assert np.array_equal(poisson_arrivals(50.0, 200, seed=9), direct)
+
+    def test_zipf_rejects_degenerate_exponent(self):
+        with pytest.raises(ParameterError):
+            zipf_indices(100, 10, a=1.0)
+
     def test_bursty_alternates_rates(self):
         times = bursty_arrivals(10.0, 1000.0, 4000, period_s=1.0, duty=0.5, seed=4)
         assert np.all(np.diff(times) > 0)

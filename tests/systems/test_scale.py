@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.arch.config import GB, IveConfig
+from repro.arch.config import GB
 from repro.errors import ParameterError
 from repro.params import PirParams
 from repro.systems import DbPlacement, IveCluster, ScaleUpSystem

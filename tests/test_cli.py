@@ -81,6 +81,43 @@ class TestCli:
     def test_loadtest_sim_rejects_unknown_db_size(self, capsys):
         assert main(["loadtest", "--mode", "sim", "--db-gib", "3"]) == 2
 
+    def test_loadtest_zipf_distribution(self, capsys):
+        import json
+
+        assert (
+            main(
+                [
+                    "loadtest",
+                    "--mode",
+                    "sim",
+                    "--queries",
+                    "500",
+                    "--distribution",
+                    "zipf",
+                    "--zipf-a",
+                    "1.5",
+                ]
+            )
+            == 0
+        )
+        out = json.loads(capsys.readouterr().out)
+        assert out["distribution"] == "zipf"
+        assert out["completed"] == 500
+
+    def test_batchpir_round_trip_and_model(self, capsys):
+        assert (
+            main(["batchpir", "--records", "64", "--record-bytes", "16", "--k", "8"])
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "speedup" in out
+
+    def test_batchpir_rejects_unknown_db_size(self, capsys):
+        assert (
+            main(["batchpir", "--records", "32", "--k", "4", "--db-gib", "3"]) == 2
+        )
+
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
