@@ -11,6 +11,7 @@ PRs have a trajectory to compare against.
 """
 
 import json
+import os
 import pathlib
 import time
 
@@ -23,10 +24,16 @@ from repro.params import PirParams
 from repro.pir.database import PirDatabase
 from repro.pir.protocol import PirProtocol
 
-NUM_RECORDS = 32768
+#: BENCH_SMOKE=1 shrinks every knob for the CI smoke job: the scripts
+#: must still run end to end, but results are not written or compared.
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+
+NUM_RECORDS = 2048 if SMOKE else 32768
 RECORD_BYTES = 32
-REAL_KS = (8, 32, 64)
-MODEL_KS = (8, 32, 64, 256)
+REAL_KS = (8, 16) if SMOKE else (8, 32, 64)
+MODEL_KS = (8, 16) if SMOKE else (8, 32, 64, 256)
+ASSERT_K = REAL_KS[-1]
+SPEEDUP_BOUND = 1.5 if SMOKE else 4.0
 
 _OUT = pathlib.Path(__file__).resolve().parent / "BENCH_batchpir.json"
 
@@ -39,7 +46,7 @@ def _real_crypto_points() -> dict:
 
     # Baseline: independent single queries over the unbucketed database.
     single = PirProtocol(params, PirDatabase.from_records(records, params), seed=1)
-    query = single.client.build_query(12345, single.db.layout)
+    query = single.client.build_query(NUM_RECORDS // 2, single.db.layout)
     single.server.answer(query)  # warm numpy caches
     start = time.monotonic()
     reps = 2
@@ -102,8 +109,9 @@ def _model_points() -> list[dict]:
 
 def test_batchpir_amortization(benchmark, report):
     real, model = run_once(benchmark, lambda: (_real_crypto_points(), _model_points()))
-    payload = {"real_crypto": real, "model_2gib": model}
-    _OUT.write_text(json.dumps(payload, indent=2) + "\n")
+    if not SMOKE:
+        payload = {"real_crypto": real, "model_2gib": model}
+        _OUT.write_text(json.dumps(payload, indent=2) + "\n")
 
     lines = [f"real crypto, {NUM_RECORDS} records: single query "
              f"{real['single_query_s'] * 1e3:.0f} ms"]
@@ -123,17 +131,19 @@ def test_batchpir_amortization(benchmark, report):
             f"{p['batch_pass_ms'] / 1e3:>7.4f} {p['amortized_per_query_ms']:>9.3f} "
             f"{p['speedup_vs_single']:>7.1f}x  ({p['placement']})"
         )
-    lines.append(f"JSON written to {_OUT.name}")
+    lines.append("JSON skipped (smoke)" if SMOKE else f"JSON written to {_OUT.name}")
     report("Batch PIR — amortized per-query server cost vs k", lines)
 
     # Every batched record decodes byte-correct at every k...
     for p in real["points"]:
         assert p["correct"] == p["k"]
-    # ...and the k=64 amortization clears 4x in BOTH halves (acceptance).
-    real64 = next(p for p in real["points"] if p["k"] == 64)
-    model64 = next(p for p in model if p["k"] == 64)
-    assert real64["speedup_vs_single"] >= 4.0
-    assert model64["speedup_vs_single"] >= 4.0
+    # ...and the largest-k amortization clears the bound in BOTH halves
+    # (acceptance: 4x at k=64; the smoke run asserts a looser bound at its
+    # smaller k, where fewer queries share each pass).
+    real_top = next(p for p in real["points"] if p["k"] == ASSERT_K)
+    model_top = next(p for p in model if p["k"] == ASSERT_K)
+    assert real_top["speedup_vs_single"] >= SPEEDUP_BOUND
+    assert model_top["speedup_vs_single"] >= SPEEDUP_BOUND
     # Amortization improves monotonically with k in the model.
     model_speedups = [p["speedup_vs_single"] for p in model]
     assert model_speedups == sorted(model_speedups)

@@ -288,6 +288,20 @@ class IveSimulator:
         """
         return self.latency(num_buckets, db_copies=num_buckets)
 
+    def kvpir_lookup_latency(self, candidates: int) -> PirLatency:
+        """One keyword lookup standing alone on the slot-table geometry.
+
+        A keyword lookup is ``candidates`` index queries — the key's
+        cuckoo candidate slots plus the public stash slots — that all
+        resolve against the same slot table, so RowSel streams the
+        database once while ExpandQuery/ColTor run per candidate.  The
+        per-lookup cost is the returned latency's ``total_s`` (its
+        ``batch`` field counts candidate queries, not lookups).
+        """
+        if candidates < 1:
+            raise SimulationError("a lookup must probe at least one candidate")
+        return self.latency(candidates)
+
     def qps(self, batch: int) -> float:
         return self.latency(batch).qps
 

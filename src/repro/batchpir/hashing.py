@@ -4,140 +4,29 @@ Batch PIR amortizes the server's database pass across a client's k wanted
 records: the server replicates every record into each of its ``num_hashes``
 candidate buckets, the client cuckoo-places its k indices so that every
 bucket holds at most one wanted index, and one small PIR query runs per
-bucket.  The hash functions must be identical on both sides, so candidates
-are derived from a keyed blake2b over the record index — deterministic per
-deployment via ``seed``, with no shared state beyond this config.
+bucket.
 
-Cuckoo insertion uses the random-walk eviction strategy with a bounded
-number of kicks; keys that still cannot be placed land in a bounded stash
-(served by extra query rounds, see :mod:`repro.batchpir.client`).  With
-``num_buckets >= 1.5 * k`` and three hash functions the stash is empty with
-overwhelming probability (Kirsch-Mitzenmacher-Wieder).
+The cuckoo machinery itself lives in :mod:`repro.hashing.cuckoo` — it is
+shared with the keyword-PIR slot placement in :mod:`repro.kvpir` — and is
+re-exported here so existing batch-PIR callers keep their import path.
 """
 
-from __future__ import annotations
+from repro.hashing.cuckoo import (
+    BUCKET_FACTOR,
+    DEFAULT_NUM_HASHES,
+    CuckooAssignment,
+    CuckooConfig,
+    cuckoo_assign,
+    key_bytes,
+    num_buckets_for,
+)
 
-import hashlib
-import math
-from dataclasses import dataclass
-
-import numpy as np
-
-from repro.errors import BatchPlanError, ParameterError
-
-#: Bucket-to-key expansion factor: B = ceil(BUCKET_FACTOR * k).
-BUCKET_FACTOR = 1.5
-
-#: Record replication factor = number of candidate buckets per key.
-DEFAULT_NUM_HASHES = 3
-
-
-def num_buckets_for(max_batch: int, factor: float = BUCKET_FACTOR) -> int:
-    """Bucket count for a design batch size (at least 2, ~1.5x keys)."""
-    if max_batch < 1:
-        raise ParameterError("design batch size must be at least 1")
-    return max(2, math.ceil(factor * max_batch))
-
-
-@dataclass(frozen=True)
-class CuckooConfig:
-    """Deployment-static hashing parameters shared by client and server."""
-
-    num_buckets: int
-    num_hashes: int = DEFAULT_NUM_HASHES
-    stash_size: int = 4
-    max_evictions: int = 128
-    seed: int = 0
-
-    def __post_init__(self):
-        if self.num_buckets < 2:
-            raise ParameterError("cuckoo hashing needs at least 2 buckets")
-        if self.num_hashes < 2:
-            raise ParameterError("cuckoo hashing needs at least 2 hash functions")
-        if self.stash_size < 0:
-            raise ParameterError("stash size cannot be negative")
-        if self.max_evictions < 1:
-            raise ParameterError("eviction bound must be at least 1")
-
-    @classmethod
-    def for_batch(cls, max_batch: int, seed: int = 0, **kwargs) -> "CuckooConfig":
-        return cls(num_buckets=num_buckets_for(max_batch), seed=seed, **kwargs)
-
-    @property
-    def design_batch(self) -> int:
-        """Largest key count this table is sized for (inverse of 1.5x rule)."""
-        return max(1, int(self.num_buckets / BUCKET_FACTOR))
-
-    def candidates(self, key: int) -> tuple[int, ...]:
-        """The ``num_hashes`` candidate buckets of a record index.
-
-        Keyed blake2b keeps the mapping deterministic across processes and
-        Python versions (``hash()`` is salted per interpreter run).
-        Candidates may collide for small bucket counts; insertion handles
-        duplicate candidates gracefully.
-        """
-        if key < 0:
-            raise ParameterError("record indices must be non-negative")
-        out = []
-        for i in range(self.num_hashes):
-            h = hashlib.blake2b(
-                key.to_bytes(8, "little"),
-                digest_size=8,
-                key=self.seed.to_bytes(8, "little") + bytes([i]),
-            )
-            out.append(int.from_bytes(h.digest(), "little") % self.num_buckets)
-        return tuple(out)
-
-
-@dataclass(frozen=True)
-class CuckooAssignment:
-    """Result of placing one batch of keys: slot per bucket + stash."""
-
-    slots: dict[int, int]  # bucket id -> key
-    stash: tuple[int, ...]
-
-    @property
-    def placed(self) -> int:
-        return len(self.slots)
-
-
-def cuckoo_assign(keys: list[int], config: CuckooConfig) -> CuckooAssignment:
-    """Place distinct keys so each bucket holds at most one.
-
-    Random-walk eviction: when every candidate bucket of a key is taken, a
-    uniformly chosen victim among them is kicked out and re-inserted.  The
-    walk is bounded by ``max_evictions``; a key whose walk exhausts the
-    bound goes to the stash.  Raises :class:`BatchPlanError` when the stash
-    bound is exceeded — the typed failure callers can catch to split the
-    batch.
-    """
-    if len(set(keys)) != len(keys):
-        raise ParameterError("batch indices must be distinct")
-    if len(keys) > config.num_buckets + config.stash_size:
-        raise BatchPlanError(
-            f"{len(keys)} keys cannot fit in {config.num_buckets} buckets "
-            f"plus a stash of {config.stash_size}"
-        )
-    rng = np.random.default_rng(config.seed)
-    slots: dict[int, int] = {}
-    stash: list[int] = []
-    for key in keys:
-        current = key
-        for _ in range(config.max_evictions):
-            cands = config.candidates(current)
-            free = [b for b in cands if b not in slots]
-            if free:
-                slots[free[0]] = current
-                current = None
-                break
-            victim_bucket = cands[int(rng.integers(len(cands)))]
-            current, slots[victim_bucket] = slots[victim_bucket], current
-        if current is not None:
-            stash.append(current)
-            if len(stash) > config.stash_size:
-                raise BatchPlanError(
-                    f"cuckoo insertion of {len(keys)} keys into "
-                    f"{config.num_buckets} buckets overflowed the stash bound "
-                    f"of {config.stash_size}"
-                )
-    return CuckooAssignment(slots=slots, stash=tuple(stash))
+__all__ = [
+    "BUCKET_FACTOR",
+    "DEFAULT_NUM_HASHES",
+    "CuckooAssignment",
+    "CuckooConfig",
+    "cuckoo_assign",
+    "key_bytes",
+    "num_buckets_for",
+]

@@ -10,6 +10,7 @@ Commands
 ``serve``       real-crypto smoke of the multi-shard serving runtime
 ``loadtest``    open-loop load test (sim clock at paper scale, or real crypto)
 ``batchpir``    cuckoo-batched multi-record retrieval + amortization model
+``kvpir``       keyword PIR over a key-value store + keyword-overhead model
 """
 
 from __future__ import annotations
@@ -90,7 +91,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         num_records=args.records,
         record_bytes=args.record_bytes,
         num_shards=args.shards,
-        seed=3,
+        seed=args.seed,
     )
     policy = BatchPolicy(
         waiting_window_s=args.window_ms / 1e3, max_batch=args.max_batch
@@ -151,6 +152,9 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     admission = AdmissionConfig(max_queue_depth=args.max_queue)
     wall_start = time.monotonic()
 
+    if args.serving != "plain" and args.mode != "sim":
+        print("--serving batchpir/kvpir is a sim-mode model", file=sys.stderr)
+        return 2
     if args.mode == "sim":
         from repro.serve import SimShardRegistry, SimulatedBackend
 
@@ -160,6 +164,8 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         registry = SimShardRegistry(
             PirParams.paper(d0=256, num_dims=_DIMS[args.db_gib]),
             num_shards=args.shards,
+            batchpir=args.serving == "batchpir",
+            kvpir=args.serving == "kvpir",
         )
         policy = BatchPolicy(
             waiting_window_s=registry.waiting_window_s(), max_batch=args.max_batch
@@ -205,6 +211,7 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     out = {
         "mode": args.mode,
         "pattern": args.pattern,
+        "serving": args.serving,
         "distribution": args.distribution,
         "shards": args.shards,
         "offered": report.offered,
@@ -236,7 +243,7 @@ def cmd_batchpir(args: argparse.Namespace) -> int:
     records = [rng.bytes(args.record_bytes) for _ in range(args.records)]
     protocol = BatchPirProtocol(
         params, records, max_batch=args.k, record_bytes=args.record_bytes,
-        seed=args.seed,
+        hash_seed=args.seed, seed=args.seed,
     )
     k = min(args.k, args.records)
     indices = [int(i) for i in rng.choice(args.records, size=k, replace=False)]
@@ -271,6 +278,79 @@ def cmd_batchpir(args: argparse.Namespace) -> int:
             f"{p.amortized_per_query_s * 1e3:>9.3f} {p.speedup:>7.1f}x "
             f"{p.placement:>9s}"
         )
+    return 0 if ok else 1
+
+
+def cmd_kvpir(args: argparse.Namespace) -> int:
+    """Keyword PIR over a key-value store: real crypto + keyword-overhead model."""
+    import time
+
+    import numpy as np
+
+    from repro.errors import KeyNotFound
+    from repro.kvpir import KvPirProtocol, keyword_overhead_curve
+    from repro.kvpir.layout import random_items
+
+    if args.db_gib not in _DIMS:
+        print(f"supported DB sizes: {sorted(_DIMS)} GiB", file=sys.stderr)
+        return 2
+    params = PirParams.small(n=256, d0=8, num_dims=2)
+    rng = np.random.default_rng(args.seed)
+    items = random_items(args.keys, args.value_bytes, seed=args.seed)
+    protocol = KvPirProtocol(
+        params,
+        items,
+        tag_bytes=args.tag_bytes,
+        max_lookup_batch=args.k,
+        hash_seed=args.seed,
+        seed=args.seed,
+    )
+    keys = list(items)
+    k = min(args.k, len(keys))
+    wanted = [keys[int(i)] for i in rng.choice(len(keys), size=k, replace=False)]
+    start = time.monotonic()
+    result = protocol.lookup_many(wanted)
+    elapsed = time.monotonic() - start
+    ok = not result.missing and all(
+        result.values[key] == items[key] for key in wanted
+    )
+    try:  # an absent key must surface as the typed miss, never as bytes
+        protocol.lookup(rng.bytes(13))
+        ok = False
+        print("absent key decoded to a value (tag collision?)", file=sys.stderr)
+    except KeyNotFound:
+        pass
+    layout = protocol.layout
+    print(
+        f"looked up {k}/{len(keys)} keys across {layout.num_slots} slots "
+        f"({layout.stash_slots} stash): {'OK' if ok else 'MISMATCH'} in "
+        f"{elapsed:.2f}s; absent key -> KeyNotFound"
+    )
+    print(
+        f"{layout.slot_expansion:.2f}x slots/key, "
+        f"<= {layout.candidates_per_lookup} probes/lookup, tag {layout.tag_bytes} B, "
+        f"{protocol.transcript.per_query_online_bytes() / 1024:.0f} KiB online/lookup"
+    )
+    points = keyword_overhead_curve(
+        PirParams.paper(d0=256, num_dims=_DIMS[args.db_gib]), ks=(4, 16, 64)
+    )
+    print(f"modeled on IVE, {args.db_gib} GiB live records (keyword vs index):")
+    print(
+        f"  {'k':>4s} {'index ms':>9s} {'lookup ms':>10s} {'overhead':>9s} "
+        f"{'placement':>11s}"
+    )
+    for p in points:
+        print(
+            f"  {p.k:>4d} {p.amortized_index_s * 1e3:>9.3f} "
+            f"{p.amortized_lookup_s * 1e3:>10.3f} {p.amortized_overhead:>8.1f}x "
+            f"{p.index_placement + '->' + p.kv_placement:>11s}"
+        )
+    single = points[-1]
+    print(
+        f"standalone: index {single.index_query_s * 1e3:.2f} ms, lookup "
+        f"{single.lookup_s * 1e3:.2f} ms ({single.standalone_overhead:.1f}x, "
+        f"{single.candidates} probes)"
+    )
     return 0 if ok else 1
 
 
@@ -341,6 +421,17 @@ def build_parser() -> argparse.ArgumentParser:
     batchpir.add_argument("--db-gib", type=int, default=2, help="model DB size")
     batchpir.set_defaults(func=cmd_batchpir)
 
+    kvpir = sub.add_parser(
+        "kvpir", help="keyword PIR over a sparse key-value store"
+    )
+    kvpir.add_argument("--keys", type=int, default=256)
+    kvpir.add_argument("--value-bytes", type=int, default=24)
+    kvpir.add_argument("--tag-bytes", type=int, default=8)
+    kvpir.add_argument("--k", type=int, default=8, help="lookups per batch")
+    kvpir.add_argument("--seed", type=int, default=0)
+    kvpir.add_argument("--db-gib", type=int, default=2, help="model DB size")
+    kvpir.set_defaults(func=cmd_kvpir)
+
     figures = sub.add_parser("figures", help="list reproduced tables/figures")
     figures.set_defaults(func=cmd_figures)
 
@@ -357,6 +448,7 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--queries", type=int, default=16)
     serve.add_argument("--window-ms", type=float, default=10.0)
     serve.add_argument("--max-batch", type=int, default=8)
+    serve.add_argument("--seed", type=int, default=3)
     serve.set_defaults(func=cmd_serve)
 
     loadtest = sub.add_parser("loadtest", help="open-loop serving load test")
@@ -369,6 +461,13 @@ def build_parser() -> argparse.ArgumentParser:
         choices=("uniform", "zipf"),
         default="uniform",
         help="record-popularity distribution of the generated indices",
+    )
+    loadtest.add_argument(
+        "--serving",
+        choices=("plain", "batchpir", "kvpir"),
+        default="plain",
+        help="sim-mode serving model: per-query scans, cuckoo-batched "
+        "passes, or keyword lookups over the slot table",
     )
     loadtest.add_argument(
         "--zipf-a", type=float, default=1.2, help="Zipf exponent (with zipf)"

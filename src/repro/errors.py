@@ -33,6 +33,27 @@ class BatchPlanError(BatchPirError):
     """A batch of indices could not be cuckoo-placed within the stash bound."""
 
 
+class KvPirError(ReproError):
+    """Base class for errors raised by the keyword-PIR layer (repro.kvpir)."""
+
+
+class KvBuildError(KvPirError):
+    """A key-value store could not be cuckoo-placed into its slot table."""
+
+
+class KeyNotFound(KvPirError):
+    """A keyword lookup matched no record tag in any candidate slot.
+
+    False positives (an absent key decoding to garbage) are bounded by the
+    tag width: each of the ~``num_hashes + stash`` probed slots matches a
+    random tag with probability ``2**-(8 * tag_bytes)``.
+    """
+
+    def __init__(self, key: bytes):
+        self.key = key
+        super().__init__(f"no record tagged for key {key!r}")
+
+
 class ServeError(ReproError):
     """Base class for errors raised by the serving runtime (repro.serve)."""
 

@@ -1,0 +1,28 @@
+"""repro.hashing — shared hashing primitives for PIR data placement.
+
+``cuckoo`` holds the keyed multi-hash cuckoo machinery used by two
+subsystems with opposite roles: ``repro.batchpir`` cuckoo-places a
+client's k wanted indices into query buckets, and ``repro.kvpir``
+cuckoo-places the *server's* key-value records into dense PIR slots so
+clients can derive candidate locations from a key alone.
+"""
+
+from repro.hashing.cuckoo import (
+    BUCKET_FACTOR,
+    DEFAULT_NUM_HASHES,
+    CuckooAssignment,
+    CuckooConfig,
+    cuckoo_assign,
+    key_bytes,
+    num_buckets_for,
+)
+
+__all__ = [
+    "BUCKET_FACTOR",
+    "DEFAULT_NUM_HASHES",
+    "CuckooAssignment",
+    "CuckooConfig",
+    "cuckoo_assign",
+    "key_bytes",
+    "num_buckets_for",
+]

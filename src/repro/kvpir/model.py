@@ -1,0 +1,119 @@
+"""Accelerator cost model for keyword PIR: what does key-addressing cost?
+
+The deployment question: versus dense index PIR over the same record
+count, how much does the keyword layer's machinery — ~1.5x slot
+provisioning, tag bytes per record, and ``num_hashes + stash`` probes per
+lookup — inflate the per-retrieval server cost on IVE?  Both the
+standalone and the batched (cuckoo-amortized) comparisons reuse the cycle
+simulator through :class:`~repro.systems.scale_up.KvScaleUpSystem` and
+:class:`~repro.systems.scale_up.BatchScaleUpSystem`, so keyword numbers,
+batch numbers, and the paper-reproduction numbers all come from one code
+path.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.batchpir.model import model_bucket_params
+from repro.hashing.cuckoo import BUCKET_FACTOR, DEFAULT_NUM_HASHES
+from repro.params import PirParams
+from repro.systems.scale_up import BatchScaleUpSystem, KvScaleUpSystem, ScaleUpSystem
+
+#: Default modeled probes per lookup: the cuckoo candidates plus one
+#: always-probed stash slot (stashes are almost always empty, but a
+#: deployment provisions for a nonzero one).
+DEFAULT_MODEL_CANDIDATES = DEFAULT_NUM_HASHES + 1
+
+
+def model_kv_slot_params(
+    params: PirParams, slot_factor: float = BUCKET_FACTOR
+) -> PirParams:
+    """Slot-table geometry holding ``params.num_db_polys`` live keys.
+
+    The table provisions ``slot_factor``x slots per key, rounded up to the
+    next power-of-two database geometry; values shed ``tag_bytes`` so a
+    ``tag || value`` record still fills exactly one plaintext polynomial,
+    making the slot-count inflation the whole footprint story.
+    """
+    slots = math.ceil(slot_factor * params.num_db_polys)
+    num_dims = max(0, math.ceil(math.log2(max(1, slots) / params.d0)))
+    return params.with_db(num_dims=num_dims)
+
+
+@dataclass(frozen=True)
+class KvCostPoint:
+    """Modeled keyword-vs-index cost at one design batch size k."""
+
+    k: int
+    candidates: int
+    index_query_s: float
+    lookup_s: float
+    amortized_index_s: float
+    amortized_lookup_s: float
+    index_placement: str
+    kv_placement: str
+    slot_db_bytes: int
+    kv_replicated_db_bytes: int
+
+    @property
+    def standalone_overhead(self) -> float:
+        """Keyword lookup vs index query, both standing alone."""
+        return self.lookup_s / self.index_query_s
+
+    @property
+    def amortized_overhead(self) -> float:
+        """Per-lookup vs per-index cost inside matched k-batches."""
+        return self.amortized_lookup_s / self.amortized_index_s
+
+
+def kv_cost_point(
+    params: PirParams,
+    k: int = 64,
+    candidates: int = DEFAULT_MODEL_CANDIDATES,
+    config=None,
+) -> KvCostPoint:
+    """Keyword-vs-index costs at matched record counts (the bench's model).
+
+    ``params`` describes the dense index-PIR baseline; the keyword store
+    holds the same number of live records behind its inflated slot table.
+    Standalone: one lookup (``candidates`` probes, one table scan) vs one
+    index query.  Amortized: a k-lookup cuckoo-batched pass over the slot
+    table vs a k-index pass over the dense database.
+    """
+    index_system = ScaleUpSystem(params, config)
+    index_single = index_system.latency(1).total_s
+
+    slot_params = model_kv_slot_params(params)
+    kv_system = KvScaleUpSystem(slot_params, candidates, config)
+    lookup_s = kv_system.lookup_latency().total_s
+
+    dense_cuckoo, dense_bucket = model_bucket_params(params, k)
+    dense_batch = BatchScaleUpSystem(dense_bucket, dense_cuckoo.num_buckets, config)
+
+    kv_cuckoo, kv_bucket = model_bucket_params(slot_params, k * candidates)
+    kv_batch = BatchScaleUpSystem(kv_bucket, kv_cuckoo.num_buckets, config)
+
+    return KvCostPoint(
+        k=k,
+        candidates=candidates,
+        index_query_s=index_single,
+        lookup_s=lookup_s,
+        amortized_index_s=dense_batch.amortized_per_query_s(k),
+        amortized_lookup_s=kv_batch.amortized_per_query_s(k),
+        index_placement=index_system.placement.value,
+        kv_placement=kv_system.placement.value,
+        slot_db_bytes=kv_system.preprocessed_db_bytes,
+        kv_replicated_db_bytes=kv_batch.preprocessed_db_bytes,
+    )
+
+
+def keyword_overhead_curve(
+    params: PirParams,
+    ks: tuple[int, ...] = (8, 32, 64),
+    candidates: int = DEFAULT_MODEL_CANDIDATES,
+    config=None,
+) -> list[KvCostPoint]:
+    """Keyword overhead vs design batch size (the benchmark's model half)."""
+    return [kv_cost_point(params, k, candidates, config) for k in ks]

@@ -257,6 +257,28 @@ class ServeRuntime:
         """Convenience: route, build the query, and await the result."""
         return await self.serve(self.registry.make_request(global_index))
 
+    async def serve_key(self, key: bytes) -> ServeResult:
+        """Keyword lookup: route by key against a keyword-PIR registry.
+
+        Requires a registry whose ``make_request`` takes a key (e.g.
+        ``repro.kvpir.serving.KvServeRegistry``); the result's response is
+        the value bytes, or ``None`` for an absent key — ``registry.decode``
+        turns that into the typed ``KeyNotFound``.
+        """
+        return await self.serve(self.registry.make_request(key))
+
+    async def serve_keys(self, keys) -> list[ServeResult]:
+        """Submit a multi-key lookup in one shot and await all results.
+
+        Same windowing contract as :meth:`serve_many`: all requests are
+        submitted before any is awaited, so a shard's lookups share a
+        waiting window and the keyword backend coalesces their candidate
+        slots into amortized batched passes.
+        """
+        return await self._serve_all(
+            [self.registry.make_request(k) for k in keys]
+        )
+
     async def serve_many(self, global_indices) -> list[ServeResult]:
         """Submit a multi-record fetch in one shot and await all results.
 
@@ -266,7 +288,11 @@ class ServeRuntime:
         ``repro.batchpir.serving.BatchCryptoBackend``) coalesce the
         window's distinct indices into one amortized batched pass.
         """
-        requests = [self.registry.make_request(int(g)) for g in global_indices]
+        return await self._serve_all(
+            [self.registry.make_request(int(g)) for g in global_indices]
+        )
+
+    async def _serve_all(self, requests: list[ServeRequest]) -> list[ServeResult]:
         futures: list[asyncio.Future] = []
         try:
             for request in requests:

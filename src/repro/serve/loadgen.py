@@ -93,11 +93,31 @@ def uniform_indices(num_records: int, num: int, seed: int = 0) -> np.ndarray:
 
 
 def zipf_indices(num_records: int, num: int, a: float = 1.2, seed: int = 0) -> np.ndarray:
-    """Zipf-skewed indices: a hot head concentrated on the first shards."""
+    """Zipf-skewed indices: a hot head concentrated on the first shards.
+
+    ``rng.zipf`` draws unbounded ranks; draws beyond ``num_records`` are
+    rejection-sampled away rather than reduced mod ``num_records`` — the
+    modulo would alias the entire unbounded tail back onto the hottest
+    indices, silently reshaping the distribution (index 0 would absorb the
+    mass of ranks ``num_records + 1``, ``2 * num_records + 1``, ...).
+    The result is exactly Zipf truncated to ``[0, num_records)``.
+    """
     if a <= 1.0:
         raise ParameterError("Zipf exponent must be greater than 1")
+    if num_records < 1:
+        raise ParameterError("need at least one record to draw indices")
     rng = np.random.default_rng(seed)
-    return (rng.zipf(a, size=num) - 1) % num_records
+    out = np.empty(num, dtype=np.int64)
+    filled = 0
+    while filled < num:
+        # Acceptance is >= 1/zeta(a) (> 17% even at num_records=1, a=1.2),
+        # so modest oversampling converges in a handful of rounds.
+        draws = rng.zipf(a, size=max(2 * (num - filled), 64)) - 1
+        draws = draws[draws < num_records]
+        take = min(draws.size, num - filled)
+        out[filled : filled + take] = draws[:take]
+        filled += take
+    return out
 
 
 @dataclass

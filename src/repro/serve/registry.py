@@ -80,6 +80,7 @@ class ServeRequest:
     shard_id: int
     local_index: int
     query: PirQuery | None = None  # real-crypto payload; None in sim mode
+    key: bytes | None = None  # keyword-PIR lookups route by key, not index
 
 
 @dataclass(frozen=True)
@@ -198,7 +199,10 @@ class SimShardRegistry:
     num_shards: int = 1
     config: IveConfig | None = None
     batchpir: bool = False
+    kvpir: bool = False
     design_batch: int = 64
+    # kvpir mode: probes per lookup; None = kvpir.model.DEFAULT_MODEL_CANDIDATES
+    candidates_per_lookup: int | None = None
     _service_cache: dict[int, float] = field(default_factory=dict, repr=False)
 
     def __post_init__(self):
@@ -220,6 +224,11 @@ class SimShardRegistry:
         )
         self.map = ShardMap(self.params.num_db_polys, self.num_shards)
         self.batch_system = None
+        if self.kvpir:
+            # Keyword mode is batch mode over the tag-inflated slot table:
+            # each simulated "record" stands for a key, and each lookup
+            # spends candidates_per_lookup probes inside the batched pass.
+            self.batchpir = True
         if self.batchpir:
             # Batch-aware mode: a dispatch window's distinct indices are
             # served by amortized cuckoo-batch passes instead of per-query
@@ -229,9 +238,23 @@ class SimShardRegistry:
 
             if self.design_batch < 1:
                 raise ParameterError("design batch must be at least 1")
-            cuckoo, bucket_params = model_bucket_params(
-                self.shard_params, self.design_batch
-            )
+            base = self.shard_params
+            design_indices = self.design_batch
+            if self.kvpir:
+                from repro.kvpir.model import (
+                    DEFAULT_MODEL_CANDIDATES,
+                    model_kv_slot_params,
+                )
+
+                if self.candidates_per_lookup is None:
+                    self.candidates_per_lookup = DEFAULT_MODEL_CANDIDATES
+                if self.candidates_per_lookup < 1:
+                    raise ParameterError(
+                        "a lookup must probe at least one candidate"
+                    )
+                base = model_kv_slot_params(base)
+                design_indices = self.design_batch * self.candidates_per_lookup
+            cuckoo, bucket_params = model_bucket_params(base, design_indices)
             self.batch_system = BatchScaleUpSystem(
                 bucket_params, cuckoo.num_buckets, self.config
             )

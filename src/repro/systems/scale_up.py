@@ -154,3 +154,46 @@ class BatchScaleUpSystem:
         if k < 1:
             raise ParameterError("amortization needs at least one query")
         return self.pass_latency().total_s / k
+
+
+@dataclass
+class KvScaleUpSystem:
+    """One IVE system serving a keyword-PIR slot table (repro.kvpir).
+
+    The database is the tag-inflated slot table: ~1.5x the live records
+    (cuckoo slot provisioning rounded up to the power-of-two geometry)
+    each carrying ``tag_bytes`` of recognition overhead, and one lookup
+    costs ``candidates_per_lookup`` index queries sharing a single table
+    scan.  Placement follows the same Section V rule against that
+    inflated preprocessed footprint — the keyword layer can push a
+    database that fit in HBM as a dense index store out to LPDDR.
+    """
+
+    slot_params: PirParams
+    candidates_per_lookup: int
+    config: IveConfig = None  # type: ignore[assignment]
+    traversal: Traversal = Traversal.HS_DFS
+
+    def __post_init__(self):
+        if self.candidates_per_lookup < 1:
+            raise ParameterError("a lookup must probe at least one candidate")
+        if self.config is None:
+            self.config = IveConfig.ive()
+        self.placement, db_bandwidth = choose_placement(
+            self.preprocessed_db_bytes, self.config.memory
+        )
+        self.simulator = IveSimulator(
+            self.config,
+            self.slot_params,
+            traversal=self.traversal,
+            db_bandwidth=db_bandwidth,
+        )
+
+    @property
+    def preprocessed_db_bytes(self) -> int:
+        """Preprocessed slot table: the tag-inflated keyword footprint."""
+        return self.slot_params.num_db_polys * self.slot_params.poly_bytes
+
+    def lookup_latency(self) -> PirLatency:
+        """One standalone keyword lookup (all candidates, one table scan)."""
+        return self.simulator.kvpir_lookup_latency(self.candidates_per_lookup)

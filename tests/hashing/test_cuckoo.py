@@ -1,0 +1,79 @@
+"""Shared cuckoo module: byte-string keys, compat with the batchpir shim."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.hashing.cuckoo import (
+    CuckooConfig,
+    cuckoo_assign,
+    key_bytes,
+)
+
+
+class TestKeyBytes:
+    def test_int_keeps_historical_encoding(self):
+        assert key_bytes(5) == (5).to_bytes(8, "little")
+
+    def test_bytes_pass_through(self):
+        assert key_bytes(b"user@example.com") == b"user@example.com"
+        assert key_bytes(bytearray(b"ab")) == b"ab"
+
+    def test_rejects_negative_and_foreign_types(self):
+        with pytest.raises(ParameterError):
+            key_bytes(-1)
+        with pytest.raises(ParameterError):
+            key_bytes("a string")  # text must be encoded explicitly
+
+    def test_numpy_integers_accepted(self):
+        import numpy as np
+
+        assert key_bytes(np.int64(7)) == key_bytes(7)
+
+
+class TestByteKeyCandidates:
+    def test_deterministic_and_in_range(self):
+        config = CuckooConfig(num_buckets=37, seed=4)
+        for key in (b"", b"alice", b"\x00" * 32):
+            cands = config.candidates(key)
+            assert cands == config.candidates(key)
+            assert all(0 <= c < 37 for c in cands)
+
+    def test_int_candidates_unchanged_by_refactor(self):
+        """Batch-PIR deployments must hash identically across versions."""
+        config = CuckooConfig(num_buckets=64, seed=9)
+        assert config.candidates(17) == config.candidates(
+            (17).to_bytes(8, "little")
+        )
+
+    def test_batchpir_shim_reexports_same_objects(self):
+        from repro.batchpir import hashing as shim
+        from repro.hashing import cuckoo
+
+        assert shim.CuckooConfig is cuckoo.CuckooConfig
+        assert shim.cuckoo_assign is cuckoo.cuckoo_assign
+        assert shim.num_buckets_for is cuckoo.num_buckets_for
+
+
+class TestByteKeyAssign:
+    def test_places_byte_keys_in_candidate_buckets(self):
+        config = CuckooConfig(num_buckets=16, seed=3)
+        keys = [f"key-{i}".encode() for i in range(9)]
+        assignment = cuckoo_assign(keys, config)
+        placed = set(assignment.slots.values()) | set(assignment.stash)
+        assert placed == set(keys)
+        for bucket, key in assignment.slots.items():
+            assert bucket in config.candidates(key)
+
+    @settings(max_examples=60, deadline=None)
+    @given(
+        keys=st.sets(st.binary(min_size=1, max_size=24), min_size=1, max_size=48),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_byte_key_insertion_within_stash_bound(self, keys, seed):
+        keys = sorted(keys)
+        config = CuckooConfig.for_batch(max(len(keys), 1), seed=seed)
+        assignment = cuckoo_assign(keys, config)
+        assert assignment.placed + len(assignment.stash) == len(keys)
+        assert len(set(assignment.slots.values())) == assignment.placed

@@ -1,0 +1,78 @@
+"""Keyword-PIR cost model: slot inflation, placement, bounded overhead."""
+
+import pytest
+
+from repro.errors import ParameterError, SimulationError
+from repro.kvpir.model import (
+    DEFAULT_MODEL_CANDIDATES,
+    keyword_overhead_curve,
+    kv_cost_point,
+    model_kv_slot_params,
+)
+from repro.params import PirParams
+from repro.systems.scale_up import KvScaleUpSystem, ScaleUpSystem
+
+
+@pytest.fixture(scope="module")
+def paper():
+    return PirParams.paper(d0=256, num_dims=9)  # the 2 GiB Table I DB
+
+
+class TestSlotParams:
+    def test_slot_table_rounds_up_to_power_of_two(self, paper):
+        slot = model_kv_slot_params(paper)
+        assert slot.num_db_polys == 2 * paper.num_db_polys  # 1.5x -> next pow2
+        assert slot.n == paper.n and slot.d0 == paper.d0
+
+    def test_slot_factor_one_keeps_geometry(self, paper):
+        assert model_kv_slot_params(paper, slot_factor=1.0).num_db_polys == (
+            paper.num_db_polys
+        )
+
+
+class TestKvScaleUpSystem:
+    def test_lookup_costs_more_than_single_query(self, paper):
+        slot = model_kv_slot_params(paper)
+        system = KvScaleUpSystem(slot, DEFAULT_MODEL_CANDIDATES)
+        single = ScaleUpSystem(paper).latency(1).total_s
+        lookup = system.lookup_latency().total_s
+        assert lookup > single  # more probes over a bigger table
+        assert lookup < DEFAULT_MODEL_CANDIDATES * 2 * single  # but amortized scan
+
+    def test_footprint_is_tag_inflated(self, paper):
+        slot = model_kv_slot_params(paper)
+        kv = KvScaleUpSystem(slot, 4)
+        dense = ScaleUpSystem(paper)
+        assert kv.preprocessed_db_bytes == 2 * dense.preprocessed_db_bytes
+
+    def test_rejects_zero_candidates(self, paper):
+        with pytest.raises(ParameterError):
+            KvScaleUpSystem(paper, 0)
+
+    def test_simulator_hook_validates(self, paper):
+        system = KvScaleUpSystem(paper, 3)
+        with pytest.raises(SimulationError):
+            system.simulator.kvpir_lookup_latency(0)
+
+    def test_inflation_can_push_placement_to_lpddr(self):
+        # 16 GiB of live records fits HBM densely (56 GiB preprocessed);
+        # the 2x keyword slot table (112 GiB) spills to the LPDDR expander.
+        params = PirParams.paper(d0=256, num_dims=12)
+        dense = ScaleUpSystem(params)
+        kv = KvScaleUpSystem(model_kv_slot_params(params), 4)
+        assert dense.placement.value == "hbm"
+        assert kv.placement.value == "lpddr"
+
+
+class TestCostCurve:
+    def test_overheads_stay_bounded(self, paper):
+        points = keyword_overhead_curve(paper, ks=(8, 64))
+        for p in points:
+            assert p.amortized_lookup_s > p.amortized_index_s
+            assert 1.0 < p.amortized_overhead <= 2 * DEFAULT_MODEL_CANDIDATES
+            assert 1.0 < p.standalone_overhead <= 2 * DEFAULT_MODEL_CANDIDATES
+
+    def test_amortization_still_wins_over_standalone_lookup(self, paper):
+        p = kv_cost_point(paper, k=64)
+        assert p.amortized_lookup_s < p.lookup_s
+        assert p.kv_replicated_db_bytes > p.slot_db_bytes

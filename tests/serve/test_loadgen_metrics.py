@@ -43,6 +43,36 @@ class TestArrivalProcesses:
     def test_zipf_rejects_degenerate_exponent(self):
         with pytest.raises(ParameterError):
             zipf_indices(100, 10, a=1.0)
+        with pytest.raises(ParameterError):
+            zipf_indices(0, 10, a=1.5)
+
+    def test_zipf_truncates_instead_of_wrapping(self):
+        """Regression: tail ranks are rejection-sampled, not aliased.
+
+        The old ``(zipf - 1) % num_records`` folded the unbounded tail back
+        onto the hottest indices (rank num_records + 1 became index 0),
+        deflating the head *relative to the truncated-Zipf law* and
+        inflating it in absolute mass.  The fixed sampler is exactly Zipf
+        conditioned on rank <= num_records, so the empirical pmf must match
+        that law tightly — the aliased sampler misses p0 by ~0.02 here,
+        well outside the 0.005 tolerance at this sample count.
+        """
+        num_records, a, num = 16, 1.5, 400_000
+        idx = zipf_indices(num_records, num, a=a, seed=7)
+        assert idx.min() >= 0 and idx.max() < num_records
+        weights = np.arange(1, num_records + 1, dtype=float) ** -a
+        pmf = weights / weights.sum()
+        counts = np.bincount(idx, minlength=num_records) / num
+        assert abs(counts[0] - pmf[0]) < 0.005
+        # Tail mass of the top half matches the truncated law too.
+        half = num_records // 2
+        assert abs(counts[half:].sum() - pmf[half:].sum()) < 0.005
+
+    def test_zipf_deterministic_per_seed(self):
+        a = zipf_indices(64, 1000, a=1.2, seed=11)
+        b = zipf_indices(64, 1000, a=1.2, seed=11)
+        assert np.array_equal(a, b)
+        assert len(a) == 1000
 
     def test_bursty_alternates_rates(self):
         times = bursty_arrivals(10.0, 1000.0, 4000, period_s=1.0, duty=0.5, seed=4)

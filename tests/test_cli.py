@@ -118,6 +118,59 @@ class TestCli:
             main(["batchpir", "--records", "32", "--k", "4", "--db-gib", "3"]) == 2
         )
 
+    def test_batchpir_seed_threads_into_cuckoo_config(self, capsys):
+        assert (
+            main(
+                [
+                    "batchpir", "--records", "64", "--record-bytes", "16",
+                    "--k", "4", "--seed", "7",
+                ]
+            )
+            == 0
+        )
+        assert "OK" in capsys.readouterr().out
+
+    def test_serve_accepts_seed(self, capsys):
+        assert (
+            main(
+                ["serve", "--records", "8", "--shards", "2", "--queries", "4",
+                 "--seed", "11"]
+            )
+            == 0
+        )
+        assert "OK" in capsys.readouterr().out
+
+    def test_kvpir_round_trip_and_model(self, capsys):
+        assert (
+            main(["kvpir", "--keys", "64", "--value-bytes", "16", "--k", "4"]) == 0
+        )
+        out = capsys.readouterr().out
+        assert "OK" in out
+        assert "KeyNotFound" in out
+        assert "overhead" in out
+
+    def test_kvpir_rejects_unknown_db_size(self, capsys):
+        assert main(["kvpir", "--keys", "32", "--k", "4", "--db-gib", "3"]) == 2
+
+    def test_loadtest_sim_kvpir_serving(self, capsys):
+        import json
+
+        assert (
+            main(
+                ["loadtest", "--mode", "sim", "--queries", "400",
+                 "--serving", "kvpir"]
+            )
+            == 0
+        )
+        out = json.loads(capsys.readouterr().out)
+        assert out["serving"] == "kvpir"
+        assert out["completed"] == 400
+
+    def test_loadtest_real_rejects_model_serving(self, capsys):
+        assert (
+            main(["loadtest", "--mode", "real", "--serving", "batchpir"]) == 2
+        )
+
     def test_parser_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
