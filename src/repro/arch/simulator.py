@@ -78,6 +78,32 @@ class PirLatency:
         }
 
 
+@dataclass(frozen=True)
+class UpdateLatency:
+    """Modeled time to absorb a database delta of ``dirty_polys`` polys.
+
+    Three overlapped streams (the delta path is the RowSel orchestration
+    run backwards): raw record bytes arrive over PCIe, the cores CRT+NTT
+    each dirty polynomial, and the preprocessed results stream out to the
+    database memory (HBM, or LPDDR when the DB is offloaded).  The apply
+    takes the slowest stream; serving continues against the previous
+    epoch meanwhile (``repro.mutate``), so this is swap *lag*, not
+    downtime.
+    """
+
+    dirty_polys: int
+    ingest_s: float  # PCIe: raw plaintext records in
+    ntt_s: float  # compute: CRT + NTT per dirty polynomial
+    write_s: float  # DB memory: preprocessed polynomials out
+
+    @property
+    def total_s(self) -> float:
+        return max(self.ingest_s, self.ntt_s, self.write_s)
+
+    def breakdown(self) -> dict[str, float]:
+        return {"Ingest": self.ingest_s, "NTT": self.ntt_s, "Write": self.write_s}
+
+
 def simulate_graph(graph: OpGraph) -> StepTiming:
     """Event-driven scheduling: ops issue once dependencies clear (§VI-A).
 
@@ -160,6 +186,7 @@ class IveSimulator:
         traversal: Traversal = Traversal.HS_DFS,
         reduction_overlap: bool = True,
         db_bandwidth: float | None = None,
+        db_on_hbm: bool | None = None,
     ):
         self.config = config
         self.params = params
@@ -170,6 +197,17 @@ class IveSimulator:
         #: DB is offloaded — Section V scale-up).
         self.db_bandwidth = (
             db_bandwidth if db_bandwidth is not None else config.memory.hbm_bandwidth
+        )
+        #: whether the DB stream shares the HBM channel with the per-query
+        #: ciphertexts (serialized traffic) or rides its own LPDDR channel.
+        #: Inferred from the bandwidth when not stated — but callers that
+        #: hand in a *reduced* channel (update-bandwidth headroom carved
+        #: out, Section V + repro.mutate) must say so explicitly, since a
+        #: diminished HBM channel no longer equals the full one.
+        self.db_on_hbm = (
+            db_on_hbm
+            if db_on_hbm is not None
+            else self.db_bandwidth == config.memory.hbm_bandwidth
         )
         self._schedule_cfg = ScheduleConfig(
             capacity_bytes=config.rf_bytes,
@@ -226,7 +264,7 @@ class IveSimulator:
         gemm_s = macs / (c.chip_gemm_macs_per_cycle * c.clock_hz)
         ct_bytes = batch * (p.d0 + (p.num_db_polys // p.d0)) * p.ct_bytes
         ct_s = ct_bytes / c.memory.hbm_bandwidth
-        if self.db_bandwidth == c.memory.hbm_bandwidth:
+        if self.db_on_hbm:
             # DB and ciphertexts share HBM: their traffic serializes.
             return max(gemm_s, stream_s + ct_s)
         return max(gemm_s, stream_s, ct_s)
@@ -301,6 +339,34 @@ class IveSimulator:
         if candidates < 1:
             raise SimulationError("a lookup must probe at least one candidate")
         return self.latency(candidates)
+
+    # -- online updates (repro.mutate) ---------------------------------------
+    def update_apply_latency(self, dirty_polys: int) -> UpdateLatency:
+        """Cost of re-preprocessing ``dirty_polys`` database polynomials.
+
+        The delta path of ``repro.mutate``: only the polynomials whose
+        records changed are re-packed, CRT'd, and NTT'd, then written back
+        over the preprocessed database.  NTTs are embarrassingly parallel
+        across dirty polynomials, so the compute stream scales across all
+        cores; ingest rides PCIe and the write-back rides the database
+        channel (HBM or LPDDR per Section V placement).  A full
+        re-preprocess is the same call at ``dirty_polys = num_db_polys``
+        — the ratio is the modeled delta-apply speedup.
+        """
+        if dirty_polys < 0:
+            raise SimulationError("dirty polynomial count cannot be negative")
+        p, c = self.params, self.config
+        ntt_cycles = dirty_polys * self.timings.ntt_poly_cycles()
+        return UpdateLatency(
+            dirty_polys=dirty_polys,
+            ingest_s=dirty_polys * p.plain_poly_bytes / c.pcie_bandwidth,
+            ntt_s=TIMING_OVERHEAD * ntt_cycles / (c.num_cores * c.clock_hz),
+            write_s=dirty_polys * p.poly_bytes / self.db_bandwidth,
+        )
+
+    def full_preprocess_latency(self) -> UpdateLatency:
+        """Re-preprocessing the whole database (the delta path's baseline)."""
+        return self.update_apply_latency(self.params.num_db_polys)
 
     def qps(self, batch: int) -> float:
         return self.latency(batch).qps

@@ -11,6 +11,7 @@ Commands
 ``loadtest``    open-loop load test (sim clock at paper scale, or real crypto)
 ``batchpir``    cuckoo-batched multi-record retrieval + amortization model
 ``kvpir``       keyword PIR over a key-value store + keyword-overhead model
+``update-churn``  online delta-apply vs full re-preprocess under churn
 """
 
 from __future__ import annotations
@@ -354,6 +355,77 @@ def cmd_kvpir(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_update_churn(args: argparse.Namespace) -> int:
+    """Mutable-database churn: real delta applies + the IVE update model."""
+    import time
+
+    import numpy as np
+
+    from repro.he.poly import RingContext
+    from repro.mutate import UpdateLog, VersionedDatabase, churn_update_curve
+    from repro.pir.database import PirDatabase
+
+    if args.db_gib not in _DIMS:
+        print(f"supported DB sizes: {sorted(_DIMS)} GiB", file=sys.stderr)
+        return 2
+    if not 0.0 < args.churn <= 1.0:
+        print("--churn must be a fraction in (0, 1]", file=sys.stderr)
+        return 2
+    params = PirParams.small(n=256, d0=8, num_dims=4)
+    rng = np.random.default_rng(args.seed)
+    records = [rng.bytes(args.record_bytes) for _ in range(args.records)]
+    ring = RingContext(params)
+
+    vdb = VersionedDatabase(params, records, args.record_bytes, ring=ring)
+    start = time.monotonic()
+    vdb.current.db.preprocess(ring)  # the full-rebuild baseline, timed
+    full_s = time.monotonic() - start
+    updates_per_batch = max(1, round(args.churn * args.records))
+    print(
+        f"{args.records} records x {args.record_bytes} B, full preprocess "
+        f"{full_s * 1e3:.0f} ms; churn {args.churn:.2%} "
+        f"({updates_per_batch} writes/batch)"
+    )
+    print(
+        f"  {'epoch':>5s} {'dirty':>6s} {'of':>5s} {'work':>6s} "
+        f"{'apply ms':>9s} {'speedup':>8s}"
+    )
+    ok = True
+    for _ in range(args.batches):
+        log = UpdateLog()
+        for idx in rng.choice(args.records, size=updates_per_batch, replace=False):
+            log.put(int(idx), rng.bytes(args.record_bytes))
+        start = time.monotonic()
+        snap = vdb.apply(log)
+        apply_s = time.monotonic() - start
+        cost = snap.cost
+        print(
+            f"  {snap.epoch:>5d} {cost.polys_repacked:>6d} {cost.full_polys:>5d} "
+            f"{cost.delta_fraction:>6.1%} {apply_s * 1e3:>9.2f} "
+            f"{full_s / apply_s:>7.1f}x"
+        )
+    fresh = PirDatabase.from_records(
+        [vdb.record(i) for i in range(vdb.num_records)], params, args.record_bytes
+    )
+    identical = bool(np.array_equal(fresh.planes, vdb.current.db.planes))
+    ok = ok and identical
+    print(f"planes byte-identical to a fresh rebuild: {'OK' if identical else 'MISMATCH'}")
+
+    model_churns = tuple(sorted({0.001, args.churn, 0.1}))
+    points = churn_update_curve(
+        PirParams.paper(d0=256, num_dims=_DIMS[args.db_gib]),
+        churns=model_churns,
+    )
+    print(f"modeled on IVE, {args.db_gib} GiB DB (delta apply vs full re-preprocess):")
+    print(f"  {'churn':>7s} {'dirty polys':>12s} {'apply ms':>9s} {'full ms':>8s} {'speedup':>8s}")
+    for p in points:
+        print(
+            f"  {p.churn:>6.2%} {p.dirty_polys:>12d} {p.apply_s * 1e3:>9.2f} "
+            f"{p.full_s * 1e3:>8.1f} {p.speedup:>7.1f}x ({p.placement})"
+        )
+    return 0 if ok else 1
+
+
 def cmd_figures(_: argparse.Namespace) -> int:
     width = max(len(k) for k in _FIGURES)
     for figure, target in _FIGURES.items():
@@ -431,6 +503,19 @@ def build_parser() -> argparse.ArgumentParser:
     kvpir.add_argument("--seed", type=int, default=0)
     kvpir.add_argument("--db-gib", type=int, default=2, help="model DB size")
     kvpir.set_defaults(func=cmd_kvpir)
+
+    churn = sub.add_parser(
+        "update-churn", help="online database updates: delta apply vs re-preprocess"
+    )
+    churn.add_argument("--records", type=int, default=512)
+    churn.add_argument("--record-bytes", type=int, default=64)
+    churn.add_argument(
+        "--churn", type=float, default=0.01, help="fraction of records per batch"
+    )
+    churn.add_argument("--batches", type=int, default=3)
+    churn.add_argument("--seed", type=int, default=0)
+    churn.add_argument("--db-gib", type=int, default=2, help="model DB size")
+    churn.set_defaults(func=cmd_update_churn)
 
     figures = sub.add_parser("figures", help="list reproduced tables/figures")
     figures.set_defaults(func=cmd_figures)

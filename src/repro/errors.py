@@ -54,6 +54,24 @@ class KeyNotFound(KvPirError):
         super().__init__(f"no record tagged for key {key!r}")
 
 
+class MutateError(ReproError):
+    """Base class for errors raised by the update layer (repro.mutate)."""
+
+
+class RebuildRequired(MutateError):
+    """An incremental delta could not be applied within the layout's bounds.
+
+    Raised when cuckoo re-insertion of new keys exhausts both the eviction
+    bound and the table's reserved stash slots: the deployment must be
+    rebuilt (new hash seed or larger table) instead of patched in place.
+    The error carries enough accounting for the caller to size the rebuild.
+    """
+
+    def __init__(self, message: str, spilled_keys: int = 0):
+        self.spilled_keys = spilled_keys
+        super().__init__(message)
+
+
 class ServeError(ReproError):
     """Base class for errors raised by the serving runtime (repro.serve)."""
 
@@ -68,3 +86,23 @@ class ShuttingDownError(ServeError):
 
 class RoutingError(ServeError):
     """A query could not be mapped to a shard."""
+
+
+class StaleEpoch(ServeError):
+    """A request was pinned to an epoch the registry no longer serves.
+
+    Versioned hot-swap retains a bounded window of database epochs so
+    in-flight requests can finish against the snapshot they were admitted
+    under; a client pinned further back than that window gets this typed
+    rejection (retry against the current epoch) instead of silently
+    decoding against the wrong database version.
+    """
+
+    def __init__(self, epoch: int, current: int, oldest_live: int):
+        self.epoch = epoch
+        self.current = current
+        self.oldest_live = oldest_live
+        super().__init__(
+            f"epoch {epoch} is no longer served (live epochs "
+            f"[{oldest_live}, {current}])"
+        )

@@ -1,0 +1,362 @@
+"""Cuckoo-aware delta application for keyword-PIR slot tables.
+
+A keyword store (:class:`~repro.kvpir.layout.KvDatabase`) is two layered
+placements: keys cuckoo-placed into *table* slots, and those slots
+replicated into the *batch* buckets that actually get served.  Applying a
+key-space delta therefore means:
+
+1. **table maintenance** — value updates write their key's slot in
+   place; deletes zero and free the slot; *new* keys run the shared
+   cuckoo random-walk insertion (``repro.hashing.cuckoo`` candidates,
+   bounded evictions) against the live occupancy, possibly displacing
+   resident keys (each displacement dirties two slots), spilling to a
+   reserved always-probed stash slot when the walk exhausts its bound —
+   and raising the typed :class:`~repro.errors.RebuildRequired` when the
+   stash itself is full;
+2. **bucket propagation** — every dirty slot is re-encoded
+   (``tag(key) || value``) and patched into each of its candidate
+   buckets through the dirty-poly delta core
+   (:func:`repro.mutate.versioned.apply_record_updates`), optionally
+   straight into a live server's preprocessed bucket set.
+
+The :class:`KvUpdateCost` returned per apply accounts for displacements,
+stash spills, and the poly-level work, proving the delta path touches
+``O(dirty slots * num_hashes)`` bucket polynomials instead of rebuilding
+the replicated table.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.batchpir.layout import BatchDatabase
+from repro.errors import MutateError, RebuildRequired
+from repro.he.poly import RingContext
+from repro.kvpir.layout import KvDatabase
+from repro.mutate.log import KvUpdateLog
+from repro.mutate.versioned import UpdateCost, apply_record_updates
+from repro.pir.database import PreprocessedDatabase
+
+
+def apply_batch_record_updates(
+    batch_db: BatchDatabase,
+    updates: dict[int, bytes],
+    pres: list[PreprocessedDatabase] | None = None,
+    ring: RingContext | None = None,
+) -> UpdateCost:
+    """Propagate record updates through a cuckoo-replicated bucket set.
+
+    Each updated global record is re-packed into every candidate bucket
+    that replicates it — ``O(updates * num_hashes)`` dirty bucket
+    polynomials, never a rebuild of the replicated table.  With ``pres``
+    (a live :class:`~repro.batchpir.server.BatchPirServer`'s per-bucket
+    preprocessed databases, ``[s.db for s in server.servers]``) the dirty
+    polynomials are re-NTT'd straight into the serving copies.  Shared by
+    plain batch-PIR deployments and the keyword layer
+    (:class:`VersionedKvDatabase`), which feeds it dirty *slots*.
+    """
+    layout = batch_db.layout
+    if pres is not None and len(pres) != layout.num_buckets:
+        raise MutateError(
+            f"got {len(pres)} preprocessed buckets, layout has "
+            f"{layout.num_buckets}"
+        )
+    # Validate the whole delta before mutating anything: a rejected
+    # update must not leave ground truth diverged from the bucket polys.
+    for global_index, record in updates.items():
+        if not 0 <= global_index < layout.num_records:
+            raise MutateError(
+                f"record {global_index} out of range [0, {layout.num_records})"
+            )
+        if len(record) != layout.record_bytes:
+            raise MutateError(
+                f"update for record {global_index} has {len(record)} bytes, "
+                f"layout expects {layout.record_bytes}"
+            )
+    by_bucket: dict[int, dict[int, bytes]] = {}
+    for global_index, record in sorted(updates.items()):
+        batch_db._records[global_index] = record
+        for bucket in dict.fromkeys(layout.config.candidates(global_index)):
+            by_bucket.setdefault(bucket, {})[
+                layout.local_index(bucket, global_index)
+            ] = record
+    bucket_plane = layout.bucket_layouts[0].plane_count
+    total = UpdateCost(
+        records_touched=0,
+        records_appended=0,
+        polys_repacked=0,
+        polys_ntted=0,
+        full_polys=layout.num_buckets
+        * bucket_plane
+        * layout.bucket_params.num_db_polys,
+    )
+    for bucket, writes in sorted(by_bucket.items()):
+        new_db, _, cost = apply_record_updates(
+            batch_db.bucket_dbs[bucket],
+            writes,
+            [],
+            pre=pres[bucket] if pres is not None else None,
+            ring=ring if pres is not None else None,
+            in_place=True,
+        )
+        batch_db.bucket_dbs[bucket] = new_db
+        total = UpdateCost(
+            records_touched=total.records_touched + cost.records_touched,
+            records_appended=0,
+            polys_repacked=total.polys_repacked + cost.polys_repacked,
+            polys_ntted=total.polys_ntted + cost.polys_ntted,
+            full_polys=total.full_polys,
+        )
+    return total
+
+
+@dataclass(frozen=True)
+class KvUpdateCost:
+    """Accounting for one keyword-store delta application."""
+
+    epoch: int
+    keys_updated: int  # existing keys whose value changed
+    keys_inserted: int
+    keys_deleted: int
+    displaced: int  # resident keys kicked during insertion walks
+    stash_spills: int  # inserts that landed in a stash slot this apply
+    stash_in_use: int  # occupied stash slots after the apply
+    dirty_slots: int
+    dirty_buckets: int
+    total_buckets: int
+    poly_cost: UpdateCost
+
+    @property
+    def speedup_vs_full(self) -> float:
+        return self.poly_cost.speedup_vs_full
+
+
+@dataclass
+class _Staged:
+    """Scratch copy of the table occupancy one apply mutates, then commits."""
+
+    slots: dict[int, bytes]
+    stash: list[bytes | None]
+    slot_of: dict[bytes, int]
+    items: dict[bytes, bytes]
+
+
+class VersionedKvDatabase:
+    """A keyword store that absorbs :class:`KvUpdateLog` deltas in place.
+
+    Build the underlying :class:`KvDatabase` with ``reserve_stash > 0``
+    if inserts are expected — spilled inserts need a free always-probed
+    stash slot, and a store built without headroom raises
+    :class:`RebuildRequired` on the first spill.
+
+    ``apply`` mutates the wrapped database (and, when given, a live
+    server's preprocessed buckets) and bumps ``epoch``; the layout —
+    hashing, geometry, probe count — never changes, which is exactly why
+    clients need no notification beyond the epoch stamp.
+    """
+
+    def __init__(self, db: KvDatabase, ring: RingContext | None = None):
+        self.db = db
+        self.layout = db.layout
+        self.ring = ring
+        self.epoch = 0
+        # Live occupancy, maintained incrementally from the build-time
+        # assignment: table bucket -> key, and a fixed-capacity stash.
+        self._slots: dict[int, bytes] = dict(db.assignment.slots)
+        self._stash: list[bytes | None] = list(db.assignment.stash) + [None] * (
+            self.layout.stash_slots - len(db.assignment.stash)
+        )
+        self._slot_of: dict[bytes, int] = {k: b for b, k in self._slots.items()}
+        for i, key in enumerate(db.assignment.stash):
+            self._slot_of[key] = self.layout.table.num_buckets + i
+        # Alias (not copy) the store's ground truth so KvDatabase.value /
+        # contains stay correct for whoever still holds the wrapped db.
+        self._items: dict[bytes, bytes] = db._items
+
+    # -- ground truth ------------------------------------------------------
+    @property
+    def num_keys(self) -> int:
+        return len(self._items)
+
+    @property
+    def stash_in_use(self) -> int:
+        return sum(1 for k in self._stash if k is not None)
+
+    def contains(self, key: bytes) -> bool:
+        return bytes(key) in self._items
+
+    def value(self, key: bytes) -> bytes:
+        return self._items[bytes(key)]
+
+    # -- table maintenance (on STAGED state: apply commits atomically) -----
+    def _free_slot(self, key: bytes, staged: "_Staged") -> int:
+        """Remove ``key`` from the staged table/stash; returns its slot."""
+        slot = staged.slot_of.pop(key)
+        if slot < self.layout.table.num_buckets:
+            del staged.slots[slot]
+        else:
+            staged.stash[slot - self.layout.table.num_buckets] = None
+        return slot
+
+    def _insert_key(
+        self,
+        key: bytes,
+        rng: np.random.Generator,
+        dirty: set[int],
+        stats: dict,
+        staged: "_Staged",
+    ) -> None:
+        """Shared-core cuckoo insertion against the staged occupancy."""
+        table = self.layout.table
+        current = key
+        for _ in range(table.max_evictions):
+            cands = table.candidates(current)
+            free = [b for b in cands if b not in staged.slots]
+            if free:
+                staged.slots[free[0]] = current
+                staged.slot_of[current] = free[0]
+                dirty.add(free[0])
+                return
+            victim_bucket = cands[int(rng.integers(len(cands)))]
+            victim = staged.slots[victim_bucket]
+            staged.slots[victim_bucket] = current
+            staged.slot_of[current] = victim_bucket
+            dirty.add(victim_bucket)
+            del staged.slot_of[victim]
+            stats["displaced"] += 1
+            current = victim
+        # Walk exhausted: the wandering key spills to a reserved stash slot.
+        for i, occupant in enumerate(staged.stash):
+            if occupant is None:
+                staged.stash[i] = current
+                slot = table.num_buckets + i
+                staged.slot_of[current] = slot
+                dirty.add(slot)
+                stats["spilled"] += 1
+                return
+        raise RebuildRequired(
+            f"insertion of {key!r} exhausted {table.max_evictions} evictions "
+            f"and all {self.layout.stash_slots} stash slots are occupied; "
+            "rebuild the store with a larger table or fresh hash seed",
+            spilled_keys=1,
+        )
+
+    # -- delta application -------------------------------------------------
+    def apply(
+        self,
+        log: KvUpdateLog,
+        pres: list[PreprocessedDatabase] | None = None,
+        ring: RingContext | None = None,
+    ) -> KvUpdateCost:
+        """Apply one key-space delta; dirty buckets only.
+
+        ``pres`` is the live server's per-bucket preprocessed databases
+        (e.g. ``[s.db for s in kv_server.batch_server.servers]``); when
+        given, dirty polynomials are re-NTT'd straight into them so the
+        server answers against the new epoch without a rebuild.
+
+        Atomic: the delta is validated up front and table maintenance runs
+        on a staged copy of the occupancy, so a rejected apply (absent-key
+        delete, wrong value size, :class:`RebuildRequired` mid-walk)
+        leaves ground truth and the served bucket polynomials exactly as
+        they were — never diverged.
+        """
+        ring = ring if ring is not None else self.ring
+        if pres is not None and len(pres) != self.layout.batch.num_buckets:
+            raise MutateError(
+                f"got {len(pres)} preprocessed buckets, layout has "
+                f"{self.layout.batch.num_buckets}"
+            )
+        changes = log.coalesced()
+        for key, value in changes.items():
+            if value is None:
+                if key not in self._items:
+                    raise MutateError(f"cannot delete absent key {key!r}")
+            elif len(value) != self.layout.value_bytes:
+                raise MutateError(
+                    f"value for {key!r} has {len(value)} bytes, store "
+                    f"expects {self.layout.value_bytes}"
+                )
+        rng = np.random.default_rng(
+            self.layout.table.seed + 0x6D75_7461 + self.epoch
+        )
+        staged = _Staged(
+            slots=dict(self._slots),
+            stash=list(self._stash),
+            slot_of=dict(self._slot_of),
+            items=dict(self._items),
+        )
+        dirty: set[int] = set()
+        stats = {"displaced": 0, "spilled": 0}
+        updated = inserted = deleted = 0
+
+        # Deletes first: they free table slots the same apply's inserts
+        # can reuse (bounded walks stay short under churn).
+        for key, value in sorted(changes.items()):
+            if value is not None:
+                continue
+            del staged.items[key]
+            dirty.add(self._free_slot(key, staged))
+            deleted += 1
+        for key, value in sorted(changes.items()):
+            if value is None:
+                continue
+            if key in staged.items:
+                if staged.items[key] != value:
+                    staged.items[key] = value
+                    dirty.add(staged.slot_of[key])
+                    updated += 1
+            else:
+                staged.items[key] = value
+                self._insert_key(key, rng, dirty, stats, staged)
+                inserted += 1
+
+        # Commit the staged occupancy (keeping the KvDatabase._items alias
+        # alive), then propagate — nothing below has a validated failure
+        # path left.
+        self._slots, self._stash, self._slot_of = (
+            staged.slots,
+            staged.stash,
+            staged.slot_of,
+        )
+        self._items.clear()
+        self._items.update(staged.items)
+
+        # Re-encode every dirty slot and propagate to its buckets.
+        slot_records: dict[int, bytes] = {}
+        empty = b"\0" * self.layout.record_bytes
+        for slot in sorted(dirty):
+            if slot < self.layout.table.num_buckets:
+                key = self._slots.get(slot)
+            else:
+                key = self._stash[slot - self.layout.table.num_buckets]
+            slot_records[slot] = (
+                empty if key is None else self.layout.encode(key, self._items[key])
+            )
+        dirty_buckets = len(
+            {
+                b
+                for slot in slot_records
+                for b in self.layout.batch.config.candidates(slot)
+            }
+        )
+        poly_cost = apply_batch_record_updates(
+            self.db.batch_db, slot_records, pres=pres, ring=ring
+        )
+
+        self.epoch += 1
+        return KvUpdateCost(
+            epoch=self.epoch,
+            keys_updated=updated,
+            keys_inserted=inserted,
+            keys_deleted=deleted,
+            displaced=stats["displaced"],
+            stash_spills=stats["spilled"],
+            stash_in_use=self.stash_in_use,
+            dirty_slots=len(dirty),
+            dirty_buckets=dirty_buckets,
+            total_buckets=self.layout.batch.num_buckets,
+            poly_cost=poly_cost,
+        )

@@ -1,0 +1,197 @@
+"""Typed record-mutation logs for mutable PIR databases.
+
+An :class:`UpdateLog` is an ordered sequence of index-space mutations
+(:class:`Put`, :class:`Delete`, :class:`Append`) against one dense record
+database; a :class:`KvUpdateLog` is the keyword analog (:class:`KvPut`,
+:class:`KvDelete`) against a key-value store.  Logs are pure data: the
+cost of building one is O(entries), and nothing touches the database
+until the log is *applied* (``repro.mutate.versioned`` /
+``repro.mutate.kv``), at which point consecutive writes to the same
+record coalesce — one churn window's worth of updates to a hot record
+re-packs its polynomial once, not once per write.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Union
+
+from repro.errors import MutateError
+from repro.hashing.cuckoo import key_bytes
+
+
+@dataclass(frozen=True)
+class Put:
+    """Overwrite the record at ``index`` with ``record`` bytes."""
+
+    index: int
+    record: bytes
+
+
+@dataclass(frozen=True)
+class Delete:
+    """Tombstone the record at ``index`` (index space stays dense)."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class Append:
+    """Add a record at the next free index (grows the database)."""
+
+    record: bytes
+
+
+Mutation = Union[Put, Delete, Append]
+
+
+def _check_index(index) -> int:
+    if isinstance(index, bool) or not isinstance(index, int):
+        raise MutateError(f"record index must be an int, got {type(index).__name__}")
+    if index < 0:
+        raise MutateError(f"record index must be non-negative, got {index}")
+    return index
+
+
+class UpdateLog:
+    """Ordered index-space mutations, coalesced at apply time.
+
+    Indices refer to the database the log is applied *to*; an index that
+    does not exist there (and is not created by an earlier ``Append`` in
+    the same log) fails with a typed error at apply time, not at append
+    time — the log itself carries no database reference.
+    """
+
+    def __init__(self, mutations: list[Mutation] | None = None):
+        self._ops: list[Mutation] = []
+        for op in mutations or []:
+            self._add(op)
+
+    def _add(self, op: Mutation) -> None:
+        if isinstance(op, Put):
+            _check_index(op.index)
+        elif isinstance(op, Delete):
+            _check_index(op.index)
+        elif not isinstance(op, Append):
+            raise MutateError(f"unknown mutation type {type(op).__name__}")
+        self._ops.append(op)
+
+    # -- builders (chainable) ---------------------------------------------
+    def put(self, index: int, record: bytes) -> "UpdateLog":
+        self._add(Put(index=index, record=bytes(record)))
+        return self
+
+    def delete(self, index: int) -> "UpdateLog":
+        self._add(Delete(index=index))
+        return self
+
+    def append(self, record: bytes) -> "UpdateLog":
+        self._add(Append(record=bytes(record)))
+        return self
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[Mutation]:
+        return iter(self._ops)
+
+    @property
+    def num_appends(self) -> int:
+        return sum(1 for op in self._ops if isinstance(op, Append))
+
+    def coalesced(self, num_records: int) -> tuple[dict[int, bytes | None], list[bytes]]:
+        """Last-write-wins view against a database of ``num_records``.
+
+        Returns ``(writes, appends)``: ``writes`` maps record index to its
+        final bytes (``None`` = tombstone), ``appends`` is the ordered
+        tail of genuinely-new records.  A ``Put``/``Delete`` against an
+        index created by an earlier ``Append`` in this log folds into the
+        append itself; out-of-range indices raise :class:`MutateError`.
+        """
+        writes: dict[int, bytes | None] = {}
+        appends: list[bytes | None] = []
+
+        def _slot(index: int):
+            if index < num_records:
+                return None
+            offset = index - num_records
+            if offset >= len(appends):
+                raise MutateError(
+                    f"index {index} is beyond the database ({num_records} "
+                    f"records) and the log's appends so far ({len(appends)})"
+                )
+            return offset
+
+        for op in self._ops:
+            if isinstance(op, Append):
+                appends.append(op.record)
+            elif isinstance(op, Put):
+                offset = _slot(op.index)
+                if offset is None:
+                    writes[op.index] = op.record
+                else:
+                    appends[offset] = op.record
+            else:  # Delete
+                offset = _slot(op.index)
+                if offset is None:
+                    writes[op.index] = None
+                else:
+                    appends[offset] = None
+        # A deleted append still occupies its index (the space is dense):
+        # it becomes a tombstone record at apply time.
+        return writes, appends
+
+
+@dataclass(frozen=True)
+class KvPut:
+    """Insert or overwrite ``key`` with ``value``."""
+
+    key: bytes
+    value: bytes
+
+
+@dataclass(frozen=True)
+class KvDelete:
+    """Remove ``key`` (its slot is zeroed and freed)."""
+
+    key: bytes
+
+
+KvMutation = Union[KvPut, KvDelete]
+
+
+class KvUpdateLog:
+    """Ordered key-space mutations for a keyword-PIR store."""
+
+    def __init__(self, mutations: list[KvMutation] | None = None):
+        self._ops: list[KvMutation] = []
+        for op in mutations or []:
+            self._add(op)
+
+    def _add(self, op: KvMutation) -> None:
+        if not isinstance(op, (KvPut, KvDelete)):
+            raise MutateError(f"unknown kv mutation type {type(op).__name__}")
+        key_bytes(op.key)  # typed validation (rejects str, negative ints)
+        self._ops.append(op)
+
+    def put(self, key: bytes, value: bytes) -> "KvUpdateLog":
+        self._add(KvPut(key=key_bytes(key), value=bytes(value)))
+        return self
+
+    def delete(self, key: bytes) -> "KvUpdateLog":
+        self._add(KvDelete(key=key_bytes(key)))
+        return self
+
+    def __len__(self) -> int:
+        return len(self._ops)
+
+    def __iter__(self) -> Iterator[KvMutation]:
+        return iter(self._ops)
+
+    def coalesced(self) -> dict[bytes, bytes | None]:
+        """Last-write-wins per key: ``{key: value | None (= delete)}``."""
+        out: dict[bytes, bytes | None] = {}
+        for op in self._ops:
+            key = key_bytes(op.key)
+            out[key] = op.value if isinstance(op, KvPut) else None
+        return out

@@ -1,0 +1,86 @@
+"""Accelerator-side cost model for online database updates.
+
+Prices the ``repro.mutate`` delta path on IVE: how long one churn batch
+takes to absorb (re-pack + CRT/NTT + write-back of the dirty polynomials)
+versus re-preprocessing the whole database, and how much serving
+bandwidth a sustained churn *rate* steals from the RowSel scan
+(:class:`~repro.systems.scale_up.ScaleUpSystem` update headroom).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.arch.config import IveConfig
+from repro.errors import ParameterError
+from repro.params import PirParams
+from repro.systems.scale_up import ScaleUpSystem
+
+
+def expected_dirty_polys(num_polys: int, updates: int, records_per_poly: int) -> int:
+    """Expected distinct dirty polynomials for uniformly random updates.
+
+    With ``records_per_poly > 1`` several updates can share a polynomial:
+    the expected number of distinct dirtied polys is the standard
+    occupancy ``m * (1 - (1 - 1/m)^u)``.
+    """
+    if updates <= 0:
+        return 0
+    if records_per_poly <= 1:
+        return min(updates, num_polys)
+    return max(1, round(num_polys * (1.0 - (1.0 - 1.0 / num_polys) ** updates)))
+
+
+@dataclass(frozen=True)
+class ChurnPoint:
+    """One modeled (churn fraction, batch) operating point."""
+
+    churn: float  # fraction of records rewritten per apply
+    updates: int  # record writes in the batch
+    dirty_polys: int
+    apply_s: float
+    full_s: float
+    placement: str
+
+    @property
+    def speedup(self) -> float:
+        return self.full_s / self.apply_s if self.apply_s > 0 else math.inf
+
+
+def churn_update_curve(
+    params: PirParams,
+    churns: tuple[float, ...] = (0.001, 0.01, 0.1),
+    records_per_poly: int = 1,
+    config: IveConfig | None = None,
+) -> list[ChurnPoint]:
+    """Delta-apply vs full-re-preprocess latency across churn fractions.
+
+    Uses the Section V placement (the update write-back rides the same
+    channel the database is placed on) and the chip-parallel NTT stream
+    of :meth:`~repro.arch.simulator.IveSimulator.update_apply_latency`.
+    """
+    if records_per_poly < 1:
+        raise ParameterError("records per polynomial must be at least 1")
+    system = ScaleUpSystem(params, config)
+    sim = system.simulator
+    full_s = sim.full_preprocess_latency().total_s
+    num_records = params.num_db_polys * records_per_poly
+    points = []
+    for churn in churns:
+        if not 0.0 < churn <= 1.0:
+            raise ParameterError("churn fraction must be in (0, 1]")
+        updates = max(1, round(churn * num_records))
+        dirty = expected_dirty_polys(params.num_db_polys, updates, records_per_poly)
+        apply_s = sim.update_apply_latency(dirty).total_s
+        points.append(
+            ChurnPoint(
+                churn=churn,
+                updates=updates,
+                dirty_polys=dirty,
+                apply_s=apply_s,
+                full_s=full_s,
+                placement=system.placement.value,
+            )
+        )
+    return points

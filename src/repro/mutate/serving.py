@@ -1,0 +1,295 @@
+"""Zero-downtime epoch hot-swap for the serving runtime.
+
+``publish`` applies an :class:`~repro.mutate.log.UpdateLog` to every
+shard's :class:`~repro.mutate.versioned.VersionedDatabase` and atomically
+installs the new epoch for *new* admissions, while requests already
+admitted keep their epoch pin: each :class:`ServeRequest` is stamped with
+the epoch it was built against, the backend answers it with that epoch's
+servers, and the client decodes it against that epoch's layout.  Nothing
+in flight is lost or decoded against the wrong database version.
+
+Retention is bounded: the registry admits requests only against the most
+recent ``retain`` epochs — older pins get the typed
+:class:`~repro.errors.StaleEpoch` rejection — but a *live* epoch (one
+with in-flight requests) is never freed until its last request is
+released, so a swap mid-window cannot strand a queued query.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import MutateError, StaleEpoch
+from repro.mutate.log import Put, UpdateLog
+from repro.mutate.versioned import EpochSnapshot, UpdateCost, VersionedDatabase
+from repro.params import PirParams
+from repro.pir.client import PirClient, PirResponse
+from repro.pir.server import PirServer
+from repro.serve.registry import ServeRequest, ShardMap
+
+
+@dataclass
+class _EpochState:
+    """One live database version across every shard."""
+
+    epoch: int
+    snapshots: list[EpochSnapshot]
+    servers: list[PirServer]
+    cost: UpdateCost
+    inflight: int = 0
+    admissible: bool = True
+
+
+@dataclass(frozen=True)
+class PublishResult:
+    """What one hot-swap published."""
+
+    epoch: int
+    cost: UpdateCost
+    live_epochs: tuple[int, ...]
+
+
+class VersionedShardRegistry:
+    """``RealShardRegistry`` semantics plus epoch-versioned hot-swap.
+
+    Drop-in for the serving runtime: ``make_request`` routes and builds a
+    real query (stamped with its epoch), ``decode`` decrypts against the
+    pinned epoch and releases it.  ``publish`` installs a new epoch built
+    by dirty-plane delta application — cost proportional to the delta.
+
+    Appends are rejected at this layer (``MutateError``): the shard map
+    partitions a fixed index space, and growing it online would silently
+    re-route existing indices.  Grow by rebuilding the registry.
+    """
+
+    def __init__(
+        self,
+        params: PirParams,
+        records: list[bytes],
+        num_shards: int,
+        record_bytes: int | None = None,
+        seed: int | None = None,
+        retain: int = 2,
+    ):
+        if retain < 1:
+            raise MutateError("must retain at least the current epoch")
+        self.params = params
+        self.retain = retain
+        self.map = ShardMap(len(records), num_shards)
+        self.client = PirClient(params, seed=seed)
+        self._setup = self.client.setup_message()
+        self._vdbs: list[VersionedDatabase] = []
+        for shard_id in range(num_shards):
+            start = self.map.starts[shard_id]
+            shard_records = records[start : start + self.map.sizes[shard_id]]
+            self._vdbs.append(
+                VersionedDatabase(
+                    params, shard_records, record_bytes, ring=self.client.ring
+                )
+            )
+        snapshots = [vdb.current for vdb in self._vdbs]
+        self._epochs: dict[int, _EpochState] = {
+            0: _EpochState(
+                epoch=0,
+                snapshots=snapshots,
+                servers=[PirServer(s.pre, self._setup) for s in snapshots],
+                cost=snapshots[0].cost,
+            )
+        }
+        self.current_epoch = 0
+
+    @classmethod
+    def random(
+        cls,
+        params: PirParams,
+        num_records: int,
+        record_bytes: int,
+        num_shards: int,
+        seed: int | None = None,
+        retain: int = 2,
+    ) -> "VersionedShardRegistry":
+        rng = np.random.default_rng(seed)
+        records = [rng.bytes(record_bytes) for _ in range(num_records)]
+        return cls(params, records, num_shards, record_bytes, seed=seed, retain=retain)
+
+    # -- geometry ----------------------------------------------------------
+    @property
+    def num_shards(self) -> int:
+        return self.map.num_shards
+
+    @property
+    def num_records(self) -> int:
+        return self.map.num_records
+
+    @property
+    def live_epochs(self) -> tuple[int, ...]:
+        return tuple(sorted(self._epochs))
+
+    # -- hot swap ----------------------------------------------------------
+    def publish(self, log: UpdateLog) -> PublishResult:
+        """Apply ``log`` and install the next epoch for new admissions.
+
+        Atomic across shards: the whole log is validated (routing, record
+        sizes) before any shard's database advances, so a rejected publish
+        leaves every shard exactly at the current epoch — no half-applied
+        log can leak into a later publish.
+        """
+        if log.num_appends:
+            raise MutateError(
+                "online appends would re-route the shard partition; "
+                "rebuild the registry to grow the record space"
+            )
+        record_bytes = self._vdbs[0].current.db.layout.record_bytes
+        # Split the log by owning shard (coalescing happens per shard),
+        # validating every entry up front — per-shard applies must not be
+        # able to fail after a sibling shard has already advanced.
+        shard_logs = [UpdateLog() for _ in range(self.num_shards)]
+        for op in log:
+            shard_id, local = self.map.route(op.index)
+            if isinstance(op, Put):
+                if len(op.record) != record_bytes:
+                    raise MutateError(
+                        f"update for record {op.index} has {len(op.record)} "
+                        f"bytes, registry expects {record_bytes}"
+                    )
+                shard_logs[shard_id].put(local, op.record)
+            else:
+                shard_logs[shard_id].delete(local)
+        snapshots: list[EpochSnapshot] = []
+        servers: list[PirServer] = []
+        cost: UpdateCost | None = None
+        for vdb, shard_log in zip(self._vdbs, shard_logs):
+            snapshot = vdb.apply(shard_log)
+            snapshots.append(snapshot)
+            servers.append(PirServer(snapshot.pre, self._setup))
+            cost = snapshot.cost if cost is None else cost.merge(snapshot.cost)
+        self.current_epoch += 1
+        self._epochs[self.current_epoch] = _EpochState(
+            epoch=self.current_epoch,
+            snapshots=snapshots,
+            servers=servers,
+            cost=cost,
+        )
+        # Close admission for epochs beyond the retention window; free the
+        # ones nothing holds.  Live ones linger until their last release.
+        oldest_admissible = self.current_epoch - self.retain + 1
+        for state in self._epochs.values():
+            if state.epoch < oldest_admissible:
+                state.admissible = False
+        self._sweep()
+        return PublishResult(
+            epoch=self.current_epoch, cost=cost, live_epochs=self.live_epochs
+        )
+
+    def _sweep(self) -> None:
+        for epoch in [
+            e
+            for e, s in self._epochs.items()
+            if not s.admissible and s.inflight == 0
+        ]:
+            del self._epochs[epoch]
+
+    def _state(self, epoch: int | None, admission: bool = False) -> _EpochState:
+        epoch = self.current_epoch if epoch is None else epoch
+        state = self._epochs.get(epoch)
+        if state is None or (admission and not state.admissible):
+            raise StaleEpoch(
+                epoch=epoch,
+                current=self.current_epoch,
+                oldest_live=min(
+                    (e for e, s in self._epochs.items() if s.admissible),
+                    default=self.current_epoch,
+                ),
+            )
+        return state
+
+    # -- serving interface -------------------------------------------------
+    def make_request(self, global_index: int, epoch: int | None = None) -> ServeRequest:
+        """Route + build the query against an epoch (default: current).
+
+        Admitting pins the epoch: it stays answerable until ``decode`` (or
+        ``release``) is called for this request, even if later publishes
+        push it out of the admission window.  A request that never reaches
+        ``decode`` — shed by admission control, failed in its batch — must
+        be ``release()``d by the caller, or its epoch snapshot is pinned
+        for the registry's lifetime.
+        """
+        state = self._state(epoch, admission=True)
+        shard_id, local = self.map.route(global_index)
+        query = self.client.build_query(
+            local, state.snapshots[shard_id].db.layout
+        )
+        state.inflight += 1
+        return ServeRequest(
+            global_index=int(global_index),
+            shard_id=shard_id,
+            local_index=local,
+            query=query,
+            epoch=state.epoch,
+        )
+
+    def server(self, shard_id: int, epoch: int | None = None) -> PirServer:
+        """The epoch-pinned replica (any live epoch, admissible or not)."""
+        return self._state(epoch).servers[self.map.check_shard(shard_id)]
+
+    def decode(self, request: ServeRequest, response: PirResponse) -> bytes:
+        """Decrypt against the request's admitted epoch, then release it.
+
+        The pin is released whether or not decryption succeeds — a
+        malformed response must not retain the epoch forever.
+        """
+        try:
+            state = self._state(request.epoch)
+            layout = state.snapshots[self.map.check_shard(request.shard_id)].db.layout
+            return self.client.decode_response(
+                response, request.local_index, layout
+            )
+        finally:
+            self.release(request)
+
+    def release(self, request: ServeRequest) -> None:
+        """Drop a request's epoch pin (idempotence is the caller's job)."""
+        state = self._epochs.get(request.epoch)
+        if state is not None:
+            state.inflight = max(0, state.inflight - 1)
+            self._sweep()
+
+    def expected(self, global_index: int, epoch: int | None = None) -> bytes:
+        """Ground truth for one record *as of an epoch* (default: current)."""
+        state = self._state(epoch)
+        shard_id, local = self.map.route(global_index)
+        return state.snapshots[shard_id].db.record(local)
+
+
+class VersionedCryptoBackend:
+    """Thread-pool crypto backend that honours per-request epoch pins.
+
+    A dispatch window that straddles a ``publish`` legitimately mixes
+    epochs; each request is answered by the server of the epoch it was
+    admitted under.
+    """
+
+    def __init__(self, registry: VersionedShardRegistry, max_workers: int | None = None):
+        self.registry = registry
+        self._pool = ThreadPoolExecutor(
+            max_workers=max_workers, thread_name_prefix="mutate-worker"
+        )
+
+    def _answer_batch(self, shard_id: int, requests: list[ServeRequest]) -> list:
+        return [
+            self.registry.server(shard_id, r.epoch).answer(r.query)
+            for r in requests
+        ]
+
+    async def answer(self, shard_id: int, requests: list[ServeRequest]) -> list:
+        loop = asyncio.get_running_loop()
+        return await loop.run_in_executor(
+            self._pool, self._answer_batch, shard_id, requests
+        )
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=False, cancel_futures=True)

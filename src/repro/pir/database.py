@@ -57,22 +57,56 @@ class PirDatabase:
         records = [rng.bytes(record_bytes) for _ in range(num_records)]
         return cls.from_records(records, params, record_bytes)
 
+    @classmethod
+    def from_parts(
+        cls, layout: RecordLayout, records: list[bytes], planes: np.ndarray
+    ) -> "PirDatabase":
+        """Assemble a database from already-packed planes (no re-packing).
+
+        Trusted constructor for delta application (``repro.mutate``): the
+        caller guarantees ``planes`` matches ``records`` under ``layout``,
+        which is what lets an epoch snapshot share every clean polynomial
+        with its predecessor instead of re-packing the whole database.
+        """
+        db = cls.__new__(cls)
+        db.layout = layout
+        db.params = layout.params
+        db._records = list(records)
+        db.planes = planes
+        return db
+
     def _pack(self, records: list[bytes]) -> np.ndarray:
         lay = self.layout
         planes = np.zeros(
             (lay.plane_count, self.params.num_db_polys, self.params.n), dtype=np.int64
         )
         if lay.plane_count == 1:
-            for poly in range(lay.polys_needed):
-                start = poly * lay.records_per_poly
-                chunk = b"".join(records[start : start + lay.records_per_poly])
-                planes[0, poly] = lay.pack_poly(chunk)
+            blobs = [
+                b"".join(records[p * lay.records_per_poly : (p + 1) * lay.records_per_poly])
+                for p in range(lay.polys_needed)
+            ]
+            planes[0, : lay.polys_needed] = lay.pack_polys(blobs)
         else:
-            for idx, record in enumerate(records):
-                poly = lay.poly_index(idx)
-                for plane, chunk in enumerate(lay.record_to_plane_chunks(record)):
-                    planes[plane, poly] = lay.pack_poly(chunk)
+            # Striped records: one record per polynomial on every plane.
+            size = lay.bytes_per_plane_poly
+            for plane in range(lay.plane_count):
+                blobs = [rec[plane * size : (plane + 1) * size] for rec in records]
+                planes[plane, : len(records)] = lay.pack_polys(blobs)
         return planes
+
+    def poly_blob(self, plane: int, poly: int) -> bytes:
+        """Current byte content of one ``(plane, poly)`` cell.
+
+        The inverse view ``_pack`` consumes: the concatenated records (or
+        the record's plane stripe) that cell packs.  Delta application
+        re-packs exactly these blobs for dirty cells only.
+        """
+        lay = self.layout
+        if lay.plane_count == 1:
+            start = poly * lay.records_per_poly
+            return b"".join(self._records[start : start + lay.records_per_poly])
+        size = lay.bytes_per_plane_poly
+        return self._records[poly][plane * size : (plane + 1) * size]
 
     # -- access -------------------------------------------------------------
     def record(self, index: int) -> bytes:

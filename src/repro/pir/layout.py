@@ -99,11 +99,39 @@ class RecordLayout:
     # -- byte <-> coefficient packing ---------------------------------------
     def pack_poly(self, data: bytes) -> np.ndarray:
         """Bytes -> coefficient vector (mod P), little-endian per coefficient."""
-        if len(data) > self.poly_capacity_bytes:
-            raise LayoutError(
-                f"{len(data)} bytes exceed polynomial capacity "
-                f"{self.poly_capacity_bytes}"
-            )
+        return self.pack_polys([data])[0]
+
+    def pack_polys(self, blobs: list[bytes]) -> np.ndarray:
+        """Vectorized packing of many polynomials' worth of bytes at once.
+
+        Returns a ``(len(blobs), N)`` int64 coefficient matrix.  The whole
+        batch is one ``np.frombuffer`` + reshape + little-endian recombine
+        over a zero-padded buffer — no per-coefficient Python loop — which
+        is what makes both bulk construction and delta re-packing
+        (``repro.mutate``) cheap.  Coefficients wider than 7 bytes could
+        overflow the int64 recombine, so they take a scalar fallback; no
+        supported parameter set gets near that (payload bits < 63).
+        """
+        cb = self.coeff_bytes
+        cap = self.poly_capacity_bytes
+        for blob in blobs:
+            if len(blob) > cap:
+                raise LayoutError(
+                    f"{len(blob)} bytes exceed polynomial capacity {cap}"
+                )
+        if not blobs:
+            return np.zeros((0, self.params.n), dtype=np.int64)
+        if cb > 7:  # 255 << 56 overflows int64; take the loop path
+            return np.stack([self._pack_poly_scalar(b) for b in blobs])
+        buf = b"".join(blob + b"\0" * (cap - len(blob)) for blob in blobs)
+        raw = np.frombuffer(buf, dtype=np.uint8).reshape(
+            len(blobs), self.params.n, cb
+        )
+        shifts = np.arange(cb, dtype=np.int64) * 8
+        return (raw.astype(np.int64) << shifts).sum(axis=2, dtype=np.int64)
+
+    def _pack_poly_scalar(self, data: bytes) -> np.ndarray:
+        """Reference per-coefficient loop (kept as the wide-coeff fallback)."""
         cb = self.coeff_bytes
         padded = data + b"\0" * (self.poly_capacity_bytes - len(data))
         coeffs = np.zeros(self.params.n, dtype=np.int64)

@@ -23,11 +23,12 @@ from dataclasses import dataclass
 from repro.errors import (
     ParameterError,
     QueueFullError,
+    RoutingError,
     ServeError,
     ShuttingDownError,
 )
 from repro.serve.metrics import ServeMetrics
-from repro.serve.registry import ServeRequest
+from repro.serve.registry import ServeRequest, ShardMap
 from repro.systems.batching import BatchPolicy
 
 #: Shortest window-countdown sleep.  A residual wait below one nanosecond
@@ -248,7 +249,13 @@ class ServeRuntime:
     # -- serving -----------------------------------------------------------
     def submit(self, request: ServeRequest) -> asyncio.Future:
         """Route to the shard dispatcher; raises typed errors when shed."""
-        return self.dispatchers[request.shard_id].submit(request)
+        shard_id = ShardMap._as_index(request.shard_id, "shard id")
+        if not 0 <= shard_id < len(self.dispatchers):
+            raise RoutingError(
+                f"request targets shard {shard_id}, runtime has "
+                f"{len(self.dispatchers)}"
+            )
+        return self.dispatchers[shard_id].submit(request)
 
     async def serve(self, request: ServeRequest) -> ServeResult:
         return await self.submit(request)

@@ -53,8 +53,39 @@ class ShardMap:
             self.starts[s] = self.starts[s - 1] + sizes[s - 1]
         self.sizes = sizes
 
+    @staticmethod
+    def _as_index(value, what: str) -> int:
+        """Coerce to a plain int, rejecting bools/floats with a typed error.
+
+        Routing is the serving door: malformed client input must surface
+        as the repo's typed :class:`RoutingError` (shed and counted), never
+        as a bare ``TypeError``/``ValueError``/``IndexError`` escaping from
+        ``bisect`` or a list subscript — and a float like ``2.5`` must not
+        silently route to a fractional local index.
+        """
+        if isinstance(value, bool) or not isinstance(value, (int, np.integer)):
+            raise RoutingError(
+                f"{what} must be an integer, got {type(value).__name__}"
+            )
+        return int(value)
+
+    def check_shard(self, shard_id: int) -> int:
+        """Coerce + bounds-check a shard id; typed RoutingError otherwise.
+
+        The single shard-id validation every layer shares (registries,
+        the runtime's submit door) so the accepted types and the error
+        shape cannot drift between them.
+        """
+        shard_id = self._as_index(shard_id, "shard id")
+        if not 0 <= shard_id < self.num_shards:
+            raise RoutingError(
+                f"shard {shard_id} out of range [0, {self.num_shards})"
+            )
+        return shard_id
+
     def route(self, global_index: int) -> tuple[int, int]:
         """Global record index -> (shard id, shard-local index)."""
+        global_index = self._as_index(global_index, "record index")
         if not 0 <= global_index < self.num_records:
             raise RoutingError(
                 f"record {global_index} out of range [0, {self.num_records})"
@@ -63,8 +94,8 @@ class ShardMap:
         return shard, global_index - self.starts[shard]
 
     def global_index(self, shard_id: int, local_index: int) -> int:
-        if not 0 <= shard_id < self.num_shards:
-            raise RoutingError(f"shard {shard_id} out of range")
+        shard_id = self.check_shard(shard_id)
+        local_index = self._as_index(local_index, "local index")
         if not 0 <= local_index < self.sizes[shard_id]:
             raise RoutingError(
                 f"local index {local_index} out of range for shard {shard_id}"
@@ -81,6 +112,9 @@ class ServeRequest:
     local_index: int
     query: PirQuery | None = None  # real-crypto payload; None in sim mode
     key: bytes | None = None  # keyword-PIR lookups route by key, not index
+    #: Database epoch the request was admitted under (versioned hot-swap,
+    #: ``repro.mutate.serving``); None for unversioned registries.
+    epoch: int | None = None
 
 
 @dataclass(frozen=True)
@@ -162,26 +196,39 @@ class RealShardRegistry:
         return self.map.num_records
 
     def server(self, shard_id: int) -> PirServer:
-        return self._servers[shard_id]
+        return self._servers[self.map.check_shard(shard_id)]
 
     def shard_db(self, shard_id: int) -> PirDatabase:
-        return self._dbs[shard_id]
+        return self._dbs[self.map.check_shard(shard_id)]
 
     def make_request(self, global_index: int) -> ServeRequest:
-        """Route and build the real cryptographic query for a record."""
+        """Route and build the real cryptographic query for a record.
+
+        Raises the typed :class:`~repro.errors.RoutingError` on
+        out-of-range or non-integer indices (never a bare
+        ``ValueError``/``IndexError``).
+        """
         shard_id, local = self.map.route(global_index)
         query = self.client.build_query(local, self._dbs[shard_id].layout)
         return ServeRequest(
-            global_index=global_index, shard_id=shard_id, local_index=local, query=query
+            global_index=int(global_index),
+            shard_id=shard_id,
+            local_index=local,
+            query=query,
         )
 
     def decode(self, request: ServeRequest, response: PirResponse) -> bytes:
         """Decrypt a shard's response back to record bytes."""
-        layout = self._dbs[request.shard_id].layout
+        layout = self._dbs[self.map.check_shard(request.shard_id)].layout
         return self.client.decode_response(response, request.local_index, layout)
 
     def expected(self, global_index: int) -> bytes:
         """Ground-truth record bytes (for verification in tests/examples)."""
+        global_index = ShardMap._as_index(global_index, "record index")
+        if not 0 <= global_index < self.num_records:
+            raise RoutingError(
+                f"record {global_index} out of range [0, {self.num_records})"
+            )
         return self._records[global_index]
 
 

@@ -29,6 +29,50 @@ class DbPlacement(enum.Enum):
 #: intermediates) rather than the database.
 _HBM_WORKING_RESERVE = 8 << 30
 
+#: Largest fraction of the database channel online updates may consume.
+#: Past this the serving scan loses more than half its bandwidth and the
+#: deployment should shard (or batch its churn) instead of absorbing it.
+UPDATE_HEADROOM_CAP = 0.5
+
+
+def update_bandwidth_demand(params: PirParams, update_polys_per_s: float) -> float:
+    """Database-channel bytes/s a sustained update stream writes back.
+
+    Each dirty polynomial is re-preprocessed and rewritten in NTT/RNS form
+    (``poly_bytes``, the logQ/logP-inflated size) over the same HBM/LPDDR
+    channel RowSel streams the database from — update traffic and serving
+    traffic compete, which is why placement must account for the headroom.
+    """
+    if update_polys_per_s < 0:
+        raise ParameterError("update rate cannot be negative")
+    return update_polys_per_s * params.poly_bytes
+
+
+def carve_update_bandwidth(
+    params: PirParams,
+    update_polys_per_s: float,
+    db_bandwidth: float,
+    placement: "DbPlacement",
+    resource: str = "database",
+) -> tuple[float, float]:
+    """Reserve a sustained update stream's share of the DB channel.
+
+    Returns ``(headroom, effective_bandwidth)``: the fraction of the
+    channel left for the serving scan and the bandwidth the serving model
+    should see.  Raises the typed rejection past ``UPDATE_HEADROOM_CAP``.
+    One helper for every scale-up system so the cap policy and the
+    carve-out math cannot drift between them.
+    """
+    demand = update_bandwidth_demand(params, update_polys_per_s)
+    if demand > UPDATE_HEADROOM_CAP * db_bandwidth:
+        raise ParameterError(
+            f"update stream needs {demand / 1e9:.1f} GB/s of the "
+            f"{db_bandwidth / 1e9:.0f} GB/s {placement.value} channel "
+            f"(cap {UPDATE_HEADROOM_CAP:.0%}); shard the {resource} or "
+            "batch the churn"
+        )
+    return 1.0 - demand / db_bandwidth, db_bandwidth - demand
+
 
 def choose_placement(preprocessed_db_bytes: int, memory) -> tuple[DbPlacement, float]:
     """Adaptive placement rule of Section V: (placement, DB bandwidth).
@@ -55,6 +99,11 @@ class ScaleUpSystem:
     params: PirParams
     config: IveConfig = None  # type: ignore[assignment]
     traversal: Traversal = Traversal.HS_DFS
+    #: Sustained online-update rate (dirty polynomials/s, ``repro.mutate``).
+    #: The write-back traffic is carved out of the database channel before
+    #: the serving model sees it; rates past ``UPDATE_HEADROOM_CAP`` of the
+    #: placed channel are rejected.
+    update_polys_per_s: float = 0.0
 
     def __post_init__(self):
         if self.config is None:
@@ -62,11 +111,15 @@ class ScaleUpSystem:
         self.placement, db_bandwidth = choose_placement(
             self.preprocessed_db_bytes, self.config.memory
         )
+        self.update_headroom, effective_bandwidth = carve_update_bandwidth(
+            self.params, self.update_polys_per_s, db_bandwidth, self.placement
+        )
         self.simulator = IveSimulator(
             self.config,
             self.params,
             traversal=self.traversal,
-            db_bandwidth=db_bandwidth,
+            db_bandwidth=effective_bandwidth,
+            db_on_hbm=self.placement is DbPlacement.HBM,
         )
 
     # -- capacity ---------------------------------------------------------
@@ -134,6 +187,7 @@ class BatchScaleUpSystem:
             self.bucket_params,
             traversal=self.traversal,
             db_bandwidth=db_bandwidth,
+            db_on_hbm=self.placement is DbPlacement.HBM,
         )
 
     @property
@@ -173,6 +227,10 @@ class KvScaleUpSystem:
     candidates_per_lookup: int
     config: IveConfig = None  # type: ignore[assignment]
     traversal: Traversal = Traversal.HS_DFS
+    #: Sustained keyword-churn write-back (dirty slot-table polynomials/s).
+    #: Keyword churn amplifies: one key touches ~num_hashes bucket copies,
+    #: so callers convert key churn to poly churn before passing it here.
+    update_polys_per_s: float = 0.0
 
     def __post_init__(self):
         if self.candidates_per_lookup < 1:
@@ -182,11 +240,19 @@ class KvScaleUpSystem:
         self.placement, db_bandwidth = choose_placement(
             self.preprocessed_db_bytes, self.config.memory
         )
+        self.update_headroom, effective_bandwidth = carve_update_bandwidth(
+            self.slot_params,
+            self.update_polys_per_s,
+            db_bandwidth,
+            self.placement,
+            resource="slot table",
+        )
         self.simulator = IveSimulator(
             self.config,
             self.slot_params,
             traversal=self.traversal,
-            db_bandwidth=db_bandwidth,
+            db_bandwidth=effective_bandwidth,
+            db_on_hbm=self.placement is DbPlacement.HBM,
         )
 
     @property

@@ -4,7 +4,7 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.errors import ParameterError
+from repro.errors import BatchPlanError, ParameterError
 from repro.hashing.cuckoo import (
     CuckooConfig,
     cuckoo_assign,
@@ -77,3 +77,97 @@ class TestByteKeyAssign:
         assignment = cuckoo_assign(keys, config)
         assert assignment.placed + len(assignment.stash) == len(keys)
         assert len(set(assignment.slots.values())) == assignment.placed
+
+
+class TestEdgeCases:
+    """Degenerate inputs must fail typed, never corrupt a placement."""
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        key=st.one_of(
+            st.binary(min_size=0, max_size=16),
+            st.integers(min_value=0, max_value=2**32),
+        ),
+        copies=st.integers(min_value=2, max_value=5),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_duplicate_keys_rejected_typed(self, key, copies, seed):
+        config = CuckooConfig(num_buckets=16, seed=seed)
+        with pytest.raises(ParameterError):
+            cuckoo_assign([key] * copies, config)
+
+    @settings(max_examples=40, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_int_and_equivalent_bytes_key_are_duplicates(self, seed):
+        """An int key and its canonical byte encoding hash identically, so
+        placing both would assign one logical key twice; the shared core
+        hashes them the same and the caller must not mix encodings."""
+        config = CuckooConfig(num_buckets=16, seed=seed)
+        assert config.candidates(7) == config.candidates(key_bytes(7))
+
+    def test_zero_capacity_tables_rejected(self):
+        with pytest.raises(ParameterError):
+            CuckooConfig(num_buckets=0)
+        with pytest.raises(ParameterError):
+            CuckooConfig(num_buckets=1)  # a 1-bucket table cannot cuckoo
+        with pytest.raises(ParameterError):
+            CuckooConfig(num_buckets=8, num_hashes=1)
+        with pytest.raises(ParameterError):
+            CuckooConfig(num_buckets=8, stash_size=-1)
+        with pytest.raises(ParameterError):
+            CuckooConfig(num_buckets=8, max_evictions=0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        extra=st.integers(min_value=1, max_value=8),
+        stash=st.integers(min_value=0, max_value=3),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_overfull_batches_rejected_before_walking(self, extra, stash, seed):
+        """More keys than buckets + stash can never place: typed, eager."""
+        config = CuckooConfig(num_buckets=4, stash_size=stash, seed=seed)
+        keys = list(range(4 + stash + extra))
+        with pytest.raises(BatchPlanError):
+            cuckoo_assign(keys, config)
+
+    @settings(max_examples=60, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=2**16))
+    def test_stash_overflow_is_typed_with_zero_stash(self, seed):
+        """Saturating a tiny zero-stash table either places everything or
+        raises the typed overflow — and a partial failure never leaks a
+        bucket holding two keys."""
+        config = CuckooConfig(
+            num_buckets=4, stash_size=0, max_evictions=8, seed=seed
+        )
+        keys = [f"k{i}".encode() for i in range(4)]
+        try:
+            assignment = cuckoo_assign(keys, config)
+        except BatchPlanError:
+            return
+        assert assignment.placed == len(keys)
+        assert len(set(assignment.slots.values())) == len(keys)
+        for bucket, key in assignment.slots.items():
+            assert bucket in config.candidates(key)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        num_keys=st.integers(min_value=5, max_value=12),
+        seed=st.integers(min_value=0, max_value=2**16),
+    )
+    def test_stash_overflow_accounting_never_overshoots(self, num_keys, seed):
+        """With a bounded stash, every outcome is accounted: either all
+        keys land (slots + stash) with the stash within its bound, or the
+        typed overflow fires."""
+        config = CuckooConfig(
+            num_buckets=max(2, num_keys - 3),
+            stash_size=2,
+            max_evictions=16,
+            seed=seed,
+        )
+        keys = list(range(num_keys))
+        try:
+            assignment = cuckoo_assign(keys, config)
+        except BatchPlanError:
+            return
+        assert len(assignment.stash) <= config.stash_size
+        assert assignment.placed + len(assignment.stash) == num_keys

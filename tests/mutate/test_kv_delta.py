@@ -1,0 +1,230 @@
+"""Cuckoo-aware keyword deltas: placement, spills, live-server patching."""
+
+import numpy as np
+import pytest
+
+from repro.batchpir.server import BatchPirProtocol
+from repro.errors import MutateError, RebuildRequired
+from repro.kvpir.client import KvPirClient
+from repro.kvpir.layout import KvDatabase
+from repro.kvpir.server import KvPirServer
+from repro.mutate import KvUpdateLog, VersionedKvDatabase, apply_batch_record_updates
+from repro.params import PirParams
+
+
+@pytest.fixture(scope="module")
+def params():
+    return PirParams.small(n=256, d0=8, num_dims=2)
+
+
+def _store(params, num_keys=32, reserve_stash=4, hash_seed=1):
+    items = {f"user-{i}".encode(): bytes([i]) * 16 for i in range(num_keys)}
+    db = KvDatabase.from_items(
+        params, items, reserve_stash=reserve_stash, hash_seed=hash_seed
+    )
+    return items, db
+
+
+class TestTableMaintenance:
+    def test_put_delete_insert_update_ground_truth(self, params):
+        items, db = _store(params)
+        vkv = VersionedKvDatabase(db)
+        cost = vkv.apply(
+            KvUpdateLog()
+            .put(b"user-3", b"\xaa" * 16)
+            .delete(b"user-7")
+            .put(b"fresh-key", b"\xbb" * 16)
+        )
+        assert cost.epoch == 1
+        assert (cost.keys_updated, cost.keys_inserted, cost.keys_deleted) == (1, 1, 1)
+        assert vkv.value(b"user-3") == b"\xaa" * 16
+        assert not vkv.contains(b"user-7")
+        assert vkv.value(b"fresh-key") == b"\xbb" * 16
+        # The wrapped KvDatabase ground truth moved with it.
+        assert db.value(b"fresh-key") == b"\xbb" * 16
+        assert not db.contains(b"user-7")
+
+    def test_inserted_keys_live_in_their_cuckoo_candidates(self, params):
+        _, db = _store(params)
+        vkv = VersionedKvDatabase(db)
+        vkv.apply(KvUpdateLog().put(b"new-1", b"\x01" * 16).put(b"new-2", b"\x02" * 16))
+        table = db.layout.table
+        for key in (b"new-1", b"new-2"):
+            slot = vkv._slot_of[key]
+            if slot < table.num_buckets:
+                assert slot in table.candidates(key)
+            else:  # spilled to an always-probed stash slot
+                assert slot < db.layout.num_slots
+
+    def test_dirty_work_is_bounded_by_slots_times_hashes(self, params):
+        _, db = _store(params)
+        vkv = VersionedKvDatabase(db)
+        cost = vkv.apply(KvUpdateLog().put(b"user-5", b"\xcc" * 16))
+        bound = (cost.dirty_slots + cost.displaced) * (
+            db.layout.batch.config.num_hashes
+        )
+        assert cost.dirty_buckets <= bound
+        assert cost.dirty_buckets < cost.total_buckets
+        assert cost.poly_cost.speedup_vs_full > 1.0
+
+    def test_absent_key_delete_is_typed(self, params):
+        _, db = _store(params)
+        with pytest.raises(MutateError):
+            VersionedKvDatabase(db).apply(KvUpdateLog().delete(b"never-there"))
+
+    def test_wrong_value_size_is_typed(self, params):
+        _, db = _store(params)
+        with pytest.raises(MutateError):
+            VersionedKvDatabase(db).apply(KvUpdateLog().put(b"user-1", b"tiny"))
+
+    def test_rejected_apply_leaves_no_divergence(self, params):
+        """Regression: a log that fails validation partway (valid delete +
+        absent-key delete) must leave ground truth AND the served slot
+        records untouched — mid-apply mutation used to strand deleted
+        keys in the bucket polynomials forever."""
+        items, db = _store(params)
+        vkv = VersionedKvDatabase(db)
+        records_before = list(db.batch_db._records)
+        slots_before = dict(vkv._slots)
+        with pytest.raises(MutateError):
+            vkv.apply(KvUpdateLog().delete(b"user-1").delete(b"zz-absent"))
+        assert vkv.contains(b"user-1")  # the valid half did not half-apply
+        assert vkv.value(b"user-1") == items[b"user-1"]
+        assert db.batch_db._records == records_before
+        assert vkv._slots == slots_before
+        assert vkv.epoch == 0
+        # And the store still works for a clean follow-up apply.
+        vkv.apply(KvUpdateLog().delete(b"user-1"))
+        assert not vkv.contains(b"user-1")
+
+    def test_rebuild_required_rolls_back_the_whole_apply(self, params):
+        """RebuildRequired mid-walk must not commit the keys placed
+        earlier in the same apply."""
+        items = {f"k-{i}".encode(): bytes([i]) * 8 for i in range(16)}
+        db = KvDatabase.from_items(params, items, reserve_stash=0, hash_seed=2)
+        vkv = VersionedKvDatabase(db)
+        log = KvUpdateLog()
+        for i in range(50):  # enough inserts to exhaust the full table
+            log.put(f"extra-{i}".encode(), b"\x00" * 8)
+        with pytest.raises(RebuildRequired):
+            vkv.apply(log)
+        assert vkv.num_keys == 16  # none of the batch leaked in
+        assert vkv.epoch == 0
+
+    def test_stash_exhaustion_raises_rebuild_required(self, params):
+        # No reserved stash and a table built full: pushing enough new keys
+        # must eventually exhaust evictions + stash and fail typed.
+        items = {f"k-{i}".encode(): bytes([i]) * 8 for i in range(16)}
+        db = KvDatabase.from_items(params, items, reserve_stash=0, hash_seed=2)
+        vkv = VersionedKvDatabase(db)
+        with pytest.raises(RebuildRequired):
+            for i in range(200):
+                vkv.apply(KvUpdateLog().put(f"extra-{i}".encode(), b"\x00" * 8))
+
+    def test_spills_are_accounted_and_probed(self, params):
+        items = {f"k-{i}".encode(): bytes([i]) * 8 for i in range(16)}
+        db = KvDatabase.from_items(params, items, reserve_stash=3, hash_seed=2)
+        vkv = VersionedKvDatabase(db)
+        spills = 0
+        try:
+            for i in range(200):
+                cost = vkv.apply(KvUpdateLog().put(f"extra-{i}".encode(), b"\x01" * 8))
+                spills += cost.stash_spills
+        except RebuildRequired:
+            pass
+        assert spills == 3  # every reserved stash slot absorbed one spill
+        assert vkv.stash_in_use == 3
+
+
+class TestBatchPirDelta:
+    def test_batch_retrievals_see_updates_without_rebuild(self, params):
+        rng = np.random.default_rng(17)
+        records = [rng.bytes(32) for _ in range(64)]
+        protocol = BatchPirProtocol(
+            params, records, max_batch=8, record_bytes=32, seed=3
+        )
+        pres = [s.db for s in protocol.server.servers]
+        cost = apply_batch_record_updates(
+            protocol.db,
+            {5: b"\x11" * 32, 40: b"\x22" * 32},
+            pres=pres,
+            ring=protocol.client.pir.ring,
+        )
+        assert 0 < cost.polys_ntted < cost.full_polys
+        assert cost.speedup_vs_full > 1.0
+        result = protocol.retrieve_batch([5, 40, 7])
+        assert result.records == [b"\x11" * 32, b"\x22" * 32, records[7]]
+
+    def test_out_of_range_update_is_typed(self, params):
+        rng = np.random.default_rng(18)
+        protocol = BatchPirProtocol(
+            params,
+            [rng.bytes(16) for _ in range(8)],
+            max_batch=4,
+            record_bytes=16,
+            seed=3,
+        )
+        with pytest.raises(MutateError):
+            apply_batch_record_updates(protocol.db, {8: b"\x00" * 16})
+
+    def test_rejected_update_mutates_nothing(self, params):
+        """Regression: an invalid entry anywhere in the batch must leave
+        ground truth and buckets untouched (validate-then-mutate)."""
+        rng = np.random.default_rng(19)
+        records = [rng.bytes(16) for _ in range(8)]
+        protocol = BatchPirProtocol(
+            params, records, max_batch=4, record_bytes=16, seed=3
+        )
+        with pytest.raises(MutateError):
+            apply_batch_record_updates(
+                protocol.db, {0: b"\xaa" * 16, 99: b"\xbb" * 16}
+            )
+        assert protocol.db.record(0) == records[0]
+        with pytest.raises(MutateError):
+            apply_batch_record_updates(
+                protocol.db, {0: b"\xaa" * 16, 3: b"wrong size"}
+            )
+        assert protocol.db.record(0) == records[0]
+
+
+class TestLiveServerPatch:
+    @pytest.fixture(scope="class")
+    def deployment(self, params):
+        items, db = _store(params, num_keys=24, reserve_stash=2)
+        client = KvPirClient(db.layout, seed=9)
+        server = KvPirServer(db, client.batch.pir.ring, client.setup_message())
+        return items, db, client, server
+
+    def _lookup(self, client, server, key):
+        plan = client.plan([key])
+        response = server.answer(client.build_queries(plan))
+        return client.decode(plan, response)
+
+    def test_lookups_see_the_delta_without_a_rebuild(self, params, deployment):
+        items, db, client, server = deployment
+        vkv = VersionedKvDatabase(db, ring=client.batch.pir.ring)
+        pres = [s.db for s in server.batch_server.servers]
+        vkv.apply(
+            KvUpdateLog()
+            .put(b"user-2", b"\xee" * 16)
+            .delete(b"user-9")
+            .put(b"hot-insert", b"\xdd" * 16),
+            pres=pres,
+        )
+        assert self._lookup(client, server, b"user-2")[b"user-2"] == b"\xee" * 16
+        assert self._lookup(client, server, b"hot-insert")[b"hot-insert"] == b"\xdd" * 16
+        assert b"user-9" not in self._lookup(client, server, b"user-9")
+        # An untouched key still decodes its original value.
+        assert self._lookup(client, server, b"user-11")[b"user-11"] == items[b"user-11"]
+
+    def test_patched_buckets_match_a_fresh_preprocess(self, params, deployment):
+        _, db, client, server = deployment
+        ring = client.batch.pir.ring
+        for bucket_db, pir_server in zip(db.batch_db.bucket_dbs, server.batch_server.servers):
+            fresh = bucket_db.preprocess(ring)
+            for plane in range(len(fresh.planes)):
+                for poly in range(len(fresh.planes[plane])):
+                    assert np.array_equal(
+                        fresh.planes[plane][poly].residues,
+                        pir_server.db.planes[plane][poly].residues,
+                    )

@@ -1,0 +1,109 @@
+"""Update cost model: delta latency, churn curve, placement headroom."""
+
+import pytest
+
+from repro.arch.simulator import IveSimulator
+from repro.arch.config import IveConfig
+from repro.errors import ParameterError, SimulationError
+from repro.mutate import churn_update_curve, expected_dirty_polys
+from repro.params import PirParams
+from repro.systems.scale_up import (
+    UPDATE_HEADROOM_CAP,
+    KvScaleUpSystem,
+    ScaleUpSystem,
+    update_bandwidth_demand,
+)
+
+
+@pytest.fixture(scope="module")
+def paper_params():
+    return PirParams.paper(d0=256, num_dims=9)  # the 2 GiB Table I DB
+
+
+class TestUpdateApplyLatency:
+    def test_scales_with_the_delta_and_caps_at_full(self, paper_params):
+        sim = IveSimulator(IveConfig.ive(), paper_params)
+        small = sim.update_apply_latency(100)
+        large = sim.update_apply_latency(10_000)
+        full = sim.full_preprocess_latency()
+        assert 0 < small.total_s < large.total_s <= full.total_s
+        assert full.dirty_polys == paper_params.num_db_polys
+
+    def test_delta_speedup_is_at_least_10x_at_1pct_churn(self, paper_params):
+        sim = IveSimulator(IveConfig.ive(), paper_params)
+        dirty = round(0.01 * paper_params.num_db_polys)
+        speedup = (
+            sim.full_preprocess_latency().total_s
+            / sim.update_apply_latency(dirty).total_s
+        )
+        assert speedup >= 10.0
+
+    def test_negative_delta_rejected(self, paper_params):
+        sim = IveSimulator(IveConfig.ive(), paper_params)
+        with pytest.raises(SimulationError):
+            sim.update_apply_latency(-1)
+
+
+class TestChurnCurve:
+    def test_speedup_decreases_with_churn(self, paper_params):
+        points = churn_update_curve(paper_params, churns=(0.001, 0.01, 0.1))
+        speedups = [p.speedup for p in points]
+        assert speedups == sorted(speedups, reverse=True)
+        assert points[1].speedup >= 10.0  # the 1% acceptance point
+
+    def test_shared_polys_dedupe_dirty_work(self, paper_params):
+        packed = churn_update_curve(
+            paper_params, churns=(0.5,), records_per_poly=16
+        )[0]
+        striped = churn_update_curve(paper_params, churns=(0.5,))[0]
+        # 16 records/poly at 50% churn collide heavily: far fewer dirty
+        # polys than record updates, never more than the geometry holds.
+        assert packed.dirty_polys < packed.updates
+        assert packed.dirty_polys <= paper_params.num_db_polys
+        assert striped.dirty_polys == striped.updates
+
+    def test_expected_dirty_occupancy_bounds(self):
+        assert expected_dirty_polys(100, 0, 4) == 0
+        assert expected_dirty_polys(100, 50, 1) == 50
+        assert expected_dirty_polys(100, 10_000, 16) == 100  # saturates
+
+
+class TestUpdateHeadroom:
+    def test_headroom_carved_out_of_the_db_channel(self, paper_params):
+        static = ScaleUpSystem(paper_params)
+        churning = ScaleUpSystem(paper_params, update_polys_per_s=1e4)
+        assert 0.0 < churning.update_headroom < 1.0
+        assert static.update_headroom == 1.0
+        assert churning.simulator.db_bandwidth < static.simulator.db_bandwidth
+        # Less scan bandwidth means a (weakly) slower batched pass.
+        assert (
+            churning.latency(64).total_s >= static.latency(64).total_s
+        )
+
+    def test_excessive_update_rate_rejected(self, paper_params):
+        memory = IveConfig.ive().memory
+        cap_rate = (
+            UPDATE_HEADROOM_CAP * memory.hbm_bandwidth / paper_params.poly_bytes
+        )
+        with pytest.raises(ParameterError):
+            ScaleUpSystem(paper_params, update_polys_per_s=2 * cap_rate)
+
+    def test_demand_formula_and_validation(self, paper_params):
+        assert update_bandwidth_demand(paper_params, 10.0) == (
+            10.0 * paper_params.poly_bytes
+        )
+        with pytest.raises(ParameterError):
+            update_bandwidth_demand(paper_params, -1.0)
+
+    def test_kv_system_accounts_for_headroom_too(self, paper_params):
+        from repro.kvpir.model import model_kv_slot_params
+
+        slot_params = model_kv_slot_params(paper_params)
+        static = KvScaleUpSystem(slot_params, candidates_per_lookup=4)
+        churning = KvScaleUpSystem(
+            slot_params, candidates_per_lookup=4, update_polys_per_s=1e4
+        )
+        assert churning.update_headroom < static.update_headroom == 1.0
+        assert (
+            churning.lookup_latency().total_s >= static.lookup_latency().total_s
+        )

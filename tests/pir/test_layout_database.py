@@ -95,6 +95,53 @@ class TestPacking:
         coeffs = lay.pack_poly(data)
         assert lay.unpack_poly(coeffs, len(data)) == data
 
+    @settings(max_examples=25, deadline=None)
+    @given(
+        blobs=st.lists(st.binary(min_size=0, max_size=512), min_size=0, max_size=6)
+    )
+    def test_vectorized_pack_is_byte_identical_to_reference(self, blobs):
+        """The np.frombuffer fast path must match the per-coefficient loop
+        bit for bit — the invariant the delta re-packer leans on."""
+        lay = RecordLayout(
+            PirParams.small(n=256, d0=8, num_dims=2), record_bytes=512, num_records=4
+        )
+        vectorized = lay.pack_polys(blobs)
+        reference = [lay._pack_poly_scalar(b) for b in blobs]
+        assert vectorized.shape == (len(blobs), lay.params.n)
+        assert vectorized.dtype == np.int64
+        for got, want in zip(vectorized, reference):
+            assert np.array_equal(got, want)
+
+    def test_vectorized_pack_across_coeff_widths(self):
+        """Byte-identical packing at 1-, 2-, 3-, and 4-byte coefficients."""
+        rng = np.random.default_rng(9)
+        for plain in (1 << 12, 65537, 1 << 33, 1 << 35):
+            params = PirParams.small(n=256, d0=8, num_dims=2, plain_modulus=plain)
+            cap = params.n * (params.payload_bits_per_coeff // 8)
+            lay = RecordLayout(params, record_bytes=cap, num_records=2)
+            blob = rng.bytes(cap)
+            assert np.array_equal(lay.pack_poly(blob), lay._pack_poly_scalar(blob))
+
+    def test_database_pack_matches_per_record_reference(self, small_params):
+        """Whole-database vectorized packing (packed AND striped layouts)
+        equals a record-by-record reference build."""
+        rng = np.random.default_rng(10)
+        for record_bytes, num in ((64, 24), (1200, 6)):  # 8/poly and 3 planes
+            records = [rng.bytes(record_bytes) for _ in range(num)]
+            db = PirDatabase.from_records(records, small_params, record_bytes)
+            lay = db.layout
+            want = np.zeros_like(db.planes)
+            if lay.plane_count == 1:
+                for poly in range(lay.polys_needed):
+                    start = poly * lay.records_per_poly
+                    chunk = b"".join(records[start : start + lay.records_per_poly])
+                    want[0, poly] = lay._pack_poly_scalar(chunk)
+            else:
+                for idx, record in enumerate(records):
+                    for plane, chunk in enumerate(lay.record_to_plane_chunks(record)):
+                        want[plane, lay.poly_index(idx)] = lay._pack_poly_scalar(chunk)
+            assert np.array_equal(db.planes, want)
+
 
 class TestDatabase:
     def test_random_db_records_accessible(self, small_params):

@@ -35,6 +35,27 @@ class TestShardMap:
         with pytest.raises(RoutingError):
             m.route(-1)
 
+    def test_route_rejects_non_integer_indices_typed(self):
+        """Regression: floats/bools/strings must shed as RoutingError,
+        never escape as a bare TypeError or route to a fractional local
+        index (2.5 used to pass the range check and split records)."""
+        m = ShardMap(8, 2)
+        for bad in (2.5, True, "3", None, b"\x01"):
+            with pytest.raises(RoutingError):
+                m.route(bad)
+        with pytest.raises(RoutingError):
+            m.global_index(0.0, 1)
+        with pytest.raises(RoutingError):
+            m.global_index(0, False)
+
+    def test_route_accepts_numpy_integers(self):
+        import numpy as np
+
+        m = ShardMap(8, 2)
+        shard, local = m.route(np.int64(5))
+        assert (shard, local) == m.route(5)
+        assert isinstance(shard, int) and isinstance(local, int)
+
     def test_global_index_rejects_bad_shard(self):
         m = ShardMap(8, 2)
         with pytest.raises(RoutingError):
@@ -73,6 +94,50 @@ class TestRealShardRegistry:
 
     def test_small_shards_live_in_hbm(self, registry):
         assert all(spec.placement is DbPlacement.HBM for spec in registry.specs)
+
+    def test_make_request_raises_typed_errors(self, registry):
+        """Regression: out-of-range/non-integer indices surface as
+        RoutingError end to end, not ValueError/IndexError."""
+        for bad in (10, -1, 3.5, True, "7"):
+            with pytest.raises(RoutingError):
+                registry.make_request(bad)
+
+    def test_accessors_raise_typed_errors(self, registry):
+        with pytest.raises(RoutingError):
+            registry.server(3)
+        with pytest.raises(RoutingError):
+            registry.shard_db(-1)
+        with pytest.raises(RoutingError):
+            registry.expected(10)
+        with pytest.raises(RoutingError):
+            registry.expected(2.0)
+
+
+class TestRuntimeSubmitRouting:
+    def test_submit_rejects_bad_shard_ids_typed(self):
+        """Regression: a malformed ServeRequest at the runtime door sheds
+        as RoutingError — never bare TypeError/IndexError from the
+        dispatcher list, and 2.5 must not pass the range check."""
+        import asyncio
+
+        from repro.serve import ServeRequest, SimShardRegistry, SimulatedBackend
+        from repro.serve.dispatcher import ServeRuntime
+        from repro.systems.batching import BatchPolicy
+
+        registry = SimShardRegistry(PirParams.paper(d0=256, num_dims=9), num_shards=2)
+        runtime = ServeRuntime(
+            registry,
+            SimulatedBackend(registry),
+            BatchPolicy(waiting_window_s=0.001, max_batch=4),
+        )
+
+        async def main():
+            for bad in (2, -1, 1.5, "1", True, None):
+                request = ServeRequest(global_index=0, shard_id=bad, local_index=0)
+                with pytest.raises(RoutingError):
+                    runtime.submit(request)
+
+        asyncio.run(main())
 
 
 class TestSimShardRegistry:
