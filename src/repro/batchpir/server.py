@@ -32,13 +32,20 @@ from repro.pir.server import PirServer
 
 
 class BatchPirServer:
-    """One PirServer per bucket, sharing the client's evaluation keys."""
+    """One PirServer per bucket, sharing the client's evaluation keys.
 
-    def __init__(self, db: BatchDatabase, ring, setup: ClientSetup):
+    ``use_fast`` selects the batched tensor hot path in every bucket
+    server (the default); the per-poly oracle stays reachable for
+    equivalence checks.
+    """
+
+    def __init__(
+        self, db: BatchDatabase, ring, setup: ClientSetup, use_fast: bool = True
+    ):
         self.layout = db.layout
         self.db = db
         self.servers = [
-            PirServer(bucket_db.preprocess(ring), setup)
+            PirServer(bucket_db.preprocess(ring), setup, use_fast=use_fast)
             for bucket_db in db.bucket_dbs
         ]
 

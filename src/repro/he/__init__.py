@@ -6,6 +6,16 @@ CRT/iCRT, BFV linear operations, gadget decomposition, RGSW external
 products, and automorphism-based substitution with key switching.
 """
 
+from repro.he.batched import (
+    BfvCiphertextVec,
+    RnsPolyVec,
+    batched_cmux,
+    batched_decompose,
+    batched_external_product,
+    batched_substitute,
+    lazy_modular_gemm,
+    overflow_safe_chunk,
+)
 from repro.he.bfv import BfvCiphertext, BfvContext, SecretKey
 from repro.he.gadget import Gadget
 from repro.he.modswitch import ModulusSwitcher, SwitchedCiphertext, min_moduli_for_noise
@@ -19,6 +29,7 @@ from repro.he.subs import SubsKey, generate_subs_key, substitute
 
 __all__ = [
     "BfvCiphertext",
+    "BfvCiphertextVec",
     "BfvContext",
     "Domain",
     "Gadget",
@@ -29,15 +40,22 @@ __all__ = [
     "RingContext",
     "RnsBasis",
     "RnsPoly",
+    "RnsPolyVec",
     "Sampler",
     "SecretKey",
     "SubsKey",
     "SwitchedCiphertext",
+    "batched_cmux",
+    "batched_decompose",
+    "batched_external_product",
+    "batched_substitute",
     "cmux",
     "encrypt_public",
     "external_product",
     "generate_subs_key",
+    "lazy_modular_gemm",
     "min_moduli_for_noise",
+    "overflow_safe_chunk",
     "rgsw_encrypt",
     "substitute",
 ]

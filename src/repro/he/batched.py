@@ -1,0 +1,641 @@
+"""Batched tensor kernels for the real-crypto hot path.
+
+The per-poly reference stack (``RnsPoly`` + the loops in ``repro.pir``)
+dispatches one tiny numpy call per polynomial per modulus, so the
+RowSel/ColTor/Expand pipeline is throttled by Python overhead rather
+than arithmetic.  This module provides the stacked equivalents the
+accelerator's sysNTTUs motivate (Section III-A / Fig. 5):
+
+* :class:`RnsPolyVec` — a batch of polynomials as one ``(batch,
+  rns_count, n)`` int64 tensor, with the same domain discipline as
+  :class:`~repro.he.poly.RnsPoly`;
+* :class:`BfvCiphertextVec` — a batch of BFV ciphertexts (two vecs);
+* :func:`batched_decompose` — gadget decomposition via an exact
+  int64 *limb iCRT*: the Eq. 3 lift is accumulated directly in base-z
+  limbs (the gadget digits), so no per-coefficient big-int arithmetic
+  is needed;
+* :func:`batched_substitute` / :func:`batched_external_product` /
+  :func:`batched_cmux` — Subs and the RGSW external product over whole
+  batches, with one stacked NTT call per modulus and lazy-reduction
+  inner products;
+* :func:`lazy_modular_gemm` — the RowSel modular GEMM: residues are
+  < 2^28, so int64 holds hundreds of accumulated products before a
+  ``% q`` is required; accumulation is chunked at the overflow-safe
+  length (:func:`overflow_safe_chunk`).
+
+Every kernel is element-identical to its per-poly reference — modular
+arithmetic is exact, so reassociating the reductions cannot change the
+canonical residues.  The hypothesis suite in ``tests/he/test_batched.py``
+asserts this, and the servers keep the per-poly path as the oracle.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import DomainError, ParameterError
+from repro.he.bfv import BfvCiphertext
+from repro.he.gadget import Gadget
+from repro.he.poly import Domain, RingContext, RnsPoly
+from repro.he.rgsw import RgswCiphertext
+from repro.he.subs import SubsKey
+
+_INT64_MAX = (1 << 63) - 1
+
+
+def overflow_safe_chunk(modulus: int) -> int:
+    """How many residue products mod ``modulus`` int64 can accumulate.
+
+    Each product is at most ``(q-1)^2`` and one partially-reduced
+    accumulator value (< q) may ride along, so the largest safe
+    accumulation length is ``(2^63 - q) // (q-1)^2``.
+    """
+    if modulus < 2:
+        raise ParameterError(f"modulus {modulus} must be at least 2")
+    worst = (modulus - 1) ** 2
+    if worst > _INT64_MAX - (modulus - 1):
+        raise ParameterError(
+            f"modulus {modulus} is too large for int64 lazy reduction"
+        )
+    return (_INT64_MAX - (modulus - 1)) // worst
+
+
+def _chunked_einsum(script: str, lhs: np.ndarray, rhs: np.ndarray,
+                    axis_len: int, chunk: int, moduli_col: np.ndarray,
+                    out_shape: tuple) -> np.ndarray:
+    """Accumulate ``einsum(script)`` over a contraction axis in safe chunks.
+
+    ``lhs``/``rhs`` are sliced along their leading contraction layout by
+    the caller-provided lambda-free convention: the contraction axis is
+    axis 1 of ``lhs`` and axis 0 of ``rhs``.
+    """
+    acc = np.zeros(out_shape, dtype=np.int64)
+    for start in range(0, axis_len, chunk):
+        stop = start + chunk
+        part = np.einsum(script, lhs[:, start:stop], rhs[start:stop])
+        acc = (acc + part) % moduli_col
+    return acc
+
+
+def lazy_modular_gemm(
+    db: np.ndarray, query: np.ndarray, moduli_col: np.ndarray
+) -> np.ndarray:
+    """RowSel GEMM: ``out[c] = sum_r db[c, r] * query[r]`` mod q, per modulus.
+
+    ``db`` has shape ``(cols, rows, rns_count, n)``, ``query`` has shape
+    ``(rows, rns_count, n)``; the result is ``(cols, rns_count, n)``.
+    Products are accumulated lazily in int64 and reduced once per
+    overflow-safe chunk of the row axis (residues < 2^28 allow hundreds
+    of products per reduction), which is what turns the per-(row, col)
+    Python loop into a handful of tensor contractions.
+    """
+    if db.ndim != 4 or query.ndim != 3 or db.shape[1:] != query.shape:
+        raise ParameterError(
+            f"GEMM shape mismatch: db {db.shape} vs query {query.shape}"
+        )
+    chunk = overflow_safe_chunk(int(moduli_col.max()))
+    return _chunked_einsum(
+        "crmn,rmn->cmn", db, query, db.shape[1], chunk, moduli_col,
+        (db.shape[0],) + query.shape[1:],
+    )
+
+
+def _lazy_inner(
+    digits: np.ndarray, rows: np.ndarray, moduli_col: np.ndarray
+) -> np.ndarray:
+    """Key-switch inner product ``out[b] = sum_k digits[b, k] * rows[k]``.
+
+    ``digits`` is ``(batch, k, rns_count, n)``, ``rows`` is
+    ``(k, rns_count, n)``; same lazy-reduction contract as
+    :func:`lazy_modular_gemm`.
+    """
+    chunk = overflow_safe_chunk(int(moduli_col.max()))
+    return _chunked_einsum(
+        "bkmn,kmn->bmn", digits, rows, digits.shape[1], chunk, moduli_col,
+        (digits.shape[0],) + rows.shape[1:],
+    )
+
+
+def _rns_ntt_tables(ctx: RingContext) -> dict:
+    """Per-ring twiddle tables stacked across the RNS basis.
+
+    The Cooley-Tukey/Gentleman-Sande butterfly structure depends only on
+    the ring degree, so all moduli can ride through one vectorised
+    transform with per-modulus twiddles broadcast along the RNS axis —
+    one stacked call instead of ``rns_count`` per conversion.
+    """
+    cache = getattr(ctx, "_rns_ntt_tables_cache", None)
+    if cache is not None:
+        return cache
+    qmax = max(ctx.params.moduli)
+    logn = ctx.n.bit_length() - 1
+    tables = {
+        "fwd": np.stack([ntt._fwd for ntt in ctx.ntts]),  # (rns_count, n)
+        "inv": np.stack([ntt._inv for ntt in ctx.ntts]),
+        "n_inv": np.array(
+            [ntt._n_inv for ntt in ctx.ntts], dtype=np.int64
+        )[:, None],
+        "moduli3": ctx._moduli_col[:, :, None],  # (rns_count, 1, 1)
+        # Lazy butterflies let values grow to (log2(n)+1)*q before the
+        # final reduction; the twiddle product of a stage-k value must
+        # still fit int64.  The paper's ~28-bit moduli clear this by a
+        # wide margin, but a user-built params set with ~2^30 moduli is
+        # NTT-friendly yet would overflow *silently* — those fall back
+        # to eager per-stage reduction (still stacked, just slower).
+        "lazy_fwd": logn * qmax * (qmax - 1) < _INT64_MAX,
+        "lazy_inv": 2 * qmax * (qmax - 1) < _INT64_MAX,
+    }
+    ctx._rns_ntt_tables_cache = tables
+    return tables
+
+
+def rns_forward(ctx: RingContext, residues: np.ndarray) -> np.ndarray:
+    """Stacked forward NTT over every RNS row: (..., rns_count, n) -> same.
+
+    Element-identical to calling ``ctx.ntts[i].forward`` row by row, but
+    with lazy reduction through the butterflies: only the twiddle
+    product is reduced per stage, sums stay unreduced (adding one ``q``
+    of headroom per stage keeps subtraction results non-negative), and
+    one final ``% q`` canonicalises.  The growth bound is
+    ``(log2(n) + 1) * q < 2^32`` for the paper's ~28-bit moduli, far
+    below both int64 and the ``value * twiddle < 2^63`` multiply
+    constraint; moduli too large for that bound take the eager
+    per-stage-reduced butterflies instead (checked in
+    :func:`_rns_ntt_tables`) so the fast path can never silently wrap.
+    """
+    tables = _rns_ntt_tables(ctx)
+    q = tables["moduli3"]
+    n = ctx.n
+    a = np.ascontiguousarray(np.asarray(residues, dtype=np.int64) % ctx._moduli_col)
+    lead = a.shape[:-2]
+    rns = a.shape[-2]
+    # Scratch for the stage's u/v halves: n/2 elements per polynomial at
+    # every stage, so two buffers serve all log2(n) stages without
+    # per-stage allocations.
+    scratch_u = np.empty(lead + (rns, n // 2), dtype=np.int64)
+    scratch_v = np.empty_like(scratch_u)
+    lazy = tables["lazy_fwd"]
+    t = n
+    m = 1
+    while m < n:
+        t //= 2
+        blocks = a.reshape(*lead, rns, m, 2, t)
+        s = tables["fwd"][:, m : 2 * m]  # (rns_count, m)
+        u = scratch_u.reshape(*lead, rns, m, t)
+        v = scratch_v.reshape(*lead, rns, m, t)
+        np.copyto(u, blocks[..., 0, :])
+        np.multiply(blocks[..., 1, :], s[:, :, None], out=v)
+        v %= q
+        np.add(u, v, out=blocks[..., 0, :])
+        np.subtract(u, v, out=blocks[..., 1, :])
+        blocks[..., 1, :] += q
+        if not lazy:
+            blocks[..., 0, :] %= q
+            blocks[..., 1, :] %= q
+        m *= 2
+    return a % ctx._moduli_col
+
+
+def rns_inverse(ctx: RingContext, residues: np.ndarray) -> np.ndarray:
+    """Stacked inverse NTT over every RNS row: (..., rns_count, n) -> same."""
+    tables = _rns_ntt_tables(ctx)
+    q = tables["moduli3"]
+    n = ctx.n
+    a = np.ascontiguousarray(np.asarray(residues, dtype=np.int64) % ctx._moduli_col)
+    lead = a.shape[:-2]
+    rns = a.shape[-2]
+    scratch_u = np.empty(lead + (rns, n // 2), dtype=np.int64)
+    t = 1
+    m = n
+    while m > 1:
+        h = m // 2
+        blocks = a.reshape(*lead, rns, h, 2, t)
+        s = tables["inv"][:, h : 2 * h]
+        u = scratch_u.reshape(*lead, rns, h, t)
+        np.copyto(u, blocks[..., 0, :])
+        v = blocks[..., 1, :]  # view; consumed before being overwritten
+        np.add(u, v, out=blocks[..., 0, :])
+        blocks[..., 0, :] %= q
+        np.subtract(u, v, out=u)
+        u += q  # keep the difference non-negative before the twiddle
+        if not tables["lazy_inv"]:
+            u %= q  # large moduli: reduce before the twiddle product
+        u *= s[:, :, None]
+        u %= q
+        blocks[..., 1, :] = u
+        t *= 2
+        m = h
+    return (a * tables["n_inv"]) % ctx._moduli_col
+
+
+@dataclass
+class RnsPolyVec:
+    """A batch of R_Q polynomials as one (batch, rns_count, n) tensor.
+
+    Mirrors :class:`~repro.he.poly.RnsPoly`'s domain discipline: every
+    element of the batch is in the same domain, and the operations below
+    enforce the same coeff/NTT rules the scalar type does.
+    """
+
+    ctx: RingContext
+    residues: np.ndarray
+    domain: Domain
+
+    def __post_init__(self):
+        expected = (self.ctx.rns_count, self.ctx.n)
+        if self.residues.ndim != 3 or self.residues.shape[1:] != expected:
+            raise ParameterError(
+                f"expected residue tensor of shape (batch, {expected[0]}, "
+                f"{expected[1]}), got {self.residues.shape}"
+            )
+
+    # -- construction ----------------------------------------------------
+    @classmethod
+    def from_polys(cls, polys: list[RnsPoly]) -> "RnsPolyVec":
+        """Stack scalar polynomials (same ring, same domain) into a vec."""
+        if not polys:
+            raise ParameterError("cannot stack an empty polynomial list")
+        ctx, domain = polys[0].ctx, polys[0].domain
+        for p in polys[1:]:
+            if p.ctx is not ctx and p.ctx.params != ctx.params:
+                raise ParameterError("polynomials belong to different rings")
+            if p.domain is not domain:
+                raise DomainError(
+                    f"domain mismatch: {domain.value} vs {p.domain.value}"
+                )
+        return cls(ctx, np.stack([p.residues for p in polys]), domain)
+
+    @classmethod
+    def from_small_coeffs(
+        cls, ctx: RingContext, coeffs: np.ndarray, domain: Domain = Domain.COEFF
+    ) -> "RnsPolyVec":
+        """Batched CRT of int64 coefficient rows, shape (batch, n)."""
+        arr = np.asarray(coeffs, dtype=np.int64)
+        if arr.ndim != 2 or arr.shape[1] != ctx.n:
+            raise ParameterError(
+                f"expected coefficients of shape (batch, {ctx.n}), got {arr.shape}"
+            )
+        vec = cls(ctx, arr[:, None, :] % ctx._moduli_col[None], Domain.COEFF)
+        return vec.to_ntt() if domain is Domain.NTT else vec
+
+    @classmethod
+    def concat(cls, first: "RnsPolyVec", second: "RnsPolyVec") -> "RnsPolyVec":
+        if first.domain is not second.domain:
+            raise DomainError(
+                f"domain mismatch: {first.domain.value} vs {second.domain.value}"
+            )
+        return cls(
+            first.ctx,
+            np.concatenate([first.residues, second.residues]),
+            first.domain,
+        )
+
+    # -- views -----------------------------------------------------------
+    @property
+    def batch(self) -> int:
+        return self.residues.shape[0]
+
+    def poly(self, index: int) -> RnsPoly:
+        """The index-th polynomial as a scalar RnsPoly (a view)."""
+        return RnsPoly(self.ctx, self.residues[index], self.domain)
+
+    def polys(self) -> list[RnsPoly]:
+        return [self.poly(i) for i in range(self.batch)]
+
+    def copy(self) -> "RnsPolyVec":
+        return RnsPolyVec(self.ctx, self.residues.copy(), self.domain)
+
+    # -- domain conversions ----------------------------------------------
+    def to_ntt(self) -> "RnsPolyVec":
+        if self.domain is Domain.NTT:
+            return self
+        return RnsPolyVec(
+            self.ctx, rns_forward(self.ctx, self.residues), Domain.NTT
+        )
+
+    def to_coeff(self) -> "RnsPolyVec":
+        if self.domain is Domain.COEFF:
+            return self
+        return RnsPolyVec(
+            self.ctx, rns_inverse(self.ctx, self.residues), Domain.COEFF
+        )
+
+    # -- arithmetic ------------------------------------------------------
+    def _check_same_domain(self, other: "RnsPolyVec") -> None:
+        if self.ctx is not other.ctx and self.ctx.params != other.ctx.params:
+            raise ParameterError("polynomial batches belong to different rings")
+        if self.domain is not other.domain:
+            raise DomainError(
+                f"domain mismatch: {self.domain.value} vs {other.domain.value}"
+            )
+        if self.batch != other.batch:
+            raise ParameterError(
+                f"batch mismatch: {self.batch} vs {other.batch}"
+            )
+
+    def __add__(self, other: "RnsPolyVec") -> "RnsPolyVec":
+        self._check_same_domain(other)
+        res = (self.residues + other.residues) % self.ctx._moduli_col
+        return RnsPolyVec(self.ctx, res, self.domain)
+
+    def __sub__(self, other: "RnsPolyVec") -> "RnsPolyVec":
+        self._check_same_domain(other)
+        res = (self.residues - other.residues) % self.ctx._moduli_col
+        return RnsPolyVec(self.ctx, res, self.domain)
+
+    def __neg__(self) -> "RnsPolyVec":
+        return RnsPolyVec(
+            self.ctx, (-self.residues) % self.ctx._moduli_col, self.domain
+        )
+
+    def __mul__(self, other: "RnsPolyVec") -> "RnsPolyVec":
+        """Element-wise product; both batches must be in NTT form."""
+        self._check_same_domain(other)
+        if self.domain is not Domain.NTT:
+            raise DomainError("polynomial multiplication requires NTT domain")
+        res = (self.residues * other.residues) % self.ctx._moduli_col
+        return RnsPolyVec(self.ctx, res, self.domain)
+
+    def mul_poly(self, plain: RnsPoly) -> "RnsPolyVec":
+        """Multiply every batch element by one (plaintext) NTT polynomial."""
+        if self.domain is not Domain.NTT or plain.domain is not Domain.NTT:
+            raise DomainError("polynomial multiplication requires NTT domain")
+        res = (self.residues * plain.residues[None]) % self.ctx._moduli_col
+        return RnsPolyVec(self.ctx, res, self.domain)
+
+    def scalar_rns_mul(self, consts: np.ndarray) -> "RnsPolyVec":
+        """Multiply by a per-modulus constant vector, shape (rns_count,)."""
+        res = (self.residues * consts[None, :, None]) % self.ctx._moduli_col
+        return RnsPolyVec(self.ctx, res, self.domain)
+
+    def monomial_mul(self, power: int) -> "RnsPolyVec":
+        """Multiply every element by X^power (exact, no noise)."""
+        power %= 2 * self.ctx.n
+        if self.domain is Domain.NTT:
+            res = (self.residues * self.ctx.monomial_ntt(power)[None]) \
+                % self.ctx._moduli_col
+            return RnsPolyVec(self.ctx, res, self.domain)
+        n = self.ctx.n
+        sign_flip = power >= n
+        shift = power - n if sign_flip else power
+        rolled = np.roll(self.residues, shift, axis=-1)
+        rolled[..., :shift] = -rolled[..., :shift]
+        if sign_flip:
+            rolled = -rolled
+        return RnsPolyVec(self.ctx, rolled % self.ctx._moduli_col, Domain.COEFF)
+
+    def automorphism(self, r: int) -> "RnsPolyVec":
+        """Apply X -> X^r (r odd) to every batch element at once."""
+        if self.domain is not Domain.COEFF:
+            raise DomainError("automorphism requires coefficient domain")
+        dest, negate = self.ctx.automorphism_indices(r)
+        out = np.zeros_like(self.residues)
+        out[..., dest] = np.where(negate, -self.residues, self.residues)
+        return RnsPolyVec(self.ctx, out % self.ctx._moduli_col, Domain.COEFF)
+
+
+@dataclass
+class BfvCiphertextVec:
+    """A batch of BFV ciphertexts: stacked (a, b), both in NTT form."""
+
+    a: RnsPolyVec
+    b: RnsPolyVec
+
+    def __post_init__(self):
+        if self.a.domain is not Domain.NTT or self.b.domain is not Domain.NTT:
+            raise ParameterError("BFV ciphertexts are stored in NTT form")
+        if self.a.batch != self.b.batch:
+            raise ParameterError(
+                f"a/b batch mismatch: {self.a.batch} vs {self.b.batch}"
+            )
+
+    @classmethod
+    def from_cts(cls, cts: list[BfvCiphertext]) -> "BfvCiphertextVec":
+        return cls(
+            RnsPolyVec.from_polys([ct.a for ct in cts]),
+            RnsPolyVec.from_polys([ct.b for ct in cts]),
+        )
+
+    @classmethod
+    def concat(
+        cls, first: "BfvCiphertextVec", second: "BfvCiphertextVec"
+    ) -> "BfvCiphertextVec":
+        return cls(
+            RnsPolyVec.concat(first.a, second.a),
+            RnsPolyVec.concat(first.b, second.b),
+        )
+
+    @property
+    def batch(self) -> int:
+        return self.a.batch
+
+    def ct(self, index: int) -> BfvCiphertext:
+        return BfvCiphertext(self.a.poly(index), self.b.poly(index))
+
+    def cts(self) -> list[BfvCiphertext]:
+        return [self.ct(i) for i in range(self.batch)]
+
+    def __add__(self, other: "BfvCiphertextVec") -> "BfvCiphertextVec":
+        return BfvCiphertextVec(self.a + other.a, self.b + other.b)
+
+    def __sub__(self, other: "BfvCiphertextVec") -> "BfvCiphertextVec":
+        return BfvCiphertextVec(self.a - other.a, self.b - other.b)
+
+    def monomial_mul(self, power: int) -> "BfvCiphertextVec":
+        return BfvCiphertextVec(
+            self.a.monomial_mul(power), self.b.monomial_mul(power)
+        )
+
+
+# ---------------------------------------------------------------------------
+# Gadget decomposition via exact int64 limb iCRT
+# ---------------------------------------------------------------------------
+
+def _limb_tables(gadget: Gadget) -> dict:
+    """Precomputed base-z limb constants for one (basis, gadget) pair.
+
+    The Eq. 3 lift ``c = sum_i t_i * Q_hat_i mod Q`` is evaluated with
+    every big integer written in base ``z = 2^base_log2`` — the *gadget
+    base* — so after carry propagation and at most ``rns_count - 1``
+    conditional subtractions of Q, the limbs of the canonical lift *are*
+    the gadget digits.  Everything stays in int64: ``t_i < 2^28`` times a
+    limb ``< z <= 2^22`` times ``rns_count <= 4`` is far below 2^63.
+    """
+    cache = getattr(gadget, "_limb_tables_cache", None)
+    if cache is not None:
+        return cache
+    basis = gadget.ctx.basis
+    z = gadget.base
+    if z <= basis.count:
+        raise ParameterError(
+            f"gadget base {z} too small for limb iCRT over {basis.count} moduli"
+        )
+    nlimbs = gadget.length + 1  # z^L >= Q, so L+1 limbs hold sums < rns * Q
+    # The limb accumulation sum_i t_i * qhat_limb must fit int64:
+    # rns_count * (q-1) * (z-1) products per limb position.  The paper's
+    # 28-bit moduli / 2^22 base clear this by ~2^11; a valid-but-exotic
+    # large-base/large-moduli set falls back to the per-poly reference
+    # decomposition instead of silently wrapping.
+    limb_ok = basis.count * (max(basis.moduli) - 1) * (z - 1) < _INT64_MAX
+
+    def limbs_of(value: int) -> list[int]:
+        return [(value >> (gadget.base_log2 * li)) & (z - 1) for li in range(nlimbs)]
+
+    tables = {
+        "nlimbs": nlimbs,
+        "qhat_limbs": np.array(
+            [limbs_of(h) for h in basis._q_hat], dtype=np.int64
+        ),  # (rns_count, nlimbs)
+        "q_limbs": np.array(limbs_of(basis.modulus_product), dtype=np.int64),
+        "qhat_inv": basis._q_hat_inv_arr,
+        "moduli": basis._moduli_arr,
+        "limb_ok": limb_ok,
+    }
+    gadget._limb_tables_cache = tables
+    return tables
+
+
+def _limbs_ge(acc: np.ndarray, q_limbs: np.ndarray) -> np.ndarray:
+    """Lexicographic ``acc >= Q`` over the limb axis (axis 1), vectorised."""
+    shape = (acc.shape[0], acc.shape[2])
+    result = np.zeros(shape, dtype=bool)
+    undecided = np.ones(shape, dtype=bool)
+    for li in range(acc.shape[1] - 1, -1, -1):
+        limb = acc[:, li]
+        greater = undecided & (limb > q_limbs[li])
+        less = undecided & (limb < q_limbs[li])
+        result |= greater
+        undecided &= ~(greater | less)
+    return result | undecided  # all limbs equal -> acc == Q -> "≥"
+
+
+def batched_decompose(gadget: Gadget, vec: RnsPolyVec) -> np.ndarray:
+    """Gadget digits of a whole batch: (batch, gadget_len, n) int64.
+
+    Element-identical to running :meth:`Gadget.decompose` per polynomial
+    — same unsigned base-z digits of the [0, Q) lift — but computed with
+    pure int64 tensor arithmetic instead of per-coefficient Python
+    big-ints (the limb iCRT described in :func:`_limb_tables`).
+    """
+    if vec.domain is not Domain.COEFF:
+        vec = vec.to_coeff()
+    tables = _limb_tables(gadget)
+    if not tables["limb_ok"]:
+        # Oversized base/moduli would wrap the limb accumulation; take
+        # the exact object-int reference per polynomial instead.
+        digits = np.empty(
+            (vec.batch, gadget.length, vec.ctx.n), dtype=np.int64
+        )
+        for i, poly in enumerate(vec.polys()):
+            for j, digit in enumerate(gadget.decompose(poly)):
+                digits[i, j] = digit.residues[0]
+        return digits
+    blog = gadget.base_log2
+    z = gadget.base
+    moduli, qhat_inv = tables["moduli"], tables["qhat_inv"]
+    # t_i = residue_i * (Q/q_i)^{-1} mod q_i (Eq. 3), still per-modulus.
+    t = (vec.residues * qhat_inv[:, None]) % moduli[:, None]
+    # S = sum_i t_i * Q_hat_i accumulated limb-wise: (batch, nlimbs, n).
+    acc = np.einsum("bmn,ml->bln", t, tables["qhat_limbs"])
+    for li in range(tables["nlimbs"] - 1):
+        carry = acc[:, li] >> blog
+        acc[:, li] -= carry << blog
+        acc[:, li + 1] += carry
+    # S = lift + k*Q with k < rns_count: subtract Q wherever still >= Q.
+    q_limbs = tables["q_limbs"]
+    for _ in range(gadget.ctx.rns_count - 1):
+        ge = _limbs_ge(acc, q_limbs)
+        if not ge.any():
+            break
+        acc -= ge[:, None, :] * q_limbs[None, :, None]
+        for li in range(tables["nlimbs"] - 1):
+            borrow = acc[:, li] < 0
+            acc[:, li] += borrow * z
+            acc[:, li + 1] -= borrow
+    return acc[:, : gadget.length, :]
+
+
+def _digits_forward(ctx: RingContext, digits: np.ndarray) -> np.ndarray:
+    """NTT the digit tensor (batch, k, n) into every RNS row: (batch, k, rns, n).
+
+    A digit polynomial has the same int64 coefficients in every residue
+    channel (digits are < z), so the RNS axis is a broadcast of the same
+    input and the whole tensor goes through one stacked transform.
+    """
+    batch, k, n = digits.shape
+    tiled = np.broadcast_to(
+        digits[:, :, None, :], (batch, k, ctx.rns_count, n)
+    )
+    return rns_forward(ctx, tiled)
+
+
+# ---------------------------------------------------------------------------
+# Batched Subs / external product / cmux
+# ---------------------------------------------------------------------------
+
+def batched_substitute(
+    vec: BfvCiphertextVec, evk: SubsKey, gadget: Gadget
+) -> BfvCiphertextVec:
+    """Subs(ct, evk.r) over a whole batch of ciphertexts at once.
+
+    Identical math to :func:`repro.he.subs.substitute`, with the
+    automorphism, digit NTTs, and key-switch inner products each done as
+    one stacked kernel per modulus instead of per ciphertext.
+    """
+    if evk.num_rows != gadget.length:
+        raise ParameterError(
+            f"evk has {evk.num_rows} rows; gadget expects {gadget.length}"
+        )
+    ctx = vec.a.ctx
+    moduli_col = ctx._moduli_col
+    a_aut = vec.a.to_coeff().automorphism(evk.r)
+    b_aut = vec.b.to_coeff().automorphism(evk.r).to_ntt()
+    digits = _digits_forward(ctx, batched_decompose(gadget, a_aut))
+    rows_a = np.stack([row.residues for row in evk.a_rows])
+    rows_b = np.stack([row.residues for row in evk.b_rows])
+    out_a = _lazy_inner(digits, rows_a, moduli_col)
+    out_b = (_lazy_inner(digits, rows_b, moduli_col) + b_aut.residues) % moduli_col
+    return BfvCiphertextVec(
+        RnsPolyVec(ctx, out_a, Domain.NTT), RnsPolyVec(ctx, out_b, Domain.NTT)
+    )
+
+
+def batched_external_product(
+    rgsw: RgswCiphertext, vec: BfvCiphertextVec, gadget: Gadget
+) -> BfvCiphertextVec:
+    """ct_RGSW ⊡ ct_BFV for a batch of BFV ciphertexts (Fig. 3 flow).
+
+    The 2ℓ digit polynomials of every ciphertext are produced by one
+    batched decomposition (a and b stacked), NTT'd in one pass per
+    modulus, and contracted against the RGSW rows with lazy reduction.
+    """
+    ell = gadget.length
+    if rgsw.num_rows != 2 * ell:
+        raise ParameterError(
+            f"RGSW has {rgsw.num_rows} rows; gadget expects {2 * ell}"
+        )
+    ctx = vec.a.ctx
+    batch = vec.batch
+    stacked = RnsPolyVec.concat(vec.a, vec.b).to_coeff()
+    digits = batched_decompose(gadget, stacked)  # (2*batch, ell, n)
+    # Per ciphertext the digit order is a-digits then b-digits.
+    digits = np.concatenate([digits[:batch], digits[batch:]], axis=1)
+    digits = _digits_forward(ctx, digits)  # (batch, 2*ell, rns, n)
+    rows_a = np.stack([row.residues for row in rgsw.a_rows])
+    rows_b = np.stack([row.residues for row in rgsw.b_rows])
+    return BfvCiphertextVec(
+        RnsPolyVec(ctx, _lazy_inner(digits, rows_a, ctx._moduli_col), Domain.NTT),
+        RnsPolyVec(ctx, _lazy_inner(digits, rows_b, ctx._moduli_col), Domain.NTT),
+    )
+
+
+def batched_cmux(
+    rgsw_bit: RgswCiphertext,
+    if_zeros: BfvCiphertextVec,
+    if_ones: BfvCiphertextVec,
+    gadget: Gadget,
+) -> BfvCiphertextVec:
+    """Homomorphic select over aligned batches: bit ⊡ (ones - zeros) + zeros."""
+    return batched_external_product(rgsw_bit, if_ones - if_zeros, gadget) + if_zeros

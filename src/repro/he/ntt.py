@@ -42,41 +42,54 @@ class NttContext:
         )
         self._n_inv = modmath.mod_inverse(n, q)
 
+    def _as_stacked(self, arr: np.ndarray) -> np.ndarray:
+        """Copy + reduce an input of shape ``(..., n)``; reject anything else."""
+        a = np.array(arr, dtype=np.int64) % self.q
+        if a.ndim < 1 or a.shape[-1] != self.n:
+            raise ParameterError(f"expected shape (..., {self.n}), got {a.shape}")
+        return np.ascontiguousarray(a)
+
     def forward(self, coeffs: np.ndarray) -> np.ndarray:
-        """Coefficient vector -> NTT evaluation vector (new array)."""
+        """Coefficient vector(s) -> NTT evaluation vector(s) (new array).
+
+        Accepts a single ``(n,)`` polynomial or any stacked ``(..., n)``
+        tensor of polynomials; every leading axis is transformed
+        independently in one vectorised pass (the batched hot path).
+        """
         q = self.q
-        a = np.array(coeffs, dtype=np.int64) % q
-        if a.shape != (self.n,):
-            raise ParameterError(f"expected shape ({self.n},), got {a.shape}")
+        a = self._as_stacked(coeffs)
+        lead = a.shape[:-1]
         t = self.n
         m = 1
         while m < self.n:
             t //= 2
-            blocks = a.reshape(m, 2, t)
+            blocks = a.reshape(*lead, m, 2, t)
             s = self._fwd[m : 2 * m]
-            u = blocks[:, 0, :].copy()
-            v = (blocks[:, 1, :] * s[:, None]) % q
-            blocks[:, 0, :] = (u + v) % q
-            blocks[:, 1, :] = (u - v) % q
+            u = blocks[..., 0, :].copy()
+            v = (blocks[..., 1, :] * s[:, None]) % q
+            blocks[..., 0, :] = (u + v) % q
+            blocks[..., 1, :] = (u - v) % q
             m *= 2
         return a
 
     def inverse(self, evals: np.ndarray) -> np.ndarray:
-        """NTT evaluation vector -> coefficient vector (new array)."""
+        """NTT evaluation vector(s) -> coefficient vector(s) (new array).
+
+        Same stacked ``(..., n)`` contract as :meth:`forward`.
+        """
         q = self.q
-        a = np.array(evals, dtype=np.int64) % q
-        if a.shape != (self.n,):
-            raise ParameterError(f"expected shape ({self.n},), got {a.shape}")
+        a = self._as_stacked(evals)
+        lead = a.shape[:-1]
         t = 1
         m = self.n
         while m > 1:
             h = m // 2
-            blocks = a.reshape(h, 2, t)
+            blocks = a.reshape(*lead, h, 2, t)
             s = self._inv[h : 2 * h]
-            u = blocks[:, 0, :].copy()
-            v = blocks[:, 1, :].copy()
-            blocks[:, 0, :] = (u + v) % q
-            blocks[:, 1, :] = ((u - v) * s[:, None]) % q
+            u = blocks[..., 0, :].copy()
+            v = blocks[..., 1, :].copy()
+            blocks[..., 0, :] = (u + v) % q
+            blocks[..., 1, :] = ((u - v) * s[:, None]) % q
             t *= 2
             m = h
         return (a * self._n_inv) % q

@@ -38,6 +38,7 @@ class RingContext:
         self.ntts = tuple(NttContext(params.n, q) for q in params.moduli)
         self._moduli_col = np.array(params.moduli, dtype=np.int64)[:, None]
         self._monomial_ntt_cache: dict[int, np.ndarray] = {}
+        self._automorphism_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
 
     @property
     def rns_count(self) -> int:
@@ -80,6 +81,21 @@ class RingContext:
             mono = self.from_small_coeffs(coeffs, domain=Domain.NTT)
             self._monomial_ntt_cache[power] = mono.residues
         return self._monomial_ntt_cache[power]
+
+    def automorphism_indices(self, r: int) -> tuple[np.ndarray, np.ndarray]:
+        """Cached ``(dest, negate)`` index map of the X -> X^r automorphism.
+
+        Coefficient ``j`` lands at ``dest[j] = j*r mod n`` and picks up a
+        sign flip when ``j*r mod 2n >= n``.  Shared by the per-poly and
+        batched automorphism kernels so both apply the identical map.
+        """
+        if r % 2 == 0:
+            raise ParameterError(f"automorphism power r={r} must be odd")
+        if r not in self._automorphism_cache:
+            n = self.n
+            idx = (np.arange(n) * r) % (2 * n)
+            self._automorphism_cache[r] = (idx % n, idx >= n)
+        return self._automorphism_cache[r]
 
 
 @dataclass
@@ -168,13 +184,8 @@ class RnsPoly:
         """Apply X -> X^r (r odd), the map underlying Subs (Section II-D)."""
         if self.domain is not Domain.COEFF:
             raise DomainError("automorphism requires coefficient domain")
-        n = self.ctx.n
-        if r % 2 == 0:
-            raise ParameterError(f"automorphism power r={r} must be odd")
+        dest, negate = self.ctx.automorphism_indices(r)
         out = np.zeros_like(self.residues)
-        idx = (np.arange(n) * r) % (2 * n)
-        dest = idx % n
-        negate = idx >= n
         # X^j -> X^{j*r mod 2n}; exponents >= n wrap with a sign flip.
         out[:, dest] = np.where(negate[None, :], -self.residues, self.residues)
         return RnsPoly(self.ctx, out % self.ctx._moduli_col, Domain.COEFF)

@@ -31,12 +31,18 @@ from repro.pir.protocol import Transcript
 
 
 class KvPirServer:
-    """Batch-PIR server over the cuckoo slot table."""
+    """Batch-PIR server over the cuckoo slot table.
 
-    def __init__(self, db: KvDatabase, ring, setup: ClientSetup):
+    ``use_fast`` is forwarded to every per-bucket ``PirServer`` (batched
+    tensor hot path by default).
+    """
+
+    def __init__(
+        self, db: KvDatabase, ring, setup: ClientSetup, use_fast: bool = True
+    ):
         self.layout = db.layout
         self.db = db
-        self.batch_server = BatchPirServer(db.batch_db, ring, setup)
+        self.batch_server = BatchPirServer(db.batch_db, ring, setup, use_fast=use_fast)
 
     def answer(self, query: KvQuery) -> KvResponse:
         return KvResponse(chunks=[self.batch_server.answer(q) for q in query.chunks])

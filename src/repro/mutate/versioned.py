@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import MutateError
+from repro.he.batched import RnsPolyVec
 from repro.he.poly import Domain, RingContext
 from repro.mutate.log import UpdateLog
 from repro.pir.database import PirDatabase, PreprocessedDatabase
@@ -46,6 +47,11 @@ class UpdateCost:
     polys_repacked: int  # dirty (plane, poly) cells re-packed from bytes
     polys_ntted: int  # dirty cells re-CRT/NTT'd into the preprocessed form
     full_polys: int  # plane_count * num_db_polys: the full-preprocess cost
+    #: RowSel GEMM tensor rows memcpy'd into the new snapshot's cache so
+    #: the first post-swap query pays no O(database) restack.  A pure
+    #: copy (no CRT/NTT arithmetic), so it is accounted separately from
+    #: the sublinear ``polys_repacked``/``polys_ntted`` work counters.
+    tensor_polys_copied: int = 0
 
     @property
     def delta_fraction(self) -> float:
@@ -65,6 +71,7 @@ class UpdateCost:
             polys_repacked=self.polys_repacked + other.polys_repacked,
             polys_ntted=self.polys_ntted + other.polys_ntted,
             full_polys=self.full_polys + other.full_polys,
+            tensor_polys_copied=self.tensor_polys_copied + other.tensor_polys_copied,
         )
 
 
@@ -156,16 +163,28 @@ def apply_record_updates(
         planes[plane, polys] = layout.pack_polys(blobs)
 
     new_pre = pre
+    tensor_copied = 0
     if pre is not None:
-        pre_planes = pre.planes if in_place else [list(row) for row in pre.planes]
-        for plane, poly in cells:
-            pre_planes[plane][poly] = ring.from_small_coeffs(
-                planes[plane, poly], domain=Domain.NTT
+        if not in_place:
+            new_pre = PreprocessedDatabase(
+                layout=layout, ring=ring, planes=[list(row) for row in pre.planes]
             )
+            # Seed the new snapshot's RowSel GEMM cache from the parent's
+            # (a memcpy, no NTT work) so the first post-swap query does
+            # not re-stack the whole plane inside a serving request.
+            for plane, tensor in pre._tensors.items():
+                new_pre._tensors[plane] = tensor.copy()
+                tensor_copied += tensor.shape[0]
+        # One batched CRT + stacked NTT per plane over just the dirty
+        # cells; set_poly keeps the RowSel GEMM tensor cache coherent.
+        for plane, polys in by_plane.items():
+            vec = RnsPolyVec.from_small_coeffs(
+                ring, planes[plane, polys], domain=Domain.NTT
+            )
+            for j, poly in enumerate(polys):
+                new_pre.set_poly(plane, poly, vec.poly(j))
         if in_place:
             pre.layout = layout
-        else:
-            new_pre = PreprocessedDatabase(layout=layout, ring=ring, planes=pre_planes)
 
     cost = UpdateCost(
         records_touched=len(touched),
@@ -173,6 +192,7 @@ def apply_record_updates(
         polys_repacked=len(cells),
         polys_ntted=len(cells) if pre is not None else 0,
         full_polys=layout.plane_count * layout.params.num_db_polys,
+        tensor_polys_copied=tensor_copied,
     )
     return new_db, new_pre, cost
 

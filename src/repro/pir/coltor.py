@@ -15,6 +15,7 @@ functional implementation is order-equivalent.
 from __future__ import annotations
 
 from repro.errors import ParameterError
+from repro.he.batched import BfvCiphertextVec, batched_cmux
 from repro.he.bfv import BfvCiphertext
 from repro.he.gadget import Gadget
 from repro.he.rgsw import RgswCiphertext, cmux
@@ -24,8 +25,15 @@ def column_tournament(
     entries: list[BfvCiphertext],
     selection_bits: list[RgswCiphertext],
     gadget: Gadget,
+    use_fast: bool = False,
 ) -> BfvCiphertext:
-    """Reduce 2^d RowSel outputs to the single response ciphertext."""
+    """Reduce 2^d RowSel outputs to the single response ciphertext.
+
+    With ``use_fast`` every tournament round runs as one batched cmux —
+    all of the round's digit decompositions, NTTs, and external-product
+    contractions stacked — instead of one cmux per pair; results are
+    element-identical (the per-pair path is the oracle).
+    """
     count = len(entries)
     if count == 0:
         raise ParameterError("ColTor needs at least one entry")
@@ -38,8 +46,13 @@ def column_tournament(
         )
     current = list(entries)
     for rgsw_bit in selection_bits:
-        current = [
-            cmux(rgsw_bit, current[2 * i], current[2 * i + 1], gadget)
-            for i in range(len(current) // 2)
-        ]
+        if use_fast:
+            zeros = BfvCiphertextVec.from_cts(current[0::2])
+            ones = BfvCiphertextVec.from_cts(current[1::2])
+            current = batched_cmux(rgsw_bit, zeros, ones, gadget).cts()
+        else:
+            current = [
+                cmux(rgsw_bit, current[2 * i], current[2 * i + 1], gadget)
+                for i in range(len(current) // 2)
+            ]
     return current[0]

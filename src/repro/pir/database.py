@@ -8,11 +8,12 @@ what the server actually multiplies against during Eq. 1.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 import numpy as np
 
 from repro.errors import LayoutError
+from repro.he.batched import RnsPolyVec
 from repro.he.poly import Domain, RingContext, RnsPoly
 from repro.params import PirParams
 from repro.pir.layout import RecordLayout
@@ -123,13 +124,21 @@ class PirDatabase:
         return self.layout.num_records * self.layout.record_bytes
 
     def preprocess(self, ring: RingContext) -> "PreprocessedDatabase":
-        """CRT + NTT every polynomial (Section II-B preprocessing)."""
+        """CRT + NTT every polynomial (Section II-B preprocessing).
+
+        One batched CRT + stacked NTT call per plane; the per-poly
+        ``RnsPoly`` entries are views into the plane's residue tensor,
+        which is seeded straight into the RowSel GEMM cache.
+        """
         planes: list[list[RnsPoly]] = []
-        for plane in self.planes:
-            planes.append(
-                [ring.from_small_coeffs(coeffs, domain=Domain.NTT) for coeffs in plane]
-            )
-        return PreprocessedDatabase(self.layout, ring, planes)
+        tensors: dict[int, np.ndarray] = {}
+        for index, plane in enumerate(self.planes):
+            vec = RnsPolyVec.from_small_coeffs(ring, plane, domain=Domain.NTT)
+            planes.append(vec.polys())
+            tensors[index] = vec.residues
+        pre = PreprocessedDatabase(self.layout, ring, planes)
+        pre._tensors = tensors
+        return pre
 
 
 @dataclass
@@ -139,6 +148,11 @@ class PreprocessedDatabase:
     layout: RecordLayout
     ring: RingContext
     planes: list[list[RnsPoly]]
+    #: Per-plane (num_polys, rns_count, n) residue tensors for the batched
+    #: RowSel GEMM, built lazily (and seeded by ``preprocess``).
+    _tensors: dict[int, np.ndarray] = field(
+        default_factory=dict, repr=False, compare=False
+    )
 
     @property
     def plane_count(self) -> int:
@@ -156,3 +170,22 @@ class PreprocessedDatabase:
     def poly(self, plane: int, row: int, col: int) -> RnsPoly:
         """Polynomial at initial-dimension ``row`` and ColTor column ``col``."""
         return self.planes[plane][col * self.layout.params.d0 + row]
+
+    def plane_tensor(self, plane: int) -> np.ndarray:
+        """Stacked residues of one plane, shape (num_polys, rns_count, n).
+
+        The contiguous tensor the batched RowSel GEMM contracts against;
+        stacked once per plane and cached.  Mutators must go through
+        :meth:`set_poly` so the cache never diverges from ``planes``.
+        """
+        if plane not in self._tensors:
+            self._tensors[plane] = np.stack(
+                [p.residues for p in self.planes[plane]]
+            )
+        return self._tensors[plane]
+
+    def set_poly(self, plane: int, index: int, poly: RnsPoly) -> None:
+        """Replace one ``(plane, poly)`` cell, keeping the GEMM cache coherent."""
+        self.planes[plane][index] = poly
+        if plane in self._tensors:
+            self._tensors[plane][index] = poly.residues

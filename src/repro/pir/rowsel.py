@@ -7,13 +7,39 @@ For every ColTor column ``m`` the server accumulates
 which is Eq. 1 restricted to the initial dimension.  With RNS + NTT this
 is exactly the 4N-parallel modular GEMM the accelerator's sysNTTUs run in
 GEMM mode (Section III-A / Fig. 5).
+
+Two implementations share the geometry checks: :func:`row_select` is the
+per-poly reference (one ``plain_mul`` per ``(row, col)`` pair — the
+correctness oracle), and :func:`row_select_vec` is the batched hot path —
+one lazy-reduction tensor contraction per plane over the database's
+stacked residue tensor (:meth:`PreprocessedDatabase.plane_tensor`).
 """
 
 from __future__ import annotations
 
 from repro.errors import ParameterError
+from repro.he.batched import BfvCiphertextVec, lazy_modular_gemm
 from repro.he.bfv import BfvCiphertext
+from repro.he.poly import Domain, RnsPoly
 from repro.pir.database import PreprocessedDatabase
+
+
+def num_rowsel_cols(db: PreprocessedDatabase) -> int:
+    """Number of ColTor columns; rejects non-divisible geometry.
+
+    A database whose polynomial count is not a multiple of ``D0`` would
+    silently drop the trailing ``num_polys % d0`` polynomials from every
+    RowSel pass — records in them could never be retrieved — so that
+    geometry is a hard error.
+    """
+    d0 = db.layout.params.d0
+    if db.num_polys % d0 != 0:
+        raise ParameterError(
+            f"database has {db.num_polys} polynomials, which is not a "
+            f"multiple of D0={d0}; {db.num_polys % d0} trailing polynomials "
+            "would be silently dropped from RowSel"
+        )
+    return db.num_polys // d0
 
 
 def row_select(
@@ -21,13 +47,17 @@ def row_select(
     db: PreprocessedDatabase,
     plane: int,
 ) -> list[BfvCiphertext]:
-    """Reduce the initial dimension: D polynomials -> 2^d ciphertexts."""
+    """Reduce the initial dimension: D polynomials -> 2^d ciphertexts.
+
+    Per-poly reference path, kept as the oracle for
+    :func:`row_select_vec`.
+    """
     d0 = db.layout.params.d0
     if len(expanded) != d0:
         raise ParameterError(
             f"expected {d0} expanded ciphertexts, got {len(expanded)}"
         )
-    num_cols = db.num_polys // d0
+    num_cols = num_rowsel_cols(db)
     selected: list[BfvCiphertext] = []
     for col in range(num_cols):
         acc = expanded[0].plain_mul(db.poly(plane, 0, col))
@@ -35,3 +65,35 @@ def row_select(
             acc = acc + expanded[row].plain_mul(db.poly(plane, row, col))
         selected.append(acc)
     return selected
+
+
+def row_select_vec(
+    expanded: BfvCiphertextVec,
+    db: PreprocessedDatabase,
+    plane: int,
+) -> list[BfvCiphertext]:
+    """Batched RowSel: one modular GEMM over the plane's residue tensor.
+
+    Element-identical to :func:`row_select` — the contraction accumulates
+    the same products mod the same moduli, just reassociated into
+    overflow-safe int64 chunks.
+    """
+    d0 = db.layout.params.d0
+    if expanded.batch != d0:
+        raise ParameterError(
+            f"expected {d0} expanded ciphertexts, got {expanded.batch}"
+        )
+    num_cols = num_rowsel_cols(db)
+    ring = db.ring
+    tensor = db.plane_tensor(plane)
+    shape = (num_cols, d0) + tensor.shape[1:]
+    db_tensor = tensor.reshape(shape)  # poly index = col * d0 + row
+    out_a = lazy_modular_gemm(db_tensor, expanded.a.residues, ring._moduli_col)
+    out_b = lazy_modular_gemm(db_tensor, expanded.b.residues, ring._moduli_col)
+    return [
+        BfvCiphertext(
+            RnsPoly(ring, out_a[col], Domain.NTT),
+            RnsPoly(ring, out_b[col], Domain.NTT),
+        )
+        for col in range(num_cols)
+    ]

@@ -1,11 +1,15 @@
 """PIR server: the ExpandQuery -> RowSel -> ColTor pipeline (Fig. 2).
 
 The server never sees the secret key; it only holds the preprocessed
-database and the client's public evaluation keys.  ``answer`` implements
-the sequential three-step flow the accelerator executes; ``answer_batch``
-is the multi-client batched entry point (Section III-B) — functionally a
-loop, since batching changes scheduling and memory traffic (modeled in
-``repro.arch``) but not results.
+database and the client's public evaluation keys.  ``answer`` runs the
+batched tensor hot path by default (stacked NTTs, the RowSel modular
+GEMM, per-level batched Subs/cmux — ``repro.he.batched``);
+``answer_reference`` runs the original per-poly pipeline, kept as the
+correctness oracle.  Both produce byte-identical ``PirResponse``
+transcripts — the fast path only reassociates exact modular arithmetic.
+``answer_batch`` is the multi-client batched entry point (Section III-B)
+— functionally a loop, since batching changes scheduling and memory
+traffic (modeled in ``repro.arch``) but not results.
 """
 
 from __future__ import annotations
@@ -16,28 +20,63 @@ from repro.he.gadget import Gadget
 from repro.pir.client import ClientSetup, PirQuery, PirResponse
 from repro.pir.coltor import column_tournament
 from repro.pir.database import PreprocessedDatabase
-from repro.pir.expand import expand_query
-from repro.pir.rowsel import row_select
+from repro.pir.expand import expand_query, expand_query_batched
+from repro.pir.rowsel import row_select, row_select_vec
 
 
 class PirServer:
     """Answers PIR queries against one preprocessed database."""
 
-    def __init__(self, db: PreprocessedDatabase, setup: ClientSetup):
+    def __init__(
+        self,
+        db: PreprocessedDatabase,
+        setup: ClientSetup,
+        use_fast: bool = True,
+    ):
         self.db = db
         self.params = db.layout.params
         self.ring = db.ring
         self.gadget = Gadget(self.ring)
         self.evks = setup.evks
+        self.use_fast = use_fast
         self._levels = modmath.ilog2(self.params.d0)
 
-    def answer(self, query: PirQuery) -> PirResponse:
-        """Run the full pipeline for one query."""
+    def _check_query(self, query: PirQuery) -> None:
         if len(query.selection_bits) != self.params.num_dims:
             raise ParameterError(
                 f"query has {len(query.selection_bits)} selection bits, database "
                 f"geometry needs {self.params.num_dims}"
             )
+
+    def answer(self, query: PirQuery) -> PirResponse:
+        """Run the full pipeline for one query (fast path by default)."""
+        self._check_query(query)
+        if self.use_fast:
+            return self._answer_fast(query)
+        return self._answer_reference(query)
+
+    def answer_reference(self, query: PirQuery) -> PirResponse:
+        """Per-poly oracle pipeline, regardless of ``use_fast``."""
+        self._check_query(query)
+        return self._answer_reference(query)
+
+    def _answer_fast(self, query: PirQuery) -> PirResponse:
+        expanded = expand_query_batched(
+            query.packed, self.evks, self._levels, self.gadget
+        )
+        plane_cts = []
+        for plane in range(self.db.plane_count):
+            entries = row_select_vec(expanded, self.db, plane)
+            if query.selection_bits:
+                result = column_tournament(
+                    entries, query.selection_bits, self.gadget, use_fast=True
+                )
+            else:
+                result = entries[0]
+            plane_cts.append(result)
+        return PirResponse(plane_cts=plane_cts)
+
+    def _answer_reference(self, query: PirQuery) -> PirResponse:
         expanded = expand_query(query.packed, self.evks, self._levels, self.gadget)
         plane_cts = []
         for plane in range(self.db.plane_count):
@@ -54,6 +93,7 @@ class PirServer:
 
         Functionally identical to answering one by one; on hardware the DB
         scan in RowSel is amortized across the batch, which is what the
-        performance models in ``repro.arch`` capture.
+        performance models in ``repro.arch`` capture.  Each answer runs
+        the batched tensor hot path (or the oracle, per ``use_fast``).
         """
         return [self.answer(query) for query in queries]

@@ -178,7 +178,7 @@ class ShardDispatcher:
                 self.shard_id, [p.request for p in batch]
             )
         except Exception as exc:  # noqa: BLE001 — fault isolation per batch
-            self.metrics.record_failed(self.shard_id, len(batch))
+            self.metrics.record_failed(self.shard_id, len(batch), finish_s=loop.time())
             for pending in batch:
                 if not pending.future.done():
                     pending.future.set_exception(exc)

@@ -35,6 +35,7 @@ class ServeMetrics:
         self.batch_sizes: list[int] = []
         self.queue_depths: list[int] = []
         self.served_by_shard: Counter = Counter()
+        self.failed_by_shard: Counter = Counter()
         self.first_arrival_s: float | None = None
         self.last_finish_s: float | None = None
 
@@ -63,11 +64,24 @@ class ServeMetrics:
         self.served_by_shard[shard_id] += 1
         self.latencies_s.append(latency_s)
         self.queue_waits_s.append(queue_wait_s)
+        self._update_last_finish(finish_s)
+
+    def record_failed(self, shard_id: int, count: int = 1, finish_s: float | None = None) -> None:
+        """A batch failed: count it per shard and close the serving window.
+
+        ``finish_s`` is the failure time; without it a run whose last
+        event is a failed batch would under-report ``elapsed_s`` (and so
+        inflate ``achieved_qps``), because only successes used to advance
+        ``last_finish_s``.
+        """
+        self.failed += count
+        self.failed_by_shard[shard_id] += count
+        if finish_s is not None:
+            self._update_last_finish(finish_s)
+
+    def _update_last_finish(self, finish_s: float) -> None:
         if self.last_finish_s is None or finish_s > self.last_finish_s:
             self.last_finish_s = finish_s
-
-    def record_failed(self, shard_id: int, count: int = 1) -> None:
-        self.failed += count
 
     # -- derived quantities -----------------------------------------------
     @property
@@ -119,4 +133,5 @@ class ServeMetrics:
             "max_queue_depth": self.max_queue_depth,
             "batch_histogram": {str(k): v for k, v in self.batch_histogram().items()},
             "served_by_shard": {str(k): v for k, v in sorted(self.served_by_shard.items())},
+            "failed_by_shard": {str(k): v for k, v in sorted(self.failed_by_shard.items())},
         }

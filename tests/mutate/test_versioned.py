@@ -90,6 +90,32 @@ class TestCopyOnWrite:
         assert dirty == after.cost.polys_ntted
         assert shared == after.cost.full_polys - dirty
 
+    def test_epoch_apply_seeds_the_gemm_tensor_cache(self, params, ring):
+        """Regression: a snapshot built from a served parent must carry a
+        pre-seeded (and patched) RowSel tensor cache, so the first
+        post-swap query never re-stacks the whole plane in-line."""
+        vdb = VersionedDatabase(params, _records(24), 64, ring=ring)
+        before = vdb.current
+        planes = range(before.pre.plane_count)
+        for plane in planes:
+            before.pre.plane_tensor(plane)  # parent has served queries
+        after = vdb.apply(UpdateLog().put(0, b"\x07" * 64))
+        assert after.cost.tensor_polys_copied == sum(
+            before.pre.plane_tensor(p).shape[0] for p in planes
+        )
+        for plane in planes:
+            cached = after.pre._tensors[plane]
+            assert cached is not before.pre._tensors[plane]
+            for poly, rns_poly in enumerate(after.pre.planes[plane]):
+                assert np.array_equal(cached[poly], rns_poly.residues)
+        # the parent's cache still reflects the *old* epoch's dirty cell
+        dirty_poly = before.pre.layout.poly_index(0)
+        for plane in planes:
+            assert np.array_equal(
+                before.pre.plane_tensor(plane)[dirty_poly],
+                before.pre.planes[plane][dirty_poly].residues,
+            )
+
     def test_old_snapshot_unaffected_by_new_epoch(self, params, ring):
         records = _records(24)
         vdb = VersionedDatabase(params, records, 64, ring=ring)

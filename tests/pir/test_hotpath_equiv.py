@@ -1,0 +1,132 @@
+"""Fast-path / reference-path equivalence and RowSel geometry guards.
+
+The batched tensor hot path must be *byte-identical* to the per-poly
+oracle — this is the tier-1 smoke that keeps the fast path from ever
+silently diverging (the full-size check also runs in
+``benchmarks/bench_hotpath.py``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.he.batched import BfvCiphertextVec
+from repro.he.poly import RingContext
+from repro.pir.database import PirDatabase, PreprocessedDatabase
+from repro.pir.expand import expand_query, expand_query_batched
+from repro.pir.protocol import PirProtocol
+from repro.pir.rowsel import num_rowsel_cols, row_select, row_select_vec
+from repro.pir.server import PirServer
+
+
+@pytest.fixture(scope="module")
+def pipeline(small_params):
+    db = PirDatabase.random(small_params, num_records=24, record_bytes=96, seed=21)
+    protocol = PirProtocol(small_params, db, seed=22)
+    return small_params, db, protocol
+
+
+def _assert_responses_equal(fast, ref):
+    assert len(fast.plane_cts) == len(ref.plane_cts)
+    for f, r in zip(fast.plane_cts, ref.plane_cts):
+        assert np.array_equal(f.a.residues, r.a.residues)
+        assert np.array_equal(f.b.residues, r.b.residues)
+
+
+class TestTranscriptEquality:
+    def test_fast_answers_byte_identical_to_reference(self, pipeline):
+        params, db, protocol = pipeline
+        server = protocol.server
+        assert server.use_fast
+        for index in (0, 7, 23):
+            query = protocol.client.build_query(index, db.layout)
+            fast = server.answer(query)
+            ref = server.answer_reference(query)
+            _assert_responses_equal(fast, ref)
+            assert protocol.client.decode_response(fast, index, db.layout) == (
+                db.record(index)
+            )
+
+    def test_expand_query_batched_matches_reference(self, pipeline):
+        params, db, protocol = pipeline
+        server = protocol.server
+        query = protocol.client.build_query(3, db.layout)
+        vec = expand_query_batched(query.packed, server.evks, server._levels, server.gadget)
+        ref = expand_query(query.packed, server.evks, server._levels, server.gadget)
+        assert vec.batch == len(ref) == params.d0
+        for i, ct in enumerate(ref):
+            assert np.array_equal(vec.a.residues[i], ct.a.residues)
+            assert np.array_equal(vec.b.residues[i], ct.b.residues)
+
+    def test_row_select_vec_matches_reference(self, pipeline):
+        params, db, protocol = pipeline
+        server = protocol.server
+        query = protocol.client.build_query(5, db.layout)
+        ref_expanded = expand_query(
+            query.packed, server.evks, server._levels, server.gadget
+        )
+        vec = BfvCiphertextVec.from_cts(ref_expanded)
+        for plane in range(server.db.plane_count):
+            ref = row_select(ref_expanded, server.db, plane)
+            fast = row_select_vec(vec, server.db, plane)
+            assert len(fast) == len(ref)
+            for f, r in zip(fast, ref):
+                assert np.array_equal(f.a.residues, r.a.residues)
+                assert np.array_equal(f.b.residues, r.b.residues)
+
+    def test_slow_server_still_serves(self, pipeline):
+        params, db, protocol = pipeline
+        slow = PirServer(protocol.server.db, protocol.client.setup_message(), use_fast=False)
+        query = protocol.client.build_query(9, db.layout)
+        _assert_responses_equal(slow.answer(query), protocol.server.answer(query))
+
+
+class TestRowselGeometryGuard:
+    def _truncated_db(self, protocol) -> PreprocessedDatabase:
+        """A preprocessed DB whose poly count is not a multiple of D0."""
+        pre = protocol.server.db
+        return PreprocessedDatabase(
+            pre.layout, pre.ring, [row[:-1] for row in pre.planes]
+        )
+
+    def test_non_divisible_geometry_rejected(self, pipeline):
+        params, db, protocol = pipeline
+        bad = self._truncated_db(protocol)
+        assert bad.num_polys % params.d0 != 0
+        query = protocol.client.build_query(1, db.layout)
+        expanded = expand_query(
+            query.packed, protocol.server.evks, protocol.server._levels,
+            protocol.server.gadget,
+        )
+        with pytest.raises(ParameterError, match="not a multiple of D0"):
+            row_select(expanded, bad, 0)
+        with pytest.raises(ParameterError, match="silently dropped"):
+            row_select_vec(BfvCiphertextVec.from_cts(expanded), bad, 0)
+
+    def test_divisible_geometry_accepted(self, pipeline):
+        params, db, protocol = pipeline
+        assert num_rowsel_cols(protocol.server.db) == (
+            protocol.server.db.num_polys // params.d0
+        )
+
+
+class TestPlaneTensorCache:
+    def test_preprocess_seeds_cache_and_set_poly_keeps_it_coherent(self, small_params):
+        db = PirDatabase.random(small_params, num_records=8, record_bytes=96, seed=5)
+        ring = RingContext(small_params)
+        pre = db.preprocess(ring)
+        tensor = pre.plane_tensor(0)
+        assert tensor.shape == (pre.num_polys, ring.rns_count, ring.n)
+        for i, poly in enumerate(pre.planes[0]):
+            assert np.array_equal(tensor[i], poly.residues)
+        replacement = ring.constant(41)
+        pre.set_poly(0, 2, replacement)
+        assert pre.planes[0][2] is replacement
+        assert np.array_equal(pre.plane_tensor(0)[2], replacement.residues)
+
+    def test_lazy_stack_matches_per_poly_preprocess(self, small_params):
+        db = PirDatabase.random(small_params, num_records=8, record_bytes=96, seed=6)
+        ring = RingContext(small_params)
+        pre = db.preprocess(ring)
+        lazy = PreprocessedDatabase(pre.layout, ring, [list(r) for r in pre.planes])
+        assert np.array_equal(lazy.plane_tensor(0), pre.plane_tensor(0))

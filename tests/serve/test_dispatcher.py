@@ -179,6 +179,41 @@ class TestFaultIsolation:
         assert metrics.served == 1
         assert result.response == 1
 
+    def test_final_failed_batch_closes_the_metrics_window(self):
+        """Regression: a run ending in a failed batch must not truncate
+        ``elapsed_s`` (which inflated ``achieved_qps``), and the failure
+        must be attributed to its shard."""
+
+        class FailLastBackend(StubBackend):
+            async def answer(self, shard_id, requests):
+                if any(r.global_index == 99 for r in requests):
+                    await asyncio.sleep(self.service_s)
+                    raise RuntimeError("terminal shard fault")
+                return await super().answer(shard_id, requests)
+
+        backend = FailLastBackend(service_s=0.5)
+
+        async def main():
+            loop = asyncio.get_running_loop()
+            d = dispatcher(backend, BatchPolicy(waiting_window_s=0.0, max_batch=1))
+            d.start()
+            ok = d.submit(request(0))
+            await ok
+            doomed = d.submit(request(99))
+            with pytest.raises(RuntimeError):
+                await doomed
+            fail_finish = loop.time()
+            await d.drain()
+            return d.metrics, fail_finish
+
+        (metrics, fail_finish), _ = run_in_virtual_time(main())
+        assert metrics.failed == 1
+        snap = metrics.snapshot()
+        assert snap["failed_by_shard"] == {"0": 1}
+        # the window extends to the *failed* batch's finish, not the last success
+        assert metrics.last_finish_s == pytest.approx(fail_finish)
+        assert metrics.elapsed_s == pytest.approx(fail_finish - metrics.first_arrival_s)
+
 
 class TestServeRuntimeRouting:
     def test_requests_route_to_their_shard_dispatcher(self):

@@ -132,6 +132,31 @@ class TestMetrics:
         m.record_served(0, 0.1, 0.0, 1.0)
         json.dumps(m.snapshot())
 
+    def test_failed_batch_extends_elapsed_window(self):
+        """Regression: a trailing failed batch must close the window.
+
+        ``record_failed`` used to drop the batch's finish time entirely,
+        so a run whose *last* event was a failure reported ``elapsed_s``
+        up to the previous success only — inflating ``achieved_qps`` —
+        and its ``shard_id`` argument was dead, making per-shard failure
+        counts impossible.
+        """
+        m = ServeMetrics(2)
+        m.record_submit(accepted=True, now_s=0.0)
+        m.record_served(0, latency_s=0.5, queue_wait_s=0.1, finish_s=2.0)
+        m.record_failed(1, count=3, finish_s=8.0)
+        assert m.failed == 3
+        assert m.last_finish_s == 8.0
+        assert m.elapsed_s == 8.0
+        assert m.achieved_qps == pytest.approx(1 / 8.0)
+        snap = m.snapshot()
+        assert snap["failed_by_shard"] == {"1": 3}
+        assert snap["elapsed_s"] == 8.0
+        # an earlier failure must not rewind the window
+        m.record_failed(0, count=1, finish_s=5.0)
+        assert m.last_finish_s == 8.0
+        assert m.snapshot()["failed_by_shard"] == {"0": 1, "1": 3}
+
 
 class TestOpenLoopHarness:
     @pytest.fixture(scope="class")
