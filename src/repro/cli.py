@@ -8,7 +8,8 @@ Commands
 ``workloads``   show the Table III application workloads on the cluster
 ``area``        print the Table II area/power breakdown
 ``serve``       real-crypto smoke of the multi-shard serving runtime
-``loadtest``    open-loop load test (sim clock at paper scale, or real crypto)
+``cluster``     multi-process coordinator/worker serving smoke (real crypto)
+``loadtest``    open-loop load test (sim clock, real crypto, or cluster)
 ``batchpir``    cuckoo-batched multi-record retrieval + amortization model
 ``kvpir``       keyword PIR over a key-value store + keyword-overhead model
 ``update-churn``  online delta-apply vs full re-preprocess under churn
@@ -126,6 +127,79 @@ def cmd_serve(args: argparse.Namespace) -> int:
     return 0 if correct == len(results) else 1
 
 
+def cmd_cluster(args: argparse.Namespace) -> int:
+    """Byte-correct records through the multi-process cluster runtime."""
+    import asyncio
+
+    from repro.cluster import ClusterBackend, ClusterCoordinator, ClusterRegistry
+    from repro.mutate import UpdateLog
+    from repro.serve import ServeRuntime
+    from repro.systems.batching import BatchPolicy
+
+    params = PirParams.small(n=256, d0=8, num_dims=2)
+    registry = ClusterRegistry.random(
+        params,
+        num_records=args.records,
+        record_bytes=args.record_bytes,
+        num_shards=args.shards,
+        seed=args.seed,
+    )
+    policy = BatchPolicy(
+        waiting_window_s=args.window_ms / 1e3, max_batch=args.max_batch
+    )
+
+    async def run():
+        coordinator = ClusterCoordinator(
+            registry, num_workers=args.workers, replication=args.replication
+        )
+        async with coordinator:
+            backend = ClusterBackend(coordinator)
+            runtime = ServeRuntime(registry, backend, policy)
+            async with runtime:
+                results = await asyncio.gather(
+                    *(
+                        runtime.serve_index(i % registry.num_records)
+                        for i in range(args.queries)
+                    )
+                )
+            correct = sum(
+                registry.decode(r.request, r.response)
+                == registry.expected(r.request.global_index)
+                for r in results
+            )
+            publish_ok = True
+            if args.publish:
+                target = 0
+                log = UpdateLog().put(target, b"\x42" * registry.record_bytes)
+                await coordinator.publish(log)
+                runtime = ServeRuntime(registry, backend, policy)
+                async with runtime:
+                    fresh = await runtime.serve_index(target)
+                publish_ok = (
+                    registry.decode(fresh.request, fresh.response)
+                    == registry.expected(target)
+                )
+            return correct, len(results), publish_ok, coordinator.stats
+
+    correct, total, publish_ok, stats = asyncio.run(run())
+    ok = correct == total and publish_ok
+    print(
+        f"served {total} queries on {registry.num_shards} shards across "
+        f"{args.workers} worker processes: {correct}/{total} byte-correct"
+    )
+    if args.publish:
+        print(
+            f"epoch publish to {registry.current_epoch}: "
+            f"{'OK' if publish_ok else 'MISMATCH'}"
+        )
+    print(
+        f"batches {stats.batches_sent}, retried {stats.batches_retried}, "
+        f"deaths {stats.worker_deaths}, epochs {stats.epochs_published} "
+        f"({'OK' if ok else 'MISMATCH'})"
+    )
+    return 0 if ok else 1
+
+
 def cmd_loadtest(args: argparse.Namespace) -> int:
     """Open-loop load test; prints a JSON report to stdout."""
     import asyncio
@@ -140,6 +214,7 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         args.queries = 10000 if args.mode == "sim" else 24
     if args.rate is None:
         args.rate = 2000.0 if args.mode == "sim" else 50.0
+    coordinator = None
     if args.pattern == "poisson":
         arrivals = loadgen.poisson_arrivals(args.rate, args.queries, seed=args.seed)
     elif args.pattern == "bursty":
@@ -172,6 +247,22 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             waiting_window_s=registry.waiting_window_s(), max_batch=args.max_batch
         )
         backend = SimulatedBackend(registry)
+    elif args.mode == "cluster":
+        from repro.cluster import ClusterBackend, ClusterCoordinator, ClusterRegistry
+
+        params = PirParams.small(n=256, d0=8, num_dims=2)
+        registry = ClusterRegistry.random(
+            params,
+            num_records=args.records,
+            record_bytes=args.record_bytes,
+            num_shards=args.shards,
+            seed=args.seed,
+        )
+        policy = BatchPolicy(
+            waiting_window_s=args.window_ms / 1e3, max_batch=args.max_batch
+        )
+        coordinator = ClusterCoordinator(registry, num_workers=args.workers)
+        backend = ClusterBackend(coordinator)
     else:
         from repro.serve import RealCryptoBackend, RealShardRegistry
 
@@ -189,17 +280,23 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         backend = RealCryptoBackend(registry)
 
     async def run():
-        runtime = ServeRuntime(registry, backend, policy, admission)
-        runtime.start()
-        if args.distribution == "zipf":
-            indices = loadgen.zipf_indices(
-                registry.num_records, args.queries, a=args.zipf_a, seed=args.seed
-            )
-        else:
-            indices = loadgen.uniform_indices(
-                registry.num_records, args.queries, seed=args.seed
-            )
-        return await loadgen.run_open_loop(runtime, arrivals, indices)
+        if coordinator is not None:
+            await coordinator.start()
+        try:
+            runtime = ServeRuntime(registry, backend, policy, admission)
+            runtime.start()
+            if args.distribution == "zipf":
+                indices = loadgen.zipf_indices(
+                    registry.num_records, args.queries, a=args.zipf_a, seed=args.seed
+                )
+            else:
+                indices = loadgen.uniform_indices(
+                    registry.num_records, args.queries, seed=args.seed
+                )
+            return await loadgen.run_open_loop(runtime, arrivals, indices)
+        finally:
+            if coordinator is not None:
+                await coordinator.aclose()
 
     if args.mode == "sim":
         from repro.serve import run_in_virtual_time
@@ -224,6 +321,16 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         "virtual_s": virtual_s,
         "metrics": report.metrics,
     }
+    if coordinator is not None:
+        stats = coordinator.stats
+        out["cluster"] = {
+            "workers": args.workers,
+            "batches_sent": stats.batches_sent,
+            "batches_retried": stats.batches_retried,
+            "worker_deaths": stats.worker_deaths,
+            "rebalanced_shards": stats.rebalanced_shards,
+            "epochs_published": stats.epochs_published,
+        }
     print(json.dumps(out, indent=2))
     return 0 if report.errored == 0 else 1
 
@@ -536,8 +643,34 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--seed", type=int, default=3)
     serve.set_defaults(func=cmd_serve)
 
+    cluster = sub.add_parser(
+        "cluster", help="multi-process cluster serving smoke (real crypto)"
+    )
+    cluster.add_argument("--records", type=int, default=16)
+    cluster.add_argument("--record-bytes", type=int, default=64)
+    cluster.add_argument("--shards", type=int, default=2)
+    cluster.add_argument("--workers", type=int, default=2)
+    cluster.add_argument(
+        "--replication", type=int, default=1, help="replicas per shard"
+    )
+    cluster.add_argument("--queries", type=int, default=16)
+    cluster.add_argument("--window-ms", type=float, default=10.0)
+    cluster.add_argument("--max-batch", type=int, default=8)
+    cluster.add_argument("--seed", type=int, default=3)
+    cluster.add_argument(
+        "--publish",
+        action="store_true",
+        help="also broadcast an epoch publish and re-read the updated record",
+    )
+    cluster.set_defaults(func=cmd_cluster)
+
     loadtest = sub.add_parser("loadtest", help="open-loop serving load test")
-    loadtest.add_argument("--mode", choices=("sim", "real"), default="sim")
+    loadtest.add_argument(
+        "--mode", choices=("sim", "real", "cluster"), default="sim"
+    )
+    loadtest.add_argument(
+        "--workers", type=int, default=2, help="cluster mode worker processes"
+    )
     loadtest.add_argument(
         "--pattern", choices=("poisson", "bursty", "diurnal"), default="poisson"
     )

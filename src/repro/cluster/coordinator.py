@@ -1,0 +1,586 @@
+"""Cluster coordinator: spawn, route, health-check, retry, rebalance.
+
+The coordinator is the master of the master/worker runtime.  It spawns N
+worker processes (``multiprocessing`` spawn context — no inherited
+state), assigns each shard ``replication`` replicas round-robin, and
+then mediates all traffic over one duplex pipe per worker:
+
+* **Answering.**  :meth:`answer` takes one dispatcher batch, groups it by
+  admitted epoch (a window that straddles a publish legitimately mixes
+  epochs), picks the least-loaded live replica per group, and awaits the
+  typed ack.  Batches in flight on a worker that dies are retried on a
+  surviving replica — or on a freshly rebalanced one — until the attempt
+  budget runs out, at which point the caller gets the typed
+  :class:`~repro.errors.WorkerDied`; a response is therefore either
+  byte-correct or a typed rejection, never silently wrong.
+* **Health.**  Every worker heartbeats from an independent thread; a
+  monitor task declares a worker dead when its process exits *or* its
+  beacons stop for ``heartbeat_timeout_s`` (a SIGSTOP'd or livelocked
+  process fails the same way as a crashed one).
+* **Rebalancing.**  When a shard loses its last replica, the coordinator
+  re-ships that shard's current-epoch records to the least-loaded
+  survivor and resumes routing once the replica acks.
+* **Epoch publish.**  :meth:`publish` validates the log client-side,
+  broadcasts per-shard ops to every live worker, and commits the new
+  epoch for admissions only after all acks — in-flight requests keep
+  their admitted epoch (answered from each worker's retention window).
+* **Drain.**  :meth:`aclose` stops routing, sends ``Shutdown``, joins the
+  processes off-loop, and force-kills stragglers.
+
+Reader threads never touch coordinator state directly: every inbound
+message is marshalled onto the event loop with ``call_soon_threadsafe``,
+so all bookkeeping is single-threaded on the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import multiprocessing
+import threading
+from dataclasses import dataclass, field
+
+from repro import errors as _errors
+from repro.errors import (
+    ClusterError,
+    NoReplicaError,
+    ParameterError,
+    StaleEpoch,
+    WorkerDied,
+)
+from repro.mutate.log import UpdateLog
+from repro.serve.registry import ServeRequest
+
+from repro.cluster.messages import (
+    AnswerBatch,
+    BatchDone,
+    BatchFailed,
+    EpochPublished,
+    Heartbeat,
+    LoadReplica,
+    PublishEpoch,
+    ReplicaLoaded,
+    Shutdown,
+    WorkerConfig,
+    WorkerHello,
+    WorkerStopped,
+)
+from repro.cluster.registry import ClusterRegistry
+from repro.cluster.worker import worker_main
+
+
+@dataclass
+class _Inflight:
+    """One answer batch awaiting its ack from a specific worker."""
+
+    batch_id: int
+    shard_id: int
+    epoch: int
+    queries: tuple
+    future: asyncio.Future
+
+
+@dataclass
+class _Worker:
+    worker_id: int
+    process: multiprocessing.Process
+    conn: object
+    shards: set[int] = field(default_factory=set)
+    alive: bool = True
+    last_seen: float = 0.0
+    inflight: dict[int, _Inflight] = field(default_factory=dict)
+    loading: dict[int, asyncio.Future] = field(default_factory=dict)
+    publish_acks: dict[int, asyncio.Future] = field(default_factory=dict)
+    reader: threading.Thread | None = None
+
+
+@dataclass(frozen=True)
+class ClusterPublishResult:
+    """Outcome of one cross-process epoch publish."""
+
+    epoch: int
+    polys_repacked: int
+    acked_workers: tuple[int, ...]
+    lost_workers: tuple[int, ...]
+
+
+@dataclass
+class ClusterStats:
+    """Coordinator-side counters (the cluster analog of ServeMetrics)."""
+
+    batches_sent: int = 0
+    batches_retried: int = 0
+    worker_deaths: int = 0
+    rebalanced_shards: int = 0
+    epochs_published: int = 0
+
+
+class ClusterCoordinator:
+    """Owns the worker fleet for one :class:`ClusterRegistry`."""
+
+    def __init__(
+        self,
+        registry: ClusterRegistry,
+        num_workers: int,
+        replication: int = 1,
+        heartbeat_interval_s: float = 0.25,
+        heartbeat_timeout_s: float = 10.0,
+        max_attempts: int = 3,
+        retain: int = 2,
+        use_fast: bool = True,
+    ):
+        if num_workers < 1:
+            raise ParameterError("need at least one worker process")
+        if not 1 <= replication <= num_workers:
+            raise ParameterError(
+                f"replication {replication} must be in [1, {num_workers}]"
+            )
+        if max_attempts < 1:
+            raise ParameterError("need at least one answer attempt")
+        if heartbeat_timeout_s <= heartbeat_interval_s:
+            raise ParameterError("heartbeat timeout must exceed the interval")
+        self.registry = registry
+        self.num_workers = num_workers
+        self.replication = replication
+        self.heartbeat_interval_s = heartbeat_interval_s
+        self.heartbeat_timeout_s = heartbeat_timeout_s
+        self.max_attempts = max_attempts
+        self.retain = retain
+        self.use_fast = use_fast
+        self.stats = ClusterStats()
+        self._workers: dict[int, _Worker] = {}
+        #: shard id -> worker ids with a *ready* replica.
+        self._owners: dict[int, set[int]] = {
+            s: set() for s in range(registry.num_shards)
+        }
+        self._batch_ids = itertools.count()
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self._monitor_task: asyncio.Task | None = None
+        self._topology_lock: asyncio.Lock | None = None
+        self._draining = False
+        self._started = False
+
+    # -- lifecycle ---------------------------------------------------------
+    async def start(self) -> None:
+        """Spawn the fleet and wait until every shard has its replicas."""
+        if self._started:
+            raise ClusterError("coordinator already started")
+        self._started = True
+        self._loop = asyncio.get_running_loop()
+        self._topology_lock = asyncio.Lock()
+        ctx = multiprocessing.get_context("spawn")
+        seed = self.registry.seed
+        for worker_id in range(self.num_workers):
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            config = WorkerConfig(
+                worker_id=worker_id,
+                params=self.registry.params,
+                record_bytes=self.registry.record_bytes,
+                heartbeat_interval_s=self.heartbeat_interval_s,
+                retain=self.retain,
+                seed=None if seed is None else seed + worker_id,
+                use_fast=self.use_fast,
+            )
+            process = ctx.Process(
+                target=worker_main,
+                args=(child_conn, config, self.registry.setup),
+                name=f"pir-cluster-worker-{worker_id}",
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            worker = _Worker(
+                worker_id=worker_id,
+                process=process,
+                conn=parent_conn,
+                last_seen=self._loop.time(),
+            )
+            worker.reader = threading.Thread(
+                target=self._reader_loop,
+                args=(worker,),
+                name=f"cluster-reader-{worker_id}",
+                daemon=True,
+            )
+            worker.reader.start()
+            self._workers[worker_id] = worker
+        # Monitor first: a worker that dies while preprocessing its replicas
+        # must fail start() with a typed error, not hang it.
+        self._monitor_task = asyncio.create_task(
+            self._monitor(), name="cluster-health-monitor"
+        )
+        loads = []
+        for shard_id in range(self.registry.num_shards):
+            for r in range(self.replication):
+                worker = self._workers[(shard_id + r) % self.num_workers]
+                loads.append(self._load_replica(worker, shard_id))
+        await asyncio.gather(*loads)
+
+    async def __aenter__(self) -> "ClusterCoordinator":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()
+
+    async def aclose(self) -> None:
+        """Graceful drain: stop routing, shut workers down, reap processes."""
+        if self._draining:
+            return
+        self._draining = True
+        if self._monitor_task is not None:
+            self._monitor_task.cancel()
+            try:
+                await self._monitor_task
+            except asyncio.CancelledError:
+                pass
+        for worker in self._workers.values():
+            if worker.alive:
+                self._try_send(worker, Shutdown())
+        join_timeout = max(5.0, 4 * self.heartbeat_timeout_s)
+        await asyncio.gather(
+            *(
+                asyncio.get_running_loop().run_in_executor(
+                    None, w.process.join, join_timeout
+                )
+                for w in self._workers.values()
+            )
+        )
+        for worker in self._workers.values():
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join()
+            worker.alive = False
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            if worker.reader is not None:
+                worker.reader.join(timeout=2.0)
+            # Whatever was still pending dies typed, not dangling.
+            self._fail_worker_state(worker, reason="coordinator drained")
+
+    @property
+    def live_workers(self) -> tuple[int, ...]:
+        return tuple(sorted(w.worker_id for w in self._workers.values() if w.alive))
+
+    # -- reader thread -> loop marshalling ---------------------------------
+    def _reader_loop(self, worker: _Worker) -> None:
+        while True:
+            try:
+                msg = worker.conn.recv()
+            except (EOFError, OSError):
+                break
+            self._loop.call_soon_threadsafe(self._on_message, worker, msg)
+        self._loop.call_soon_threadsafe(
+            self._on_worker_death, worker, "pipe closed (process exited)"
+        )
+
+    def _on_message(self, worker: _Worker, msg) -> None:
+        worker.last_seen = self._loop.time()
+        if isinstance(msg, BatchDone):
+            inflight = worker.inflight.pop(msg.batch_id, None)
+            if inflight is not None and not inflight.future.done():
+                inflight.future.set_result(list(msg.responses))
+        elif isinstance(msg, BatchFailed):
+            inflight = worker.inflight.pop(msg.batch_id, None)
+            if inflight is not None and not inflight.future.done():
+                inflight.future.set_exception(self._reconstruct(msg))
+        elif isinstance(msg, Heartbeat):
+            pass  # last_seen already refreshed above
+        elif isinstance(msg, ReplicaLoaded):
+            worker.shards.add(msg.shard_id)
+            self._owners[msg.shard_id].add(worker.worker_id)
+            future = worker.loading.pop(msg.shard_id, None)
+            if future is not None and not future.done():
+                future.set_result(msg)
+        elif isinstance(msg, EpochPublished):
+            future = worker.publish_acks.pop(msg.epoch, None)
+            if future is not None and not future.done():
+                if msg.error is None:
+                    future.set_result(msg)
+                else:
+                    future.set_exception(
+                        ClusterError(
+                            f"worker {worker.worker_id} failed publish of epoch "
+                            f"{msg.epoch}: {msg.error}"
+                        )
+                    )
+        elif isinstance(msg, (WorkerHello, WorkerStopped)):
+            pass  # liveness bookkeeping only
+
+    @staticmethod
+    def _reconstruct(msg: BatchFailed) -> Exception:
+        """Rebuild the worker's typed error on the coordinator side."""
+        if msg.error_kind == "StaleEpoch" and len(msg.details) == 3:
+            return StaleEpoch(*msg.details)
+        kind = getattr(_errors, msg.error_kind, None)
+        if isinstance(kind, type) and issubclass(kind, _errors.ReproError):
+            try:
+                return kind(msg.message)
+            except TypeError:
+                pass  # custom constructor; fall through to the generic kind
+        return ClusterError(f"{msg.error_kind}: {msg.message}")
+
+    # -- failure handling --------------------------------------------------
+    def _on_worker_death(self, worker: _Worker, reason: str) -> None:
+        if not worker.alive:
+            return
+        worker.alive = False
+        if not self._draining:
+            self.stats.worker_deaths += 1
+        if worker.process.is_alive():
+            worker.process.kill()  # hung/stopped, not exited: put it down
+        for shard_id in worker.shards:
+            self._owners[shard_id].discard(worker.worker_id)
+        self._fail_worker_state(worker, reason)
+        if self._draining:
+            return
+        for shard_id in sorted(worker.shards):
+            if not self._owners[shard_id]:
+                asyncio.ensure_future(self._rebalance_quietly(shard_id))
+
+    async def _rebalance_quietly(self, shard_id: int) -> None:
+        """Proactive rebalance after a death; demand-side retries also run
+        :meth:`_ensure_replica`, so a failure here is not fatal on its own."""
+        try:
+            await self._ensure_replica(shard_id)
+        except NoReplicaError:
+            pass
+
+    def _fail_worker_state(self, worker: _Worker, reason: str) -> None:
+        died = WorkerDied(worker.worker_id, reason)
+        for inflight in list(worker.inflight.values()):
+            if not inflight.future.done():
+                inflight.future.set_exception(died)
+        worker.inflight.clear()
+        for future in list(worker.loading.values()):
+            if not future.done():
+                future.set_exception(died)
+        worker.loading.clear()
+        for future in list(worker.publish_acks.values()):
+            if not future.done():
+                future.set_exception(died)
+        worker.publish_acks.clear()
+
+    async def _monitor(self) -> None:
+        while True:
+            await asyncio.sleep(self.heartbeat_interval_s)
+            now = self._loop.time()
+            for worker in list(self._workers.values()):
+                if not worker.alive:
+                    continue
+                if not worker.process.is_alive():
+                    self._on_worker_death(worker, "process exited")
+                elif now - worker.last_seen > self.heartbeat_timeout_s:
+                    self._on_worker_death(
+                        worker,
+                        f"no heartbeat for {now - worker.last_seen:.1f}s "
+                        f"(timeout {self.heartbeat_timeout_s:.1f}s)",
+                    )
+
+    # -- replica placement -------------------------------------------------
+    def _try_send(self, worker: _Worker, msg) -> bool:
+        try:
+            worker.conn.send(msg)
+            return True
+        except (BrokenPipeError, OSError):
+            self._on_worker_death(worker, "pipe broke on send")
+            return False
+
+    def _load_replica(self, worker: _Worker, shard_id: int) -> asyncio.Future:
+        future = self._loop.create_future()
+        worker.loading[shard_id] = future
+        self._try_send(
+            worker,
+            LoadReplica(
+                shard_id=shard_id,
+                epoch=self.registry.current_epoch,
+                records=self.registry.shard_records(shard_id),
+            ),
+        )
+        return future
+
+    async def _ensure_replica(self, shard_id: int) -> int:
+        """Rebalance: guarantee at least one live replica of ``shard_id``.
+
+        Serialized against publishes by the topology lock so a rebalance
+        load cannot interleave an epoch broadcast and come up one epoch
+        behind the admissible one.
+        """
+        async with self._topology_lock:
+            owners = [w for w in self._owners[shard_id] if self._workers[w].alive]
+            if owners:
+                return owners[0]
+            candidates = [w for w in self._workers.values() if w.alive]
+            if not candidates:
+                raise NoReplicaError(
+                    f"shard {shard_id} lost all replicas and no worker is left"
+                )
+            target = min(candidates, key=lambda w: (len(w.shards), w.worker_id))
+            try:
+                await self._load_replica(target, shard_id)
+            except WorkerDied:
+                raise NoReplicaError(
+                    f"shard {shard_id}: rebalance target worker "
+                    f"{target.worker_id} died while loading"
+                ) from None
+            self.stats.rebalanced_shards += 1
+            return target.worker_id
+
+    def _pick_worker(self, shard_id: int, exclude: set[int]) -> _Worker | None:
+        owners = [
+            self._workers[w]
+            for w in self._owners[shard_id]
+            if w not in exclude and self._workers[w].alive
+        ]
+        if not owners:
+            return None
+        return min(owners, key=lambda w: (len(w.inflight), w.worker_id))
+
+    # -- the serving backend interface ------------------------------------
+    async def answer(self, shard_id: int, requests: list[ServeRequest]) -> list:
+        """Answer one dispatcher batch; the third backend's entry point."""
+        shard_id = self.registry.map.check_shard(shard_id)
+        if self._draining:
+            raise ClusterError("cluster coordinator is draining")
+        groups: dict[int, list[int]] = {}
+        for i, request in enumerate(requests):
+            epoch = 0 if request.epoch is None else request.epoch
+            groups.setdefault(epoch, []).append(i)
+        results: list = [None] * len(requests)
+
+        async def serve_group(epoch: int, positions: list[int]) -> None:
+            queries = tuple(requests[i].query for i in positions)
+            responses = await self._answer_group(shard_id, epoch, queries)
+            for i, response in zip(positions, responses):
+                results[i] = response
+        await asyncio.gather(
+            *(serve_group(e, p) for e, p in groups.items())
+        )
+        return results
+
+    async def _answer_group(
+        self, shard_id: int, epoch: int, queries: tuple
+    ) -> list:
+        tried: set[int] = set()
+        for attempt in range(self.max_attempts):
+            worker = self._pick_worker(shard_id, exclude=tried)
+            if worker is None:
+                target = await self._ensure_replica(shard_id)
+                worker = self._workers[target]
+                if not worker.alive:
+                    continue
+            batch_id = next(self._batch_ids)
+            future = self._loop.create_future()
+            worker.inflight[batch_id] = _Inflight(
+                batch_id=batch_id,
+                shard_id=shard_id,
+                epoch=epoch,
+                queries=queries,
+                future=future,
+            )
+            self.stats.batches_sent += 1
+            if not self._try_send(
+                worker,
+                AnswerBatch(
+                    batch_id=batch_id,
+                    shard_id=shard_id,
+                    epoch=epoch,
+                    queries=queries,
+                ),
+            ):
+                tried.add(worker.worker_id)
+                self.stats.batches_retried += 1
+                continue  # death path already failed the future
+            try:
+                return await future
+            except WorkerDied:
+                tried.add(worker.worker_id)
+                if attempt + 1 >= self.max_attempts:
+                    raise
+                self.stats.batches_retried += 1
+        raise WorkerDied(
+            worker_id=-1,
+            reason=f"shard {shard_id}: no attempt out of "
+            f"{self.max_attempts} reached a live replica",
+        )
+
+    # -- epoch publish -----------------------------------------------------
+    async def publish(self, log: UpdateLog) -> ClusterPublishResult:
+        """Atomic cross-shard epoch publish over every live worker.
+
+        The log is fully validated client-side before anything is sent;
+        the new epoch becomes admissible only once every live worker has
+        acked, so no admitted request can ever target a replica that has
+        not built that epoch.  A worker that dies mid-publish loses its
+        replicas (rebalanced at the committed epoch); it cannot hold the
+        cluster at the old epoch.
+        """
+        shard_ops = self.registry.split_log(log)
+        async with self._topology_lock:
+            epoch = self.registry.current_epoch + 1
+            acks: list[tuple[_Worker, asyncio.Future]] = []
+            for worker in self._workers.values():
+                if not worker.alive:
+                    continue
+                future = self._loop.create_future()
+                worker.publish_acks[epoch] = future
+                owned = {
+                    s: shard_ops[s] for s in sorted(worker.shards) if shard_ops[s]
+                }
+                # Collect the ack future even if the send fails: the death
+                # handler fails it with WorkerDied, which gather collects.
+                acks.append((worker, future))
+                self._try_send(worker, PublishEpoch(epoch=epoch, shard_ops=owned))
+            outcomes = await asyncio.gather(
+                *(f for _, f in acks), return_exceptions=True
+            )
+            acked: list[int] = []
+            lost: list[int] = []
+            repacked = 0
+            for (worker, _), outcome in zip(acks, outcomes):
+                if isinstance(outcome, WorkerDied):
+                    lost.append(worker.worker_id)
+                elif isinstance(outcome, BaseException):
+                    raise outcome
+                else:
+                    acked.append(worker.worker_id)
+                    repacked += outcome.polys_repacked
+            if not acked:
+                raise NoReplicaError(
+                    f"epoch {epoch} publish reached no live worker"
+                )
+            self.registry.commit_publish(epoch, shard_ops)
+            self.stats.epochs_published += 1
+        # Workers lost mid-publish orphan their shards; rebalance them at
+        # the committed epoch (outside the lock — _ensure_replica takes it).
+        for shard_id, owners in self._owners.items():
+            if not any(self._workers[w].alive for w in owners):
+                await self._ensure_replica(shard_id)
+        return ClusterPublishResult(
+            epoch=epoch,
+            polys_repacked=repacked,
+            acked_workers=tuple(acked),
+            lost_workers=tuple(lost),
+        )
+
+
+class ClusterBackend:
+    """The multi-process serving backend for :class:`ServeRuntime`.
+
+    Third sibling of :class:`~repro.serve.workers.RealCryptoBackend`
+    (thread pool) and :class:`~repro.serve.workers.SimulatedBackend`
+    (virtual time): batches go to worker *processes* via the coordinator.
+    Lifecycle belongs to the coordinator's own async context — the
+    runtime's ``close()`` is a no-op so one fleet can outlive many
+    runtimes (and be drained exactly once).
+    """
+
+    def __init__(self, coordinator: ClusterCoordinator):
+        self.coordinator = coordinator
+
+    async def answer(self, shard_id: int, requests: list[ServeRequest]) -> list:
+        return await self.coordinator.answer(shard_id, requests)
+
+    def close(self) -> None:
+        pass

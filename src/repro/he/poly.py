@@ -29,7 +29,19 @@ class Domain(enum.Enum):
 
 
 class RingContext:
-    """Shared precomputed state for one polynomial ring R_Q."""
+    """Shared precomputed state for one polynomial ring R_Q.
+
+    Contexts are heavy (NTT twiddle tables, monomial/automorphism caches)
+    and identity-compared on the hot path, so they must never travel over
+    IPC by value: pickling reduces to :meth:`shared`, which re-attaches to
+    the one process-local context for the parameter set.  A ciphertext
+    pickled in the coordinator and unpickled in a worker therefore carries
+    only its residues plus the (tiny, frozen) ``PirParams`` key, and every
+    polynomial in that worker shares a single context again.
+    """
+
+    #: Process-local interning table for :meth:`shared` (params -> context).
+    _interned: "dict[PirParams, RingContext]" = {}
 
     def __init__(self, params: "PirParams"):
         self.params = params
@@ -39,6 +51,22 @@ class RingContext:
         self._moduli_col = np.array(params.moduli, dtype=np.int64)[:, None]
         self._monomial_ntt_cache: dict[int, np.ndarray] = {}
         self._automorphism_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+
+    @classmethod
+    def shared(cls, params: "PirParams") -> "RingContext":
+        """The process-local interned context for ``params``.
+
+        Every caller with equal parameters gets the *same* object, so
+        ``ctx is other.ctx`` holds across independently unpickled values
+        and the twiddle/monomial caches are built once per process.
+        """
+        ctx = cls._interned.get(params)
+        if ctx is None:
+            ctx = cls._interned[params] = cls(params)
+        return ctx
+
+    def __reduce__(self):
+        return (RingContext.shared, (self.params,))
 
     @property
     def rns_count(self) -> int:

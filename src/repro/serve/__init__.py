@@ -6,6 +6,8 @@ dispatchers apply the paper's waiting-window batch policy behind bounded
 admission queues, and a worker layer executes batches either with real
 cryptography (thread pool) or against the accelerator latency model on a
 virtual-time event loop, so million-user load tests run in wall-seconds.
+A third backend lives in ``repro.cluster``: real-crypto replicas in
+worker *processes* behind a coordinator, for QPS that scales past the GIL.
 """
 
 from repro.serve.dispatcher import (

@@ -12,6 +12,9 @@ The dispatcher is written against plain asyncio (``loop.time()`` /
   :class:`SimulatedBackend`, which "serves" a batch by sleeping for the
   :class:`~repro.arch.simulator.IveSimulator` batched latency.  A 10k-query
   load test at paper scale finishes in wall-seconds.
+* cluster mode — ``repro.cluster.ClusterBackend``, the multi-process
+  sibling: the same backend contract, but batches cross a pipe to worker
+  processes so real-crypto throughput scales with cores, not one GIL.
 """
 
 from __future__ import annotations

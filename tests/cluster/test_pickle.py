@@ -1,0 +1,141 @@
+"""Pickle round-trips for everything that crosses the coordinator/worker pipe.
+
+The cluster runtime ships real ciphertexts between processes, so every
+query/response/request type must survive pickling — and without
+duplicating the heavyweight ring state: ``RingContext.__reduce__``
+re-attaches unpickled polynomials to the process-local interned context
+for their parameter set (see ``repro.he.poly``).
+"""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.he.poly import RingContext
+from repro.pir.database import PirDatabase
+from repro.pir.protocol import PirProtocol
+
+
+def roundtrip(obj):
+    return pickle.loads(pickle.dumps(obj))
+
+
+@pytest.fixture(scope="module")
+def proto(small_params):
+    db = PirDatabase.random(small_params, num_records=16, record_bytes=48, seed=51)
+    return PirProtocol(small_params, db, seed=52), db
+
+
+class TestRingContextInterning:
+    def test_shared_is_one_object_per_params(self, small_params):
+        assert RingContext.shared(small_params) is RingContext.shared(small_params)
+
+    def test_unpickled_context_is_the_interned_one(self, small_params):
+        private = RingContext(small_params)  # deliberately not interned
+        assert private is not RingContext.shared(small_params)
+        assert roundtrip(private) is RingContext.shared(small_params)
+
+    def test_independently_unpickled_cts_share_one_context(self, proto):
+        protocol, db = proto
+        q1 = roundtrip(protocol.client.build_query(1, db.layout))
+        q2 = roundtrip(protocol.client.build_query(2, db.layout))
+        assert q1.packed.a.ctx is q2.packed.a.ctx
+        assert q1.selection_bits[0].a_rows[0].ctx is q1.packed.a.ctx
+
+
+class TestQueryResponseRoundTrip:
+    def test_pir_query_answers_byte_identical_after_roundtrip(self, proto):
+        protocol, db = proto
+        index = 7
+        query = protocol.client.build_query(index, db.layout)
+        back = roundtrip(query)
+        np.testing.assert_array_equal(
+            back.packed.a.residues, query.packed.a.residues
+        )
+        assert len(back.selection_bits) == len(query.selection_bits)
+        direct = protocol.server.answer(query)
+        via_pickle = protocol.server.answer(back)
+        record = protocol.client.decode_response(via_pickle, index, db.layout)
+        assert record == db.record(index)
+        assert record == protocol.client.decode_response(direct, index, db.layout)
+
+    def test_pir_response_roundtrip_decodes(self, proto):
+        protocol, db = proto
+        index = 3
+        query = protocol.client.build_query(index, db.layout)
+        response = roundtrip(protocol.server.answer(query))
+        record = protocol.client.decode_response(response, index, db.layout)
+        assert record == db.record(index)
+
+    def test_client_setup_roundtrip(self, proto):
+        """Evaluation keys are shipped once to every spawned worker."""
+        protocol, db = proto
+        setup = roundtrip(protocol.client.setup_message())
+        assert set(setup.evks) == set(protocol.client.setup_message().evks)
+        from repro.pir.server import PirServer
+
+        pre = db.preprocess(protocol.client.ring)
+        server = PirServer(pre, setup)
+        query = protocol.client.build_query(5, db.layout)
+        response = server.answer(query)
+        assert protocol.client.decode_response(response, 5, db.layout) == db.record(5)
+
+
+class TestServeRequestRoundTrip:
+    def test_cluster_request_fields_and_query_survive(self, small_params):
+        from repro.cluster import ClusterRegistry
+
+        registry = ClusterRegistry.random(
+            small_params, num_records=8, record_bytes=32, num_shards=2, seed=9
+        )
+        request = registry.make_request(5)
+        back = roundtrip(request)
+        assert back.global_index == request.global_index
+        assert back.shard_id == request.shard_id
+        assert back.local_index == request.local_index
+        assert back.epoch == request.epoch
+        np.testing.assert_array_equal(
+            back.query.packed.b.residues, request.query.packed.b.residues
+        )
+
+    def test_keyword_request_roundtrip(self):
+        from repro.serve.registry import ServeRequest
+
+        request = ServeRequest(
+            global_index=0, shard_id=1, local_index=4, key=b"user:42", epoch=3
+        )
+        assert roundtrip(request) == request
+
+
+class TestBatchKvRoundTrip:
+    def test_batch_query_response_roundtrip(self, small_params):
+        from repro.batchpir import BatchPirProtocol
+
+        rng = np.random.default_rng(11)
+        records = [rng.bytes(32) for _ in range(32)]
+        protocol = BatchPirProtocol(
+            small_params, records, max_batch=4, record_bytes=32,
+            hash_seed=1, seed=2,
+        )
+        wanted = [1, 9, 17]
+        plan = protocol.client.plan(wanted)
+        query = roundtrip(protocol.client.build_queries(plan))
+        response = roundtrip(protocol.server.answer(query))
+        values = protocol.client.decode(plan, response)
+        assert {g: values[g] for g in wanted} == {g: records[g] for g in wanted}
+
+    def test_kv_query_response_roundtrip(self, small_params):
+        from repro.kvpir import KvPirProtocol
+        from repro.kvpir.layout import random_items
+
+        items = random_items(24, 16, seed=3)
+        protocol = KvPirProtocol(
+            small_params, items, max_lookup_batch=4, hash_seed=4, seed=5
+        )
+        keys = list(items)[:3]
+        plan = protocol.client.plan(keys)
+        query = roundtrip(protocol.client.build_queries(plan))
+        response = roundtrip(protocol.server.answer(query))
+        values = protocol.client.decode(plan, response)
+        assert values == {k: items[k] for k in keys}

@@ -175,3 +175,22 @@ def test_monomial_shift_property(value, power):
     shifted = p.monomial_mul(power)
     lifted = shifted.lift_coeffs()
     assert int(lifted[power]) == value % ring.params.q
+
+
+class TestContextInterning:
+    """Pickling reduces a context to the process-local interned instance."""
+
+    def test_shared_interns_per_params(self):
+        params = PirParams.small(n=32, d0=4, num_dims=1)
+        same = PirParams.small(n=32, d0=4, num_dims=1)
+        assert RingContext.shared(params) is RingContext.shared(same)
+
+    def test_poly_pickles_by_residues_not_context(self, tiny_ring):
+        import pickle
+
+        rng = np.random.default_rng(16)
+        p = _random_poly(tiny_ring, rng)
+        back = pickle.loads(pickle.dumps(p))
+        assert back.ctx is RingContext.shared(tiny_ring.params)
+        assert back.domain is p.domain
+        np.testing.assert_array_equal(back.residues, p.residues)
