@@ -10,6 +10,7 @@ Commands
 ``serve``       real-crypto smoke of the multi-shard serving runtime
 ``cluster``     multi-process coordinator/worker serving smoke (real crypto)
 ``loadtest``    open-loop load test (sim clock, real crypto, or cluster)
+``obs-report``  validate + render a traced loadtest's exported artifacts
 ``batchpir``    cuckoo-batched multi-record retrieval + amortization model
 ``kvpir``       keyword PIR over a key-value store + keyword-overhead model
 ``update-churn``  online delta-apply vs full re-preprocess under churn
@@ -120,9 +121,14 @@ def cmd_serve(args: argparse.Namespace) -> int:
         f"({'OK' if correct == len(results) else 'MISMATCH'})"
     )
     lat = metrics.latency_percentiles()
+
+    def ms(value: float | None) -> str:
+        # Percentiles are None (not 0.0) when nothing was served.
+        return "n/a" if value is None else f"{value * 1e3:.0f} ms"
+
     print(
-        f"mean batch {metrics.mean_batch:.1f}, p50 {lat['p50_s'] * 1e3:.0f} ms, "
-        f"p95 {lat['p95_s'] * 1e3:.0f} ms, achieved {metrics.achieved_qps:.1f} QPS"
+        f"mean batch {metrics.mean_batch:.1f}, p50 {ms(lat['p50_s'])}, "
+        f"p95 {ms(lat['p95_s'])}, achieved {metrics.achieved_qps:.1f} QPS"
     )
     return 0 if correct == len(results) else 1
 
@@ -228,6 +234,20 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     admission = AdmissionConfig(max_queue_depth=args.max_queue)
     wall_start = time.monotonic()
 
+    tracer = None
+    profiler = None
+    previous_profiler = None
+    if args.trace:
+        from repro.obs import KernelProfiler, Tracer
+        from repro.obs.profile import install as install_profiler
+
+        tracer = Tracer()
+        profiler = KernelProfiler()
+        # In-process kernels (real-mode serving, cluster-mode query
+        # building) accumulate here; worker-process kernels are merged in
+        # by the coordinator at shutdown.
+        previous_profiler = install_profiler(profiler)
+
     if args.serving != "plain" and args.mode != "sim":
         print("--serving batchpir/kvpir is a sim-mode model", file=sys.stderr)
         return 2
@@ -246,7 +266,7 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         policy = BatchPolicy(
             waiting_window_s=registry.waiting_window_s(), max_batch=args.max_batch
         )
-        backend = SimulatedBackend(registry)
+        backend = SimulatedBackend(registry, tracer=tracer)
     elif args.mode == "cluster":
         from repro.cluster import ClusterBackend, ClusterCoordinator, ClusterRegistry
 
@@ -261,7 +281,9 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         policy = BatchPolicy(
             waiting_window_s=args.window_ms / 1e3, max_batch=args.max_batch
         )
-        coordinator = ClusterCoordinator(registry, num_workers=args.workers)
+        coordinator = ClusterCoordinator(
+            registry, num_workers=args.workers, tracer=tracer, profiler=profiler
+        )
         backend = ClusterBackend(coordinator)
     else:
         from repro.serve import RealCryptoBackend, RealShardRegistry
@@ -277,13 +299,15 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         policy = BatchPolicy(
             waiting_window_s=args.window_ms / 1e3, max_batch=args.max_batch
         )
-        backend = RealCryptoBackend(registry)
+        backend = RealCryptoBackend(registry, tracer=tracer)
 
     async def run():
         if coordinator is not None:
             await coordinator.start()
         try:
-            runtime = ServeRuntime(registry, backend, policy, admission)
+            runtime = ServeRuntime(
+                registry, backend, policy, admission, tracer=tracer
+            )
             runtime.start()
             if args.distribution == "zipf":
                 indices = loadgen.zipf_indices(
@@ -293,18 +317,26 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
                 indices = loadgen.uniform_indices(
                     registry.num_records, args.queries, seed=args.seed
                 )
-            return await loadgen.run_open_loop(runtime, arrivals, indices)
+            report = await loadgen.run_open_loop(runtime, arrivals, indices)
+            cluster_snap = (
+                coordinator.cluster_snapshot() if coordinator is not None else None
+            )
+            return report, runtime, cluster_snap
         finally:
             if coordinator is not None:
                 await coordinator.aclose()
 
-    if args.mode == "sim":
-        from repro.serve import run_in_virtual_time
+    try:
+        if args.mode == "sim":
+            from repro.serve import run_in_virtual_time
 
-        report, virtual_s = run_in_virtual_time(run())
-    else:
-        report = asyncio.run(run())
-        virtual_s = None
+            (report, runtime, cluster_snap), virtual_s = run_in_virtual_time(run())
+        else:
+            report, runtime, cluster_snap = asyncio.run(run())
+            virtual_s = None
+    finally:
+        if args.trace:
+            install_profiler(previous_profiler)
 
     out = {
         "mode": args.mode,
@@ -328,11 +360,59 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             "batches_sent": stats.batches_sent,
             "batches_retried": stats.batches_retried,
             "worker_deaths": stats.worker_deaths,
+            "heartbeat_timeouts": stats.heartbeat_timeouts,
             "rebalanced_shards": stats.rebalanced_shards,
             "epochs_published": stats.epochs_published,
         }
+    if args.trace:
+        spans_path = f"{args.obs_out}.spans.jsonl"
+        trace_path = f"{args.obs_out}.trace.json"
+        obs_path = f"{args.obs_out}.obs.json"
+        tracer.export_jsonl(spans_path)
+        tracer.export_chrome(trace_path)
+        profile = profiler.snapshot()
+        obs = {
+            "mode": args.mode,
+            "metrics": report.metrics,
+            "live_series": runtime.metrics.live_series(),
+            "kernel_profile": profile,
+        }
+        if profile and args.mode != "sim":
+            from repro.obs import measured_vs_modeled
+
+            obs["measured_vs_modeled"] = measured_vs_modeled(
+                profile, params, max(1, report.completed)
+            )
+        if cluster_snap is not None:
+            obs["cluster"] = cluster_snap
+        with open(obs_path, "w") as fh:
+            json.dump(obs, fh, indent=2)
+        out["obs_files"] = {
+            "spans": spans_path,
+            "trace": trace_path,
+            "obs": obs_path,
+        }
     print(json.dumps(out, indent=2))
     return 0 if report.errored == 0 else 1
+
+
+def cmd_obs_report(args: argparse.Namespace) -> int:
+    """Validate a traced loadtest's exports, then render the digest."""
+    from repro.obs import (
+        render_report,
+        validate_chrome_trace,
+        validate_obs_json,
+        validate_spans_jsonl,
+    )
+
+    spans = validate_spans_jsonl(f"{args.prefix}.spans.jsonl")
+    trace = validate_chrome_trace(f"{args.prefix}.trace.json")
+    obs = validate_obs_json(f"{args.prefix}.obs.json")
+    for line in render_report(
+        spans, trace, obs, obs.get("measured_vs_modeled") or None
+    ):
+        print(line)
+    return 0
 
 
 def cmd_batchpir(args: argparse.Namespace) -> int:
@@ -704,7 +784,26 @@ def build_parser() -> argparse.ArgumentParser:
     loadtest.add_argument("--records", type=int, default=16, help="real mode records")
     loadtest.add_argument("--record-bytes", type=int, default=64)
     loadtest.add_argument("--window-ms", type=float, default=10.0)
+    loadtest.add_argument(
+        "--trace",
+        action="store_true",
+        help="per-request tracing + kernel profiling; exports "
+        "<obs-out>.spans.jsonl, .trace.json (chrome://tracing), .obs.json",
+    )
+    loadtest.add_argument(
+        "--obs-out",
+        default="loadtest",
+        help="output path prefix for the --trace artifacts",
+    )
     loadtest.set_defaults(func=cmd_loadtest)
+
+    obs_report = sub.add_parser(
+        "obs-report", help="validate + render a traced loadtest's artifacts"
+    )
+    obs_report.add_argument(
+        "prefix", help="the --obs-out prefix the loadtest exported under"
+    )
+    obs_report.set_defaults(func=cmd_obs_report)
     return parser
 
 

@@ -49,6 +49,8 @@ from repro.errors import (
     WorkerDied,
 )
 from repro.mutate.log import UpdateLog
+from repro.obs.profile import KernelProfiler
+from repro.obs.trace import Tracer
 from repro.serve.registry import ServeRequest
 
 from repro.cluster.messages import (
@@ -111,6 +113,9 @@ class ClusterStats:
     batches_sent: int = 0
     batches_retried: int = 0
     worker_deaths: int = 0
+    #: Deaths declared specifically because beacons stopped (a subset of
+    #: ``worker_deaths``) — distinguishes a hung process from a crashed one.
+    heartbeat_timeouts: int = 0
     rebalanced_shards: int = 0
     epochs_published: int = 0
 
@@ -128,6 +133,8 @@ class ClusterCoordinator:
         max_attempts: int = 3,
         retain: int = 2,
         use_fast: bool = True,
+        tracer: Tracer | None = None,
+        profiler: KernelProfiler | None = None,
     ):
         if num_workers < 1:
             raise ParameterError("need at least one worker process")
@@ -147,6 +154,11 @@ class ClusterCoordinator:
         self.max_attempts = max_attempts
         self.retain = retain
         self.use_fast = use_fast
+        #: When set, workers are spawned with trace/profile on: they time
+        #: answers (spans ride home in BatchDone, merged into the tracer)
+        #: and accumulate kernel stats (merged at WorkerStopped).
+        self.tracer = tracer
+        self.profiler = profiler
         self.stats = ClusterStats()
         self._workers: dict[int, _Worker] = {}
         #: shard id -> worker ids with a *ready* replica.
@@ -180,6 +192,8 @@ class ClusterCoordinator:
                 retain=self.retain,
                 seed=None if seed is None else seed + worker_id,
                 use_fast=self.use_fast,
+                trace=self.tracer is not None,
+                profile=self.profiler is not None,
             )
             process = ctx.Process(
                 target=worker_main,
@@ -278,6 +292,8 @@ class ClusterCoordinator:
     def _on_message(self, worker: _Worker, msg) -> None:
         worker.last_seen = self._loop.time()
         if isinstance(msg, BatchDone):
+            if msg.spans and self.tracer is not None:
+                self.tracer.extend(msg.spans)
             inflight = worker.inflight.pop(msg.batch_id, None)
             if inflight is not None and not inflight.future.done():
                 inflight.future.set_result(list(msg.responses))
@@ -305,7 +321,10 @@ class ClusterCoordinator:
                             f"{msg.epoch}: {msg.error}"
                         )
                     )
-        elif isinstance(msg, (WorkerHello, WorkerStopped)):
+        elif isinstance(msg, WorkerStopped):
+            if msg.kernel_stats and self.profiler is not None:
+                self.profiler.merge_tuples(msg.kernel_stats)
+        elif isinstance(msg, WorkerHello):
             pass  # liveness bookkeeping only
 
     @staticmethod
@@ -372,6 +391,7 @@ class ClusterCoordinator:
                 if not worker.process.is_alive():
                     self._on_worker_death(worker, "process exited")
                 elif now - worker.last_seen > self.heartbeat_timeout_s:
+                    self.stats.heartbeat_timeouts += 1
                     self._on_worker_death(
                         worker,
                         f"no heartbeat for {now - worker.last_seen:.1f}s "
@@ -451,7 +471,12 @@ class ClusterCoordinator:
 
         async def serve_group(epoch: int, positions: list[int]) -> None:
             queries = tuple(requests[i].query for i in positions)
-            responses = await self._answer_group(shard_id, epoch, queries)
+            trace_ids = tuple(requests[i].trace_id for i in positions)
+            if all(t is None for t in trace_ids):
+                trace_ids = ()
+            responses = await self._answer_group(
+                shard_id, epoch, queries, trace_ids
+            )
             for i, response in zip(positions, responses):
                 results[i] = response
         await asyncio.gather(
@@ -460,7 +485,11 @@ class ClusterCoordinator:
         return results
 
     async def _answer_group(
-        self, shard_id: int, epoch: int, queries: tuple
+        self,
+        shard_id: int,
+        epoch: int,
+        queries: tuple,
+        trace_ids: tuple = (),
     ) -> list:
         tried: set[int] = set()
         for attempt in range(self.max_attempts):
@@ -480,6 +509,7 @@ class ClusterCoordinator:
                 future=future,
             )
             self.stats.batches_sent += 1
+            rpc_start = self._loop.time()
             if not self._try_send(
                 worker,
                 AnswerBatch(
@@ -487,23 +517,86 @@ class ClusterCoordinator:
                     shard_id=shard_id,
                     epoch=epoch,
                     queries=queries,
+                    trace_ids=trace_ids,
                 ),
             ):
                 tried.add(worker.worker_id)
                 self.stats.batches_retried += 1
                 continue  # death path already failed the future
             try:
-                return await future
+                responses = await future
             except WorkerDied:
                 tried.add(worker.worker_id)
                 if attempt + 1 >= self.max_attempts:
                     raise
                 self.stats.batches_retried += 1
+                continue
+            self._trace_rpc(
+                worker, shard_id, epoch, trace_ids, len(queries),
+                attempt, rpc_start,
+            )
+            return responses
         raise WorkerDied(
             worker_id=-1,
             reason=f"shard {shard_id}: no attempt out of "
             f"{self.max_attempts} reached a live replica",
         )
+
+    def _trace_rpc(
+        self,
+        worker: _Worker,
+        shard_id: int,
+        epoch: int,
+        trace_ids: tuple,
+        batch: int,
+        attempt: int,
+        start_s: float,
+    ) -> None:
+        """Record the coordinator-side send-to-ack window of one RPC."""
+        if self.tracer is None:
+            return
+        self.tracer.record_span(
+            "cluster.rpc",
+            start_s,
+            self._loop.time(),
+            trace_id=next((t for t in trace_ids if t is not None), None),
+            tid=f"worker-{worker.worker_id}",
+            cat="cluster",
+            shard=shard_id,
+            epoch=epoch,
+            batch=batch,
+            attempt=attempt,
+        )
+
+    # -- observability -----------------------------------------------------
+    def cluster_snapshot(self) -> dict:
+        """Fault counters + per-worker health, JSON-ready.
+
+        The cluster analog of ``ServeMetrics.snapshot()``: everything an
+        operator (or the failure-injection tests) needs to see whether the
+        fleet is healthy and what the coordinator did about it when it
+        was not.
+        """
+        now = self._loop.time() if self._loop is not None else 0.0
+        workers = {}
+        for worker_id, worker in sorted(self._workers.items()):
+            workers[str(worker_id)] = {
+                "alive": worker.alive,
+                "pid": worker.process.pid,
+                "shards": sorted(worker.shards),
+                "inflight": len(worker.inflight),
+                "last_seen_age_s": max(0.0, now - worker.last_seen),
+            }
+        return {
+            "live_workers": list(self.live_workers),
+            "batches_sent": self.stats.batches_sent,
+            "batches_retried": self.stats.batches_retried,
+            "worker_deaths": self.stats.worker_deaths,
+            "heartbeat_timeouts": self.stats.heartbeat_timeouts,
+            "rebalanced_shards": self.stats.rebalanced_shards,
+            "epochs_published": self.stats.epochs_published,
+            "workers": workers,
+        }
 
     # -- epoch publish -----------------------------------------------------
     async def publish(self, log: UpdateLog) -> ClusterPublishResult:

@@ -52,6 +52,13 @@ class WorkerConfig:
     #: so a seeded loadtest is reproducible end to end across processes.
     seed: int | None
     use_fast: bool = True
+    #: Observability opt-ins (``repro.obs``): with ``trace`` the worker
+    #: times each answered query and ships :class:`~repro.obs.trace.Span`
+    #: values back in :class:`BatchDone`; with ``profile`` it installs a
+    #: process-local kernel profiler and ships the per-stage totals in
+    #: :class:`WorkerStopped`.
+    trace: bool = False
+    profile: bool = False
 
 
 # -- coordinator -> worker -------------------------------------------------
@@ -79,6 +86,11 @@ class AnswerBatch:
     shard_id: int
     epoch: int
     queries: tuple[PirQuery, ...]
+    #: Per-query trace ids (aligned with ``queries``) when the run is
+    #: traced; empty otherwise.  This is what carries a trace across the
+    #: process boundary: the worker stamps its answer spans with these
+    #: ids, so one timeline shows both sides of the pipe.
+    trace_ids: tuple[int | None, ...] = ()
 
 
 @dataclass(frozen=True)
@@ -130,6 +142,9 @@ class BatchDone:
     batch_id: int
     shard_id: int
     responses: tuple[PirResponse, ...]
+    #: Worker-side :class:`~repro.obs.trace.Span` values (per-query
+    #: ``worker.answer`` plus one ``worker.batch``) when tracing is on.
+    spans: tuple = ()
 
 
 @dataclass(frozen=True)
@@ -162,3 +177,6 @@ class EpochPublished:
 @dataclass(frozen=True)
 class WorkerStopped:
     worker_id: int
+    #: Per-stage kernel totals (``KernelProfiler.stats_tuple``) when the
+    #: worker was spawned with ``profile=True``; merged coordinator-side.
+    kernel_stats: tuple = ()

@@ -22,6 +22,7 @@ typed :class:`~repro.errors.StaleEpoch` carried back over the pipe.
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from dataclasses import dataclass, field
@@ -30,6 +31,9 @@ from repro.errors import ClusterError, ReproError, StaleEpoch
 from repro.he.poly import RingContext
 from repro.mutate.log import UpdateLog
 from repro.mutate.versioned import EpochSnapshot, VersionedDatabase
+from repro.obs.profile import KernelProfiler
+from repro.obs.profile import install as install_profiler
+from repro.obs.trace import Span
 from repro.pir.client import ClientSetup
 from repro.pir.server import PirServer
 
@@ -62,11 +66,15 @@ class _Replica:
     def live_epochs(self) -> tuple[int, ...]:
         return tuple(sorted(self.servers))
 
-    def answer(self, epoch: int, queries) -> tuple:
+    def server_for(self, epoch: int) -> PirServer:
         server = self.servers.get(epoch)
         if server is None:
             live = self.live_epochs()
             raise StaleEpoch(epoch=epoch, current=live[-1], oldest_live=live[0])
+        return server
+
+    def answer(self, epoch: int, queries) -> tuple:
+        server = self.server_for(epoch)
         return tuple(server.answer(q) for q in queries)
 
 
@@ -131,6 +139,7 @@ class ClusterWorker:
         )
 
     def _answer_batch(self, msg: AnswerBatch) -> None:
+        spans: tuple = ()
         try:
             replica = self.replicas.get(msg.shard_id)
             if replica is None:
@@ -138,7 +147,10 @@ class ClusterWorker:
                     f"worker {self.config.worker_id} owns no replica of "
                     f"shard {msg.shard_id}"
                 )
-            responses = replica.answer(msg.epoch, msg.queries)
+            if self.config.trace:
+                responses, spans = self._answer_traced(replica, msg)
+            else:
+                responses = replica.answer(msg.epoch, msg.queries)
         except ReproError as exc:
             details: tuple = ()
             if isinstance(exc, StaleEpoch):
@@ -160,8 +172,56 @@ class ClusterWorker:
                 batch_id=msg.batch_id,
                 shard_id=msg.shard_id,
                 responses=responses,
+                spans=spans,
             )
         )
+
+    def _answer_traced(self, replica: _Replica, msg: AnswerBatch) -> tuple:
+        """Answer query-by-query, timing each for the shipped-back spans.
+
+        ``time.monotonic()`` here and ``loop.time()`` coordinator-side are
+        the same Linux CLOCK_MONOTONIC, so these spans land on the shared
+        cross-process timeline without any clock translation.
+        """
+        server = replica.server_for(msg.epoch)
+        pid = os.getpid()
+        tid = f"worker-{self.config.worker_id}"
+        trace_ids = msg.trace_ids or (None,) * len(msg.queries)
+        responses = []
+        spans = []
+        batch_start = time.monotonic()
+        for query, trace_id in zip(msg.queries, trace_ids):
+            start = time.monotonic()
+            responses.append(server.answer(query))
+            spans.append(
+                Span(
+                    trace_id=trace_id,
+                    name="worker.answer",
+                    start_s=start,
+                    dur_s=time.monotonic() - start,
+                    pid=pid,
+                    tid=tid,
+                    cat="cluster",
+                    args={"shard": msg.shard_id, "epoch": msg.epoch},
+                )
+            )
+        spans.append(
+            Span(
+                trace_id=next((t for t in trace_ids if t is not None), None),
+                name="worker.batch",
+                start_s=batch_start,
+                dur_s=time.monotonic() - batch_start,
+                pid=pid,
+                tid=tid,
+                cat="cluster",
+                args={
+                    "shard": msg.shard_id,
+                    "epoch": msg.epoch,
+                    "batch": len(msg.queries),
+                },
+            )
+        )
+        return tuple(responses), tuple(spans)
 
     def _publish_epoch(self, msg: PublishEpoch) -> None:
         """Advance every owned replica to ``msg.epoch`` (empty log if clean).
@@ -207,8 +267,13 @@ class ClusterWorker:
 
     # -- run loop ----------------------------------------------------------
     def run(self) -> None:
-        import os
-
+        profiler = None
+        if self.config.profile:
+            # Process-local kernel profiler: every repro.he / repro.pir
+            # kernel in this process accumulates into it; totals ride home
+            # in WorkerStopped at shutdown.
+            profiler = KernelProfiler()
+            install_profiler(profiler)
         self._send(WorkerHello(worker_id=self.config.worker_id, pid=os.getpid()))
         beater = threading.Thread(
             target=self._heartbeat_loop,
@@ -231,7 +296,12 @@ class ClusterWorker:
                 elif isinstance(msg, DropReplica):
                     self.replicas.pop(msg.shard_id, None)
                 elif isinstance(msg, Shutdown):
-                    self._send(WorkerStopped(worker_id=self.config.worker_id))
+                    stats = profiler.stats_tuple() if profiler is not None else ()
+                    self._send(
+                        WorkerStopped(
+                            worker_id=self.config.worker_id, kernel_stats=stats
+                        )
+                    )
                     break
                 else:
                     raise ClusterError(

@@ -72,6 +72,10 @@ class RebuildRequired(MutateError):
         super().__init__(message)
 
 
+class ObsError(ReproError):
+    """An observability artifact (spans, trace, digest) failed validation."""
+
+
 class ServeError(ReproError):
     """Base class for errors raised by the serving runtime (repro.serve)."""
 

@@ -41,6 +41,7 @@ from repro.he.gadget import Gadget
 from repro.he.poly import Domain, RingContext, RnsPoly
 from repro.he.rgsw import RgswCiphertext
 from repro.he.subs import SubsKey
+from repro.obs.profile import kernel_stage
 
 _INT64_MAX = (1 << 63) - 1
 
@@ -96,10 +97,11 @@ def lazy_modular_gemm(
             f"GEMM shape mismatch: db {db.shape} vs query {query.shape}"
         )
     chunk = overflow_safe_chunk(int(moduli_col.max()))
-    return _chunked_einsum(
-        "crmn,rmn->cmn", db, query, db.shape[1], chunk, moduli_col,
-        (db.shape[0],) + query.shape[1:],
-    )
+    with kernel_stage("gemm", db.nbytes + query.nbytes):
+        return _chunked_einsum(
+            "crmn,rmn->cmn", db, query, db.shape[1], chunk, moduli_col,
+            (db.shape[0],) + query.shape[1:],
+        )
 
 
 def _lazy_inner(
@@ -165,6 +167,11 @@ def rns_forward(ctx: RingContext, residues: np.ndarray) -> np.ndarray:
     per-stage-reduced butterflies instead (checked in
     :func:`_rns_ntt_tables`) so the fast path can never silently wrap.
     """
+    with kernel_stage("ntt_fwd", getattr(residues, "nbytes", 0)):
+        return _rns_forward_impl(ctx, residues)
+
+
+def _rns_forward_impl(ctx: RingContext, residues: np.ndarray) -> np.ndarray:
     tables = _rns_ntt_tables(ctx)
     q = tables["moduli3"]
     n = ctx.n
@@ -200,6 +207,11 @@ def rns_forward(ctx: RingContext, residues: np.ndarray) -> np.ndarray:
 
 def rns_inverse(ctx: RingContext, residues: np.ndarray) -> np.ndarray:
     """Stacked inverse NTT over every RNS row: (..., rns_count, n) -> same."""
+    with kernel_stage("ntt_inv", getattr(residues, "nbytes", 0)):
+        return _rns_inverse_impl(ctx, residues)
+
+
+def _rns_inverse_impl(ctx: RingContext, residues: np.ndarray) -> np.ndarray:
     tables = _rns_ntt_tables(ctx)
     q = tables["moduli3"]
     n = ctx.n
@@ -521,6 +533,11 @@ def batched_decompose(gadget: Gadget, vec: RnsPolyVec) -> np.ndarray:
     """
     if vec.domain is not Domain.COEFF:
         vec = vec.to_coeff()
+    with kernel_stage("decompose", vec.residues.nbytes):
+        return _batched_decompose_impl(gadget, vec)
+
+
+def _batched_decompose_impl(gadget: Gadget, vec: RnsPolyVec) -> np.ndarray:
     tables = _limb_tables(gadget)
     if not tables["limb_ok"]:
         # Oversized base/moduli would wrap the limb accumulation; take
@@ -590,16 +607,18 @@ def batched_substitute(
         )
     ctx = vec.a.ctx
     moduli_col = ctx._moduli_col
-    a_aut = vec.a.to_coeff().automorphism(evk.r)
-    b_aut = vec.b.to_coeff().automorphism(evk.r).to_ntt()
-    digits = _digits_forward(ctx, batched_decompose(gadget, a_aut))
-    rows_a = np.stack([row.residues for row in evk.a_rows])
-    rows_b = np.stack([row.residues for row in evk.b_rows])
-    out_a = _lazy_inner(digits, rows_a, moduli_col)
-    out_b = (_lazy_inner(digits, rows_b, moduli_col) + b_aut.residues) % moduli_col
-    return BfvCiphertextVec(
-        RnsPolyVec(ctx, out_a, Domain.NTT), RnsPolyVec(ctx, out_b, Domain.NTT)
-    )
+    with kernel_stage("subs", vec.a.residues.nbytes + vec.b.residues.nbytes):
+        a_aut = vec.a.to_coeff().automorphism(evk.r)
+        b_aut = vec.b.to_coeff().automorphism(evk.r).to_ntt()
+        digits = _digits_forward(ctx, batched_decompose(gadget, a_aut))
+        rows_a = np.stack([row.residues for row in evk.a_rows])
+        rows_b = np.stack([row.residues for row in evk.b_rows])
+        out_a = _lazy_inner(digits, rows_a, moduli_col)
+        out_b = (_lazy_inner(digits, rows_b, moduli_col) + b_aut.residues) \
+            % moduli_col
+        return BfvCiphertextVec(
+            RnsPolyVec(ctx, out_a, Domain.NTT), RnsPolyVec(ctx, out_b, Domain.NTT)
+        )
 
 
 def batched_external_product(
@@ -618,17 +637,24 @@ def batched_external_product(
         )
     ctx = vec.a.ctx
     batch = vec.batch
-    stacked = RnsPolyVec.concat(vec.a, vec.b).to_coeff()
-    digits = batched_decompose(gadget, stacked)  # (2*batch, ell, n)
-    # Per ciphertext the digit order is a-digits then b-digits.
-    digits = np.concatenate([digits[:batch], digits[batch:]], axis=1)
-    digits = _digits_forward(ctx, digits)  # (batch, 2*ell, rns, n)
-    rows_a = np.stack([row.residues for row in rgsw.a_rows])
-    rows_b = np.stack([row.residues for row in rgsw.b_rows])
-    return BfvCiphertextVec(
-        RnsPolyVec(ctx, _lazy_inner(digits, rows_a, ctx._moduli_col), Domain.NTT),
-        RnsPolyVec(ctx, _lazy_inner(digits, rows_b, ctx._moduli_col), Domain.NTT),
-    )
+    with kernel_stage(
+        "ext_product", vec.a.residues.nbytes + vec.b.residues.nbytes
+    ):
+        stacked = RnsPolyVec.concat(vec.a, vec.b).to_coeff()
+        digits = batched_decompose(gadget, stacked)  # (2*batch, ell, n)
+        # Per ciphertext the digit order is a-digits then b-digits.
+        digits = np.concatenate([digits[:batch], digits[batch:]], axis=1)
+        digits = _digits_forward(ctx, digits)  # (batch, 2*ell, rns, n)
+        rows_a = np.stack([row.residues for row in rgsw.a_rows])
+        rows_b = np.stack([row.residues for row in rgsw.b_rows])
+        return BfvCiphertextVec(
+            RnsPolyVec(
+                ctx, _lazy_inner(digits, rows_a, ctx._moduli_col), Domain.NTT
+            ),
+            RnsPolyVec(
+                ctx, _lazy_inner(digits, rows_b, ctx._moduli_col), Domain.NTT
+            ),
+        )
 
 
 def batched_cmux(

@@ -1,0 +1,67 @@
+"""repro.obs — tracing, live metrics, and kernel profiling (one surface).
+
+The observability subsystem behind the serving stack:
+
+* :mod:`repro.obs.trace` — per-request spans minted at admission and
+  recorded through dispatcher, backend, coordinator, and (across the
+  process boundary) cluster workers; exported as JSONL and Chrome
+  ``trace_event`` JSON.
+* :mod:`repro.obs.metrics` — bounded-memory counters / gauges /
+  quantile sketches / windowed time series; the recording substrate
+  under :class:`~repro.serve.metrics.ServeMetrics` and the live signal
+  feed for the ROADMAP's SLO autoscaler.
+* :mod:`repro.obs.profile` — opt-in kernel stage timers in the batched
+  hot path, reported next to the :class:`~repro.arch.simulator.
+  IveSimulator` analytic attribution.
+* :mod:`repro.obs.report` — strict validation + rendering of the files
+  ``repro loadtest --trace`` exports (``repro obs-report``).
+"""
+
+from repro.obs.metrics import (
+    CounterMetric,
+    GaugeMetric,
+    Histogram,
+    MetricsRegistry,
+    QuantileSketch,
+    TimeSeries,
+)
+from repro.obs.profile import (
+    KernelProfiler,
+    StageStats,
+    active,
+    install,
+    kernel_stage,
+    profiled,
+)
+from repro.obs.report import (
+    cross_process_traces,
+    measured_vs_modeled,
+    render_report,
+    validate_chrome_trace,
+    validate_obs_json,
+    validate_spans_jsonl,
+)
+from repro.obs.trace import Span, Tracer
+
+__all__ = [
+    "CounterMetric",
+    "GaugeMetric",
+    "Histogram",
+    "KernelProfiler",
+    "MetricsRegistry",
+    "QuantileSketch",
+    "Span",
+    "StageStats",
+    "TimeSeries",
+    "Tracer",
+    "active",
+    "cross_process_traces",
+    "install",
+    "kernel_stage",
+    "measured_vs_modeled",
+    "profiled",
+    "render_report",
+    "validate_chrome_trace",
+    "validate_obs_json",
+    "validate_spans_jsonl",
+]

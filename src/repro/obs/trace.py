@@ -1,0 +1,201 @@
+"""Per-request distributed tracing across the serving stack.
+
+A trace id is minted once at the admission door and rides the request
+through every layer: the dispatcher's queue/batch spans, the backend
+span, the coordinator's per-attempt RPC span, and — across the process
+boundary, threaded through ``repro.cluster.messages`` — the worker's
+per-query answer span.  Each layer records :class:`Span` values into one
+shared :class:`Tracer`; worker processes build spans inline and ship
+them back in ``BatchDone``, so the coordinator-side tracer ends up with
+the whole cross-process picture.
+
+Clocks: spans store whatever clock their recorder used — event-loop
+time on the serving side (which equals ``time.monotonic()`` on a real
+loop) and ``time.monotonic()`` in workers.  On Linux ``CLOCK_MONOTONIC``
+is system-wide, so coordinator and worker spans share a timebase and one
+Chrome timeline renders both sides of the pipe.  Under the virtual-time
+loop spans are in virtual seconds (sim mode has no worker processes, so
+clocks never mix).
+
+Exports: JSONL (one span per line, the machine-readable artifact) and
+Chrome ``trace_event`` JSON — open ``chrome://tracing`` or
+https://ui.perfetto.dev and load the file.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import os
+import threading
+from dataclasses import dataclass, field
+
+#: Span timestamps are exported to Chrome in microseconds.
+_US = 1e6
+
+
+@dataclass(frozen=True)
+class Span:
+    """One timed operation, attributed to a trace and a process/thread.
+
+    Frozen and plain-data so spans pickle across the cluster pipe
+    unchanged; ``trace_id`` is ``None`` only for runs without tracing
+    upstream (a worker answering an untraced batch records nothing).
+    """
+
+    trace_id: int | None
+    name: str
+    start_s: float
+    dur_s: float
+    pid: int
+    tid: str
+    cat: str = "serve"
+    args: dict = field(default_factory=dict)
+
+    def to_json(self) -> dict:
+        return {
+            "trace_id": self.trace_id,
+            "name": self.name,
+            "cat": self.cat,
+            "start_s": self.start_s,
+            "dur_s": self.dur_s,
+            "pid": self.pid,
+            "tid": self.tid,
+            "args": self.args,
+        }
+
+
+class Tracer:
+    """Mints trace ids and collects spans from every layer of one run."""
+
+    def __init__(self):
+        self._ids = itertools.count(1)
+        self._spans: list[Span] = []
+        self._lock = threading.Lock()
+        self.pid = os.getpid()
+
+    # -- recording ---------------------------------------------------------
+    def mint(self) -> int:
+        """A fresh request-unique trace id (minted at admission)."""
+        return next(self._ids)
+
+    def record(self, span: Span) -> None:
+        with self._lock:
+            self._spans.append(span)
+
+    def extend(self, spans) -> None:
+        """Fold in spans shipped from another process (``BatchDone``)."""
+        with self._lock:
+            self._spans.extend(spans)
+
+    def record_span(
+        self,
+        name: str,
+        start_s: float,
+        end_s: float,
+        trace_id: int | None = None,
+        tid: str = "main",
+        cat: str = "serve",
+        **args,
+    ) -> None:
+        """Record a completed operation from explicit timestamps.
+
+        The serving layers time themselves with ``loop.time()`` and call
+        this afterwards, so tracing never adds an await point.
+        """
+        self.record(
+            Span(
+                trace_id=trace_id,
+                name=name,
+                start_s=start_s,
+                dur_s=max(0.0, end_s - start_s),
+                pid=self.pid,
+                tid=tid,
+                cat=cat,
+                args=args,
+            )
+        )
+
+    def record_instant(
+        self,
+        name: str,
+        at_s: float,
+        trace_id: int | None = None,
+        tid: str = "main",
+        cat: str = "serve",
+        **args,
+    ) -> None:
+        """A zero-duration marker (e.g. an admission rejection)."""
+        self.record_span(
+            name, at_s, at_s, trace_id=trace_id, tid=tid, cat=cat, **args
+        )
+
+    # -- reading -----------------------------------------------------------
+    @property
+    def spans(self) -> list[Span]:
+        with self._lock:
+            return list(self._spans)
+
+    def pids(self) -> set[int]:
+        return {span.pid for span in self.spans}
+
+    def trace_pids(self) -> dict[int, set[int]]:
+        """trace id -> set of pids its spans were recorded in."""
+        out: dict[int, set[int]] = {}
+        for span in self.spans:
+            if span.trace_id is not None:
+                out.setdefault(span.trace_id, set()).add(span.pid)
+        return out
+
+    # -- export ------------------------------------------------------------
+    def export_jsonl(self, path) -> int:
+        """One span per line; returns the number of spans written."""
+        spans = self.spans
+        with open(path, "w") as fh:
+            for span in spans:
+                fh.write(json.dumps(span.to_json()) + "\n")
+        return len(spans)
+
+    def chrome_trace(self) -> dict:
+        """The run as Chrome ``trace_event`` JSON (complete "X" events).
+
+        Timestamps are normalized to the earliest span so the timeline
+        starts at zero regardless of the absolute clock, and each pid
+        gets a ``process_name`` metadata event (the tracer's own pid is
+        the coordinator/serving process; everything else is a worker).
+        """
+        spans = self.spans
+        t0 = min((s.start_s for s in spans), default=0.0)
+        events: list[dict] = []
+        for pid in sorted({s.pid for s in spans}):
+            label = "serve" if pid == self.pid else "cluster-worker"
+            events.append(
+                {
+                    "name": "process_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": 0,
+                    "args": {"name": f"{label} (pid {pid})"},
+                }
+            )
+        for span in spans:
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.cat,
+                    "ph": "X",
+                    "ts": (span.start_s - t0) * _US,
+                    "dur": span.dur_s * _US,
+                    "pid": span.pid,
+                    "tid": span.tid,
+                    "args": {"trace_id": span.trace_id, **span.args},
+                }
+            )
+        return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+    def export_chrome(self, path) -> int:
+        """Write the Chrome trace; returns the number of span events."""
+        trace = self.chrome_trace()
+        with open(path, "w") as fh:
+            json.dump(trace, fh)
+        return sum(1 for e in trace["traceEvents"] if e["ph"] == "X")

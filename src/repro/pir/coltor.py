@@ -19,6 +19,7 @@ from repro.he.batched import BfvCiphertextVec, batched_cmux
 from repro.he.bfv import BfvCiphertext
 from repro.he.gadget import Gadget
 from repro.he.rgsw import RgswCiphertext, cmux
+from repro.obs.profile import kernel_stage
 
 
 def column_tournament(
@@ -45,14 +46,18 @@ def column_tournament(
             f"got {len(selection_bits)}"
         )
     current = list(entries)
-    for rgsw_bit in selection_bits:
-        if use_fast:
-            zeros = BfvCiphertextVec.from_cts(current[0::2])
-            ones = BfvCiphertextVec.from_cts(current[1::2])
-            current = batched_cmux(rgsw_bit, zeros, ones, gadget).cts()
-        else:
-            current = [
-                cmux(rgsw_bit, current[2 * i], current[2 * i + 1], gadget)
-                for i in range(len(current) // 2)
-            ]
-    return current[0]
+    nbytes = sum(
+        ct.a.residues.nbytes + ct.b.residues.nbytes for ct in entries
+    )
+    with kernel_stage("coltor", nbytes):
+        for rgsw_bit in selection_bits:
+            if use_fast:
+                zeros = BfvCiphertextVec.from_cts(current[0::2])
+                ones = BfvCiphertextVec.from_cts(current[1::2])
+                current = batched_cmux(rgsw_bit, zeros, ones, gadget).cts()
+            else:
+                current = [
+                    cmux(rgsw_bit, current[2 * i], current[2 * i + 1], gadget)
+                    for i in range(len(current) // 2)
+                ]
+        return current[0]

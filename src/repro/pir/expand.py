@@ -18,6 +18,7 @@ from repro.he.batched import BfvCiphertextVec, batched_substitute
 from repro.he.bfv import BfvCiphertext
 from repro.he.gadget import Gadget
 from repro.he.subs import SubsKey, substitute
+from repro.obs.profile import kernel_stage
 
 
 def expansion_powers(n: int, levels: int) -> list[int]:
@@ -66,14 +67,19 @@ def expand_query_batched(
     batched monomial multiply.
     """
     n = ct.a.ctx.n
-    vec = BfvCiphertextVec.from_cts([ct])
-    for a, r in enumerate(expansion_powers(n, levels)):
-        if r not in evks:
-            raise ParameterError(f"missing evk for substitution power r={r}")
-        evk = evks[r]
-        step = 1 << a
-        swapped = batched_substitute(vec, evk, gadget)
-        even = vec + swapped
-        odd = (vec - swapped).monomial_mul(-step)
-        vec = BfvCiphertextVec.concat(even, odd)
-    return vec
+    with kernel_stage(
+        "expand", ct.a.residues.nbytes + ct.b.residues.nbytes
+    ):
+        vec = BfvCiphertextVec.from_cts([ct])
+        for a, r in enumerate(expansion_powers(n, levels)):
+            if r not in evks:
+                raise ParameterError(
+                    f"missing evk for substitution power r={r}"
+                )
+            evk = evks[r]
+            step = 1 << a
+            swapped = batched_substitute(vec, evk, gadget)
+            even = vec + swapped
+            odd = (vec - swapped).monomial_mul(-step)
+            vec = BfvCiphertextVec.concat(even, odd)
+        return vec

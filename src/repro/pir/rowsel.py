@@ -21,6 +21,7 @@ from repro.errors import ParameterError
 from repro.he.batched import BfvCiphertextVec, lazy_modular_gemm
 from repro.he.bfv import BfvCiphertext
 from repro.he.poly import Domain, RnsPoly
+from repro.obs.profile import kernel_stage
 from repro.pir.database import PreprocessedDatabase
 
 
@@ -88,8 +89,9 @@ def row_select_vec(
     tensor = db.plane_tensor(plane)
     shape = (num_cols, d0) + tensor.shape[1:]
     db_tensor = tensor.reshape(shape)  # poly index = col * d0 + row
-    out_a = lazy_modular_gemm(db_tensor, expanded.a.residues, ring._moduli_col)
-    out_b = lazy_modular_gemm(db_tensor, expanded.b.residues, ring._moduli_col)
+    with kernel_stage("rowsel", 2 * tensor.nbytes):
+        out_a = lazy_modular_gemm(db_tensor, expanded.a.residues, ring._moduli_col)
+        out_b = lazy_modular_gemm(db_tensor, expanded.b.residues, ring._moduli_col)
     return [
         BfvCiphertext(
             RnsPoly(ring, out_a[col], Domain.NTT),

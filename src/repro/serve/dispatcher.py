@@ -27,6 +27,7 @@ from repro.errors import (
     ServeError,
     ShuttingDownError,
 )
+from repro.obs.trace import Tracer
 from repro.serve.metrics import ServeMetrics
 from repro.serve.registry import ServeRequest, ShardMap
 from repro.systems.batching import BatchPolicy
@@ -86,12 +87,15 @@ class ShardDispatcher:
         policy: BatchPolicy,
         admission: AdmissionConfig,
         metrics: ServeMetrics,
+        tracer: Tracer | None = None,
     ):
         self.shard_id = shard_id
         self.backend = backend
         self.policy = policy
         self.admission = admission
         self.metrics = metrics
+        self.tracer = tracer
+        self._tid = f"shard-{shard_id}"
         self._queue: deque[_Pending] = deque()
         self._arrived = asyncio.Event()
         self._draining = False
@@ -121,13 +125,19 @@ class ShardDispatcher:
         """Enqueue or shed.  Synchronous: admission is decided at the door."""
         loop = asyncio.get_running_loop()
         now = loop.time()
+        if self.tracer is not None and request.trace_id is None:
+            # The trace id is minted at the admission door — even a shed
+            # query leaves a (zero-duration) mark in the timeline.
+            request.trace_id = self.tracer.mint()
         if self._draining:
             self.metrics.record_submit(accepted=False, now_s=now)
+            self._trace_reject(request, now, "shutting-down")
             raise ShuttingDownError(
                 f"shard {self.shard_id} is draining; query rejected"
             )
         if len(self._queue) >= self.admission.max_queue_depth:
             self.metrics.record_submit(accepted=False, now_s=now)
+            self._trace_reject(request, now, "queue-full")
             raise QueueFullError(
                 f"shard {self.shard_id} queue at capacity "
                 f"({self.admission.max_queue_depth}); query shed"
@@ -138,6 +148,16 @@ class ShardDispatcher:
         self.metrics.record_queue_depth(len(self._queue))
         self._arrived.set()
         return pending.future
+
+    def _trace_reject(self, request: ServeRequest, now: float, reason: str) -> None:
+        if self.tracer is not None:
+            self.tracer.record_instant(
+                "serve.reject",
+                now,
+                trace_id=request.trace_id,
+                tid=self._tid,
+                reason=reason,
+            )
 
     # -- run loop ----------------------------------------------------------
     async def _run(self) -> None:
@@ -178,12 +198,32 @@ class ShardDispatcher:
                 self.shard_id, [p.request for p in batch]
             )
         except Exception as exc:  # noqa: BLE001 — fault isolation per batch
-            self.metrics.record_failed(self.shard_id, len(batch), finish_s=loop.time())
+            finish_s = loop.time()
+            self.metrics.record_failed(self.shard_id, len(batch), finish_s=finish_s)
+            if self.tracer is not None:
+                self.tracer.record_span(
+                    "serve.batch",
+                    dispatch_s,
+                    finish_s,
+                    trace_id=batch[0].request.trace_id,
+                    tid=self._tid,
+                    batch=len(batch),
+                    error=type(exc).__name__,
+                )
             for pending in batch:
                 if not pending.future.done():
                     pending.future.set_exception(exc)
             return
         finish_s = loop.time()
+        if self.tracer is not None:
+            self.tracer.record_span(
+                "serve.batch",
+                dispatch_s,
+                finish_s,
+                trace_id=batch[0].request.trace_id,
+                tid=self._tid,
+                batch=len(batch),
+            )
         for pending, response in zip(batch, responses):
             result = ServeResult(
                 request=pending.request,
@@ -196,6 +236,22 @@ class ShardDispatcher:
             self.metrics.record_served(
                 self.shard_id, result.latency_s, result.queue_wait_s, finish_s
             )
+            if self.tracer is not None:
+                self.tracer.record_span(
+                    "serve.request",
+                    pending.arrival_s,
+                    finish_s,
+                    trace_id=pending.request.trace_id,
+                    tid=self._tid,
+                    batch=len(batch),
+                )
+                self.tracer.record_span(
+                    "serve.queue",
+                    pending.arrival_s,
+                    dispatch_s,
+                    trace_id=pending.request.trace_id,
+                    tid=self._tid,
+                )
             if not pending.future.done():
                 pending.future.set_result(result)
 
@@ -217,6 +273,7 @@ class ServeRuntime:
         policy: BatchPolicy,
         admission: AdmissionConfig | None = None,
         metrics: ServeMetrics | None = None,
+        tracer: Tracer | None = None,
     ):
         self.registry = registry
         self.backend = backend
@@ -224,8 +281,9 @@ class ServeRuntime:
         self.admission = admission if admission is not None else AdmissionConfig()
         num_shards = registry.map.num_shards
         self.metrics = metrics if metrics is not None else ServeMetrics(num_shards)
+        self.tracer = tracer
         self.dispatchers = [
-            ShardDispatcher(s, backend, policy, self.admission, self.metrics)
+            ShardDispatcher(s, backend, policy, self.admission, self.metrics, tracer)
             for s in range(num_shards)
         ]
 

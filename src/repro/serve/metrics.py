@@ -4,6 +4,17 @@ One :class:`ServeMetrics` instance is shared by every shard dispatcher of a
 :class:`~repro.serve.dispatcher.ServeRuntime`.  All timestamps are event-loop
 time (``loop.time()``), so the same accounting works under the wall clock and
 under the virtual-time loop used for million-user simulations.
+
+Recording is built on :class:`~repro.obs.metrics.MetricsRegistry`: counters
+for the admission/served/failed bookkeeping and streaming quantile sketches
+for the latency and queue-wait distributions, so memory stays bounded no
+matter how long a run streams — the grow-forever reservoir lists are gone.
+A windowed :class:`~repro.obs.metrics.TimeSeries` feeds the live view
+(``qps`` / ``p99_s`` / ``rejection_rate`` per window) via
+:meth:`ServeMetrics.live_series`.
+
+Percentiles over an *empty* run are ``None`` (JSON ``null``) — a run that
+served nothing must be distinguishable from one that served instantly.
 """
 
 from __future__ import annotations
@@ -12,28 +23,41 @@ from collections import Counter
 
 import numpy as np
 
+from repro.obs.metrics import MetricsRegistry
 
-def percentile(values, p: float) -> float:
-    """Linear-interpolation percentile; 0.0 on an empty sample."""
+
+def percentile(values, p: float) -> float | None:
+    """Linear-interpolation percentile; ``None`` on an empty sample.
+
+    ``None`` — not ``0.0`` — because a real zero-latency sample must stay
+    distinguishable from having no samples at all.
+    """
     if len(values) == 0:
-        return 0.0
+        return None
     return float(np.percentile(np.asarray(values, dtype=np.float64), p))
 
 
 class ServeMetrics:
-    """Counters and reservoirs for one serving run."""
+    """Counters and sketches for one serving run."""
 
-    def __init__(self, num_shards: int = 1):
+    #: Width of the live-view windows, in event-loop seconds.
+    WINDOW_S = 1.0
+
+    def __init__(self, num_shards: int = 1, registry: MetricsRegistry | None = None):
         self.num_shards = num_shards
-        self.submitted = 0
-        self.accepted = 0
-        self.rejected = 0
-        self.served = 0
-        self.failed = 0
-        self.latencies_s: list[float] = []
-        self.queue_waits_s: list[float] = []
-        self.batch_sizes: list[int] = []
-        self.queue_depths: list[int] = []
+        self.registry = registry if registry is not None else MetricsRegistry()
+        self._submitted = self.registry.counter("serve.submitted")
+        self._accepted = self.registry.counter("serve.accepted")
+        self._rejected = self.registry.counter("serve.rejected")
+        self._served = self.registry.counter("serve.served")
+        self._failed = self.registry.counter("serve.failed")
+        self._latency = self.registry.histogram("serve.latency_s")
+        self._queue_wait = self.registry.histogram("serve.queue_wait_s")
+        self._queue_depth = self.registry.gauge("serve.queue_depth")
+        self._series = self.registry.series("serve.live", window_s=self.WINDOW_S)
+        #: Exact small-cardinality tallies (bounded by max_batch / num_shards).
+        self._batch_sizes: Counter = Counter()
+        self._batch_sum = 0
         self.served_by_shard: Counter = Counter()
         self.failed_by_shard: Counter = Counter()
         self.first_arrival_s: float | None = None
@@ -41,29 +65,32 @@ class ServeMetrics:
 
     # -- recording hooks (called by the dispatcher) -----------------------
     def record_submit(self, accepted: bool, now_s: float) -> None:
-        self.submitted += 1
+        self._submitted.inc()
         if accepted:
-            self.accepted += 1
+            self._accepted.inc()
             if self.first_arrival_s is None:
                 self.first_arrival_s = now_s
         else:
-            self.rejected += 1
+            self._rejected.inc()
+        self._series.record_submit(accepted, now_s)
 
     def record_queue_depth(self, depth: int) -> None:
         """Sampled on every accepted enqueue, so peaks are visible."""
-        self.queue_depths.append(depth)
+        self._queue_depth.set(depth)
 
     def record_dispatch(self, shard_id: int, batch_size: int, depth_after: int) -> None:
-        self.batch_sizes.append(batch_size)
-        self.queue_depths.append(depth_after)
+        self._batch_sizes[batch_size] += 1
+        self._batch_sum += batch_size
+        self._queue_depth.set(depth_after)
 
     def record_served(
         self, shard_id: int, latency_s: float, queue_wait_s: float, finish_s: float
     ) -> None:
-        self.served += 1
+        self._served.inc()
         self.served_by_shard[shard_id] += 1
-        self.latencies_s.append(latency_s)
-        self.queue_waits_s.append(queue_wait_s)
+        self._latency.record(latency_s)
+        self._queue_wait.record(queue_wait_s)
+        self._series.record_served(latency_s, finish_s)
         self._update_last_finish(finish_s)
 
     def record_failed(self, shard_id: int, count: int = 1, finish_s: float | None = None) -> None:
@@ -74,14 +101,36 @@ class ServeMetrics:
         inflate ``achieved_qps``), because only successes used to advance
         ``last_finish_s``.
         """
-        self.failed += count
+        self._failed.inc(count)
         self.failed_by_shard[shard_id] += count
         if finish_s is not None:
+            self._series.record_failed(finish_s, count)
             self._update_last_finish(finish_s)
 
     def _update_last_finish(self, finish_s: float) -> None:
         if self.last_finish_s is None or finish_s > self.last_finish_s:
             self.last_finish_s = finish_s
+
+    # -- counter attribute compatibility ----------------------------------
+    @property
+    def submitted(self) -> int:
+        return self._submitted.value
+
+    @property
+    def accepted(self) -> int:
+        return self._accepted.value
+
+    @property
+    def rejected(self) -> int:
+        return self._rejected.value
+
+    @property
+    def served(self) -> int:
+        return self._served.value
+
+    @property
+    def failed(self) -> int:
+        return self._failed.value
 
     # -- derived quantities -----------------------------------------------
     @property
@@ -95,24 +144,39 @@ class ServeMetrics:
         elapsed = self.elapsed_s
         return self.served / elapsed if elapsed > 0 else 0.0
 
-    def latency_percentiles(self) -> dict[str, float]:
+    def latency_percentiles(self) -> dict[str, float | None]:
+        """Sketch quantiles (nearest-rank within 1%); ``None`` when empty."""
         return {
-            "p50_s": percentile(self.latencies_s, 50),
-            "p95_s": percentile(self.latencies_s, 95),
-            "p99_s": percentile(self.latencies_s, 99),
+            "p50_s": self._latency.quantile(0.50),
+            "p95_s": self._latency.quantile(0.95),
+            "p99_s": self._latency.quantile(0.99),
+        }
+
+    def queue_wait_percentiles(self) -> dict[str, float | None]:
+        """Queue wait is the signal admission control acts on — same
+        percentile treatment as end-to-end latency, not just a mean."""
+        return {
+            "p50_s": self._queue_wait.quantile(0.50),
+            "p95_s": self._queue_wait.quantile(0.95),
+            "p99_s": self._queue_wait.quantile(0.99),
         }
 
     def batch_histogram(self) -> dict[int, int]:
-        """Batch size -> number of dispatches at that size."""
-        return dict(sorted(Counter(self.batch_sizes).items()))
+        """Batch size -> number of dispatches at that size (exact)."""
+        return dict(sorted(self._batch_sizes.items()))
 
     @property
     def mean_batch(self) -> float:
-        return float(np.mean(self.batch_sizes)) if self.batch_sizes else 0.0
+        dispatches = sum(self._batch_sizes.values())
+        return self._batch_sum / dispatches if dispatches else 0.0
 
     @property
     def max_queue_depth(self) -> int:
-        return max(self.queue_depths, default=0)
+        return int(self._queue_depth.max)
+
+    def live_series(self) -> list[dict]:
+        """Windowed ``qps`` / ``p99_s`` / ``rejection_rate`` rows (live view)."""
+        return self._series.rows()
 
     def snapshot(self) -> dict:
         """JSON-serializable summary of the run."""
@@ -125,10 +189,10 @@ class ServeMetrics:
             "elapsed_s": self.elapsed_s,
             "achieved_qps": self.achieved_qps,
             "latency": self.latency_percentiles()
-            | {"mean_s": float(np.mean(self.latencies_s)) if self.latencies_s else 0.0},
-            "queue_wait_mean_s": (
-                float(np.mean(self.queue_waits_s)) if self.queue_waits_s else 0.0
-            ),
+            | {"mean_s": self._latency.mean},
+            "queue_wait": self.queue_wait_percentiles()
+            | {"mean_s": self._queue_wait.mean},
+            "queue_wait_mean_s": self._queue_wait.mean,
             "mean_batch": self.mean_batch,
             "max_queue_depth": self.max_queue_depth,
             "batch_histogram": {str(k): v for k, v in self.batch_histogram().items()},

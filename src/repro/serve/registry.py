@@ -115,6 +115,11 @@ class ServeRequest:
     #: Database epoch the request was admitted under (versioned hot-swap,
     #: ``repro.mutate.serving``); None for unversioned registries.
     epoch: int | None = None
+    #: Tracing id minted at the admission door (``repro.obs.trace``);
+    #: rides the request through every layer — including the cluster
+    #: message protocol into worker processes — so one timeline shows
+    #: the whole path.  None when tracing is off.
+    trace_id: int | None = None
 
 
 @dataclass(frozen=True)

@@ -26,7 +26,30 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 
 from repro.errors import SimulationError
+from repro.obs.trace import Tracer
 from repro.serve.registry import RealShardRegistry, ServeRequest, SimShardRegistry
+
+
+def _trace_backend(
+    tracer: Tracer | None,
+    name: str,
+    shard_id: int,
+    requests: list[ServeRequest],
+    start_s: float,
+    end_s: float,
+) -> None:
+    """Record one backend-execution span attributed to the batch's trace."""
+    if tracer is None:
+        return
+    tracer.record_span(
+        name,
+        start_s,
+        end_s,
+        trace_id=next((r.trace_id for r in requests if r.trace_id is not None), None),
+        tid=f"shard-{shard_id}",
+        cat="backend",
+        batch=len(requests),
+    )
 
 
 class _InstantSelector(selectors.SelectSelector):
@@ -107,8 +130,14 @@ class RealCryptoBackend:
     worth the ciphertext pickling cost at these sizes.
     """
 
-    def __init__(self, registry: RealShardRegistry, max_workers: int | None = None):
+    def __init__(
+        self,
+        registry: RealShardRegistry,
+        max_workers: int | None = None,
+        tracer: Tracer | None = None,
+    ):
         self.registry = registry
+        self.tracer = tracer
         self._pool = ThreadPoolExecutor(
             max_workers=max_workers, thread_name_prefix="pir-worker"
         )
@@ -117,7 +146,14 @@ class RealCryptoBackend:
         server = self.registry.server(shard_id)
         queries = [r.query for r in requests]
         loop = asyncio.get_running_loop()
-        return await loop.run_in_executor(self._pool, server.answer_batch, queries)
+        start_s = loop.time()
+        responses = await loop.run_in_executor(
+            self._pool, server.answer_batch, queries
+        )
+        _trace_backend(
+            self.tracer, "backend.real", shard_id, requests, start_s, loop.time()
+        )
+        return responses
 
     def close(self) -> None:
         self._pool.shutdown(wait=False, cancel_futures=True)
@@ -126,11 +162,17 @@ class RealCryptoBackend:
 class SimulatedBackend:
     """Serves a batch by sleeping for the modeled batched latency."""
 
-    def __init__(self, registry: SimShardRegistry):
+    def __init__(self, registry: SimShardRegistry, tracer: Tracer | None = None):
         self.registry = registry
+        self.tracer = tracer
 
     async def answer(self, shard_id: int, requests: list[ServeRequest]) -> list:
+        loop = asyncio.get_running_loop()
+        start_s = loop.time()
         await asyncio.sleep(self.registry.service_seconds(len(requests)))
+        _trace_backend(
+            self.tracer, "backend.sim", shard_id, requests, start_s, loop.time()
+        )
         return [SimResponse(r.global_index) for r in requests]
 
     def close(self) -> None:  # symmetry with RealCryptoBackend

@@ -62,14 +62,25 @@ def test_kill_worker_mid_batch_retries_on_surviving_replica(registry):
                 killer = asyncio.ensure_future(_kill_when_busy(coordinator, 0))
                 results = await serves
                 await killer
-            return results, coordinator.stats, coordinator.live_workers
+            snap = coordinator.cluster_snapshot()
+            return results, coordinator.stats, coordinator.live_workers, snap
 
-    results, stats, live = asyncio.run(main())
+    results, stats, live, snap = asyncio.run(main())
     for result in results:
         record = registry.decode(result.request, result.response)
         assert record == registry.expected(result.request.global_index)
     assert stats.worker_deaths == 1
     assert live == (1,)
+    # The killed worker's fault shows up in the observable snapshot too.
+    assert snap["worker_deaths"] == 1
+    assert snap["live_workers"] == [1]
+    assert snap["workers"]["0"]["alive"] is False
+    assert snap["workers"]["1"]["alive"] is True
+    assert snap["workers"]["1"]["last_seen_age_s"] >= 0.0
+    assert snap["batches_sent"] >= 1
+    import json
+
+    json.dumps(snap)  # operator-facing: must stay JSON-serializable
 
 
 def test_kill_sole_replica_rebalances_onto_survivor(registry):
@@ -134,6 +145,8 @@ def test_heartbeat_timeout_declares_stalled_worker_dead(registry):
         record = registry.decode(result.request, result.response)
         assert record == registry.expected(result.request.global_index)
     assert stats.worker_deaths == 1
+    # The death was specifically a heartbeat timeout, not a process exit.
+    assert stats.heartbeat_timeouts == 1
 
 
 def test_epoch_publish_racing_request_spike_is_never_wrong(registry):

@@ -1,0 +1,145 @@
+"""Concurrency and accuracy pressure on the serving-metrics facade.
+
+The registry records from event-loop callbacks while backend threads
+finish batches; nothing here may drop counts, deadlock, or report a
+quantile outside the sketch's advertised relative accuracy.
+"""
+
+import json
+import threading
+
+import numpy as np
+import pytest
+
+from repro.obs import QuantileSketch
+from repro.serve.metrics import ServeMetrics
+
+
+class TestInterleavedRecording:
+    def test_counters_exact_under_thread_interleaving(self):
+        """Four "dispatchers" hammer one ServeMetrics; totals stay exact."""
+        num_shards, per_thread = 4, 500
+        m = ServeMetrics(num_shards)
+        barrier = threading.Barrier(num_shards)
+
+        def dispatcher(shard: int):
+            barrier.wait()
+            for i in range(per_thread):
+                t = i * 1e-3
+                m.record_submit(accepted=(i % 10 != 0), now_s=t)
+                if i % 10 == 0:
+                    continue
+                m.record_dispatch(shard, batch_size=1, depth_after=i % 7)
+                if i % 13 == 0:
+                    m.record_failed(shard, count=1, finish_s=t + 0.01)
+                else:
+                    m.record_served(
+                        shard, latency_s=0.01, queue_wait_s=0.002, finish_s=t + 0.01
+                    )
+
+        threads = [
+            threading.Thread(target=dispatcher, args=(s,)) for s in range(num_shards)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+        rejected_per = per_thread // 10  # i % 10 == 0
+        accepted_per = per_thread - rejected_per
+        failed_per = sum(
+            1 for i in range(per_thread) if i % 10 != 0 and i % 13 == 0
+        )
+        assert m.submitted == num_shards * per_thread
+        assert m.rejected == num_shards * rejected_per
+        assert m.accepted == num_shards * accepted_per
+        assert m.failed == num_shards * failed_per
+        assert m.served == num_shards * (accepted_per - failed_per)
+        snap = m.snapshot()
+        assert snap["served_by_shard"] == {
+            str(s): accepted_per - failed_per for s in range(num_shards)
+        }
+        assert snap["failed_by_shard"] == {
+            str(s): failed_per for s in range(num_shards)
+        }
+        assert snap["latency"]["p50_s"] == pytest.approx(0.01, rel=0.02)
+        assert snap["queue_wait"]["p99_s"] == pytest.approx(0.002, rel=0.02)
+
+    def test_snapshot_readable_while_writers_run(self):
+        """Snapshots taken mid-stream are self-consistent and serializable."""
+        m = ServeMetrics(1)
+        stop = threading.Event()
+
+        def writer():
+            i = 0
+            while not stop.is_set():
+                m.record_submit(accepted=True, now_s=i * 1e-4)
+                m.record_served(
+                    0, latency_s=1e-3, queue_wait_s=1e-4, finish_s=i * 1e-4
+                )
+                i += 1
+
+        t = threading.Thread(target=writer)
+        t.start()
+        try:
+            for _ in range(50):
+                snap = m.snapshot()
+                json.dumps(snap)
+                assert snap["served"] <= snap["submitted"]
+        finally:
+            stop.set()
+            t.join()
+
+
+class TestEmptyRun:
+    def test_empty_snapshot_has_null_percentiles(self):
+        """A run that served nothing reports null, never a fake 0.0."""
+        snap = ServeMetrics(2).snapshot()
+        assert snap["submitted"] == 0 and snap["served"] == 0
+        for key in ("p50_s", "p95_s", "p99_s", "mean_s"):
+            assert snap["latency"][key] is None
+            assert snap["queue_wait"][key] is None
+        assert snap["achieved_qps"] == 0.0
+        decoded = json.loads(json.dumps(snap))
+        assert decoded["latency"]["p99_s"] is None
+
+
+class TestSketchAccuracyAdversarial:
+    """The 1%-relative-accuracy guarantee on distributions built to hurt."""
+
+    @pytest.mark.parametrize(
+        "name,values",
+        [
+            (
+                "heavy-tail-pareto",
+                (np.random.default_rng(3).pareto(1.2, 30_000) + 1.0) * 1e-4,
+            ),
+            (
+                "lognormal-wide",
+                np.random.default_rng(4).lognormal(-4.0, 2.5, 30_000),
+            ),
+            ("constant", np.full(10_000, 0.0375)),
+            (
+                "bimodal",
+                np.concatenate(
+                    [
+                        np.random.default_rng(5).normal(1e-3, 1e-5, 15_000),
+                        np.random.default_rng(6).normal(2.0, 1e-2, 15_000),
+                    ]
+                ).clip(min=0.0),
+            ),
+        ],
+    )
+    def test_quantiles_within_relative_accuracy(self, name, values):
+        sketch = QuantileSketch(relative_accuracy=0.01)
+        for v in values:
+            sketch.record(float(v))
+        for q in (0.5, 0.9, 0.99, 0.999):
+            exact = float(np.quantile(values, q, method="inverted_cdf"))
+            estimate = sketch.quantile(q)
+            assert estimate is not None
+            # Nearest-rank target, 1% relative bound (2% slack covers the
+            # numpy-vs-sketch rank rounding at the distribution spikes).
+            assert abs(estimate - exact) <= 0.02 * exact + 1e-12, (
+                f"{name}: q={q} estimate {estimate} vs exact {exact}"
+            )

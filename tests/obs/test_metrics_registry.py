@@ -1,0 +1,181 @@
+"""Unit coverage for the bounded-memory metrics substrate."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.errors import ParameterError
+from repro.obs import (
+    CounterMetric,
+    GaugeMetric,
+    Histogram,
+    MetricsRegistry,
+    QuantileSketch,
+    TimeSeries,
+)
+
+
+class TestCounterAndGauge:
+    def test_counter_increments_and_rejects_decrease(self):
+        c = CounterMetric("x")
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+        with pytest.raises(ParameterError):
+            c.inc(-1)
+        assert c.value == 5
+
+    def test_gauge_tracks_value_and_max(self):
+        g = GaugeMetric("depth")
+        g.set(3.0)
+        g.set(9.0)
+        g.set(2.0)
+        assert g.value == 2.0
+        assert g.max == 9.0
+
+
+class TestQuantileSketch:
+    def test_empty_sketch_reports_none_not_zero(self):
+        s = QuantileSketch()
+        assert s.quantile(0.5) is None
+        assert s.mean is None
+        summary = s.summary()
+        assert summary["count"] == 0
+        assert summary["p99"] is None
+        # None must survive a JSON round-trip as null, not 0.
+        assert json.loads(json.dumps(summary))["p99"] is None
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            QuantileSketch(relative_accuracy=0.0)
+        s = QuantileSketch()
+        with pytest.raises(ParameterError):
+            s.record(-1.0)
+        with pytest.raises(ParameterError):
+            s.quantile(1.5)
+
+    def test_extremes_are_exact(self):
+        s = QuantileSketch()
+        for v in (0.25, 1.0, 7.5):
+            s.record(v)
+        assert s.quantile(0.0) == 0.25
+        assert s.quantile(1.0) == 7.5
+        assert s.min == 0.25 and s.max == 7.5
+
+    def test_zero_values_land_in_zero_bucket(self):
+        s = QuantileSketch()
+        for _ in range(9):
+            s.record(0.0)
+        s.record(100.0)
+        assert s.quantile(0.5) == 0.0
+        assert s.quantile(1.0) == 100.0
+
+    def test_accuracy_bound_against_numpy(self):
+        rng = np.random.default_rng(17)
+        values = rng.lognormal(mean=-3.0, sigma=1.5, size=20_000)
+        s = QuantileSketch(relative_accuracy=0.01)
+        for v in values:
+            s.record(float(v))
+        for q in (0.5, 0.9, 0.95, 0.99):
+            exact = float(np.percentile(values, q * 100))
+            estimate = s.quantile(q)
+            assert abs(estimate - exact) <= 0.02 * exact + 1e-12
+
+    def test_merge_matches_single_stream(self):
+        rng = np.random.default_rng(5)
+        values = rng.exponential(scale=0.01, size=4_000)
+        whole, left, right = (QuantileSketch() for _ in range(3))
+        for v in values:
+            whole.record(float(v))
+        for v in values[:1000]:
+            left.record(float(v))
+        for v in values[1000:]:
+            right.record(float(v))
+        left.merge(right)
+        assert left.count == whole.count
+        assert left.sum == pytest.approx(whole.sum)
+        assert left.min == whole.min and left.max == whole.max
+        for q in (0.5, 0.99):
+            assert left.quantile(q) == pytest.approx(whole.quantile(q))
+
+    def test_merge_rejects_mismatched_accuracy(self):
+        with pytest.raises(ParameterError):
+            QuantileSketch(0.01).merge(QuantileSketch(0.05))
+
+    def test_memory_stays_bounded(self):
+        s = QuantileSketch(relative_accuracy=0.01)
+        for i in range(50_000):
+            s.record(1e-6 * (1 + i % 997))
+        # 50k samples over three decades: bucket count is O(log range),
+        # not O(samples) — the whole point of replacing the reservoir.
+        assert len(s._buckets) < 2_000
+        assert s.count == 50_000
+
+
+class TestHistogramAndSeries:
+    def test_histogram_delegates_to_sketch(self):
+        h = Histogram("lat")
+        for v in (0.1, 0.2, 0.3):
+            h.record(v)
+        assert h.count == 3
+        assert h.mean == pytest.approx(0.2)
+        assert h.summary()["min"] == pytest.approx(0.1)
+
+    def test_series_windows_and_rows(self):
+        ts = TimeSeries(window_s=1.0)
+        ts.record_submit(accepted=True, t_s=0.2)
+        ts.record_submit(accepted=False, t_s=0.7)
+        ts.record_served(latency_s=0.05, t_s=0.9)
+        ts.record_served(latency_s=0.07, t_s=1.4)
+        ts.record_failed(t_s=1.6, count=2)
+        rows = ts.rows()
+        assert [row["t_s"] for row in rows] == [0.0, 1.0]
+        first, second = rows
+        assert first["submitted"] == 2 and first["served"] == 1
+        assert first["rejection_rate"] == pytest.approx(0.5)
+        assert first["qps"] == pytest.approx(1.0)
+        assert second["failed"] == 2
+        assert second["p99_s"] == pytest.approx(0.07, rel=0.03)
+        json.dumps(rows)
+
+    def test_series_retention_is_bounded(self):
+        ts = TimeSeries(window_s=1.0, max_windows=10)
+        for t in range(50):
+            ts.record_submit(accepted=True, t_s=float(t))
+        rows = ts.rows()
+        assert len(rows) == 10
+        assert rows[0]["t_s"] == 40.0  # oldest windows dropped
+
+    def test_series_validates_parameters(self):
+        with pytest.raises(ParameterError):
+            TimeSeries(window_s=0.0)
+        with pytest.raises(ParameterError):
+            TimeSeries(max_windows=0)
+
+
+class TestMetricsRegistry:
+    def test_create_or_get_returns_same_instance(self):
+        reg = MetricsRegistry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_mismatch_is_a_typed_error(self):
+        reg = MetricsRegistry()
+        reg.counter("a")
+        with pytest.raises(ParameterError):
+            reg.gauge("a")
+
+    def test_snapshot_covers_every_kind(self):
+        reg = MetricsRegistry()
+        reg.counter("c").inc(3)
+        reg.gauge("g").set(2.5)
+        reg.histogram("h").record(0.1)
+        reg.series("s").record_served(0.2, t_s=0.0)
+        snap = reg.snapshot()
+        assert snap["c"] == 3
+        assert snap["g"] == {"value": 2.5, "max": 2.5}
+        assert snap["h"]["count"] == 1
+        assert snap["s"][0]["served"] == 1
+        assert reg.names() == ["c", "g", "h", "s"]
+        json.dumps(snap)
