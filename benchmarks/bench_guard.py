@@ -1,0 +1,174 @@
+"""Bench-regression guard: diff fresh BENCH_*.json against git baselines.
+
+CI (and a human about to commit) runs the benchmarks, then this script.
+It compares every working-tree ``benchmarks/BENCH_*.json`` against the
+version committed at a git ref (HEAD by default):
+
+* **Byte-correctness keys** — ``correct``, ``correct_dense``,
+  ``bare_correct``, ``errored``, ``failed``, … — must match the
+  baseline exactly.  A drift here means a benchmark started returning
+  wrong bytes (or started failing requests), which is a bug, not a perf
+  wobble: the guard exits 1.
+* **Everything else** (QPS, overheads, latencies, counts) is hardware-
+  and load-dependent, so drift beyond the tolerance band only prints a
+  warning.  Perf regressions deserve eyes, not a red CI that trains
+  people to bump baselines blindly.
+
+Usage::
+
+    python benchmarks/bench_guard.py [--ref HEAD] [--tolerance 0.25]
+
+Exit status: 0 clean or warnings only, 1 on a byte-correctness
+regression, 2 on a usage/IO error (unreadable JSON, bad ref).
+"""
+
+import argparse
+import json
+import pathlib
+import re
+import subprocess
+import sys
+
+_BENCH_DIR = pathlib.Path(__file__).resolve().parent
+
+#: Leaf names whose values assert *correctness*, not speed.  Exact match
+#: against the baseline is mandatory; anything else is advisory.
+_CORRECTNESS_RE = re.compile(r"(^|_)correct(_|$)|^errored$|^failed$")
+
+
+def _flatten(doc, prefix=""):
+    """``{"a": {"b": [1]}} -> {"a.b[0]": 1}`` — leaf paths to values."""
+    leaves = {}
+    if isinstance(doc, dict):
+        for key, value in doc.items():
+            leaves.update(_flatten(value, f"{prefix}.{key}" if prefix else key))
+    elif isinstance(doc, list):
+        for i, value in enumerate(doc):
+            leaves.update(_flatten(value, f"{prefix}[{i}]"))
+    else:
+        leaves[prefix] = doc
+    return leaves
+
+
+def _leaf_name(path: str) -> str:
+    return re.split(r"[.\[]", path)[-1] if "." in path or "[" in path else path
+
+
+def _is_correctness(path: str) -> bool:
+    return bool(_CORRECTNESS_RE.search(_leaf_name(path.split(".")[-1])))
+
+
+def _baseline(name: str, ref: str) -> dict | None:
+    """The committed version of ``benchmarks/{name}`` at ``ref``."""
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:benchmarks/{name}"],
+        cwd=_BENCH_DIR.parent,
+        capture_output=True,
+        text=True,
+    )
+    if proc.returncode != 0:
+        return None
+    return json.loads(proc.stdout)
+
+
+def compare(name: str, baseline: dict, fresh: dict, tolerance: float):
+    """Returns (correctness_failures, warnings) for one result file."""
+    failures: list[str] = []
+    warnings: list[str] = []
+    base_leaves = _flatten(baseline)
+    fresh_leaves = _flatten(fresh)
+    for path in sorted(base_leaves.keys() | fresh_leaves.keys()):
+        if path not in fresh_leaves:
+            warnings.append(f"{name}: {path} vanished from the fresh run")
+            continue
+        if path not in base_leaves:
+            warnings.append(f"{name}: {path} is new (no baseline)")
+            continue
+        base, new = base_leaves[path], fresh_leaves[path]
+        if _is_correctness(path):
+            if base != new:
+                failures.append(
+                    f"{name}: {path} regressed: baseline {base!r}, "
+                    f"fresh {new!r}"
+                )
+            continue
+        if isinstance(base, bool) or isinstance(new, bool):
+            if base != new:
+                warnings.append(f"{name}: {path} flipped {base!r} -> {new!r}")
+        elif isinstance(base, (int, float)) and isinstance(new, (int, float)):
+            scale = max(abs(base), abs(new))
+            if scale > 0 and abs(new - base) / scale > tolerance:
+                warnings.append(
+                    f"{name}: {path} drifted {base:g} -> {new:g} "
+                    f"({(new - base) / scale:+.0%}, band {tolerance:.0%})"
+                )
+        elif base != new:
+            warnings.append(f"{name}: {path} changed {base!r} -> {new!r}")
+    return failures, warnings
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Diff fresh BENCH_*.json results against git baselines."
+    )
+    parser.add_argument(
+        "--ref", default="HEAD", help="git ref holding the baselines"
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.25,
+        help="relative drift band for perf numbers (warning-only)",
+    )
+    args = parser.parse_args(argv)
+
+    fresh_files = sorted(_BENCH_DIR.glob("BENCH_*.json"))
+    if not fresh_files:
+        print("bench-guard: no BENCH_*.json in the working tree", file=sys.stderr)
+        return 2
+
+    failures: list[str] = []
+    warnings: list[str] = []
+    compared = 0
+    for path in fresh_files:
+        try:
+            fresh = json.loads(path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            print(f"bench-guard: cannot read {path.name}: {exc}", file=sys.stderr)
+            return 2
+        try:
+            baseline = _baseline(path.name, args.ref)
+        except json.JSONDecodeError as exc:
+            print(
+                f"bench-guard: baseline {args.ref}:{path.name} is not "
+                f"valid JSON: {exc}",
+                file=sys.stderr,
+            )
+            return 2
+        if baseline is None:
+            warnings.append(
+                f"{path.name}: no baseline at {args.ref} (new benchmark?)"
+            )
+            continue
+        compared += 1
+        file_failures, file_warnings = compare(
+            path.name, baseline, fresh, args.tolerance
+        )
+        failures.extend(file_failures)
+        warnings.extend(file_warnings)
+
+    for line in warnings:
+        print(f"warning: {line}")
+    for line in failures:
+        print(f"FAIL: {line}")
+    verdict = "FAIL" if failures else "ok"
+    print(
+        f"bench-guard: {verdict} — {compared} file(s) compared, "
+        f"{len(failures)} correctness regression(s), "
+        f"{len(warnings)} warning(s)"
+    )
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

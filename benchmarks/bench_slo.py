@@ -1,0 +1,210 @@
+"""SLO engine + flight recorder overhead on the serving hot path.
+
+One claim, measured end to end: running the full health plane — flight
+recorder wired into the dispatcher, SLO evaluator polling burn rates,
+health snapshots sampled alongside — must cost at most 2% of the
+real-crypto serving throughput.  The bare run and the observed run
+drive the same closed burst through ``ServeRuntime`` +
+``RealCryptoBackend``; QPS is best-of-N to shave scheduler noise.  The
+observed run's plane is sanity-checked inline — dispatch events in the
+ring, verdicts from every poll, health rows populated — so the
+benchmark cannot "win" by silently observing nothing.  Results land in
+BENCH_slo.json.
+"""
+
+import asyncio
+import json
+import os
+import pathlib
+import time
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.obs import FlightRecorder, SloEvaluator, health_snapshot, parse_slo
+from repro.params import PirParams
+from repro.serve import RealCryptoBackend, RealShardRegistry, ServeRuntime
+from repro.systems.batching import BatchPolicy
+
+#: BENCH_SMOKE=1 shrinks every knob for the CI smoke job: the scripts
+#: must still run end to end, but results are not written or compared.
+SMOKE = bool(os.environ.get("BENCH_SMOKE"))
+
+NUM_RECORDS = 16
+RECORD_BYTES = 64
+NUM_SHARDS = 2
+NUM_QUERIES = 8 if SMOKE else 48
+REPEATS = 1 if SMOKE else 5
+POLL_INTERVAL_S = 0.02
+OVERHEAD_BOUND = 0.02  # the ISSUE's bar: the health plane costs <= 2% QPS
+MULTICORE = len(os.sched_getaffinity(0)) >= 2
+
+_OUT = pathlib.Path(__file__).resolve().parent / "BENCH_slo.json"
+
+
+def _registry() -> RealShardRegistry:
+    params = PirParams.small(n=256, d0=8, num_dims=2)
+    rng = np.random.default_rng(97)
+    records = [rng.bytes(RECORD_BYTES) for _ in range(NUM_RECORDS)]
+    return RealShardRegistry(params, records, NUM_SHARDS, RECORD_BYTES, seed=7)
+
+
+def _policy() -> BatchPolicy:
+    return BatchPolicy(
+        waiting_window_s=0.005, max_batch=max(4, NUM_QUERIES // NUM_SHARDS)
+    )
+
+
+def _burst(registry, observed: bool) -> dict:
+    """One closed burst; returns QPS plus the health plane's artifacts."""
+    recorder = FlightRecorder() if observed else None
+
+    async def main():
+        backend = RealCryptoBackend(registry)
+        runtime = ServeRuntime(
+            registry, backend, _policy(), recorder=recorder
+        )
+        evaluator = (
+            SloEvaluator(
+                runtime.metrics.series,
+                [parse_slo("p99<=1.0"), parse_slo("reject<=0.05")],
+                recorder=recorder,
+            )
+            if observed
+            else None
+        )
+        verdicts: list = []
+        health_rows: list = []
+        stop = asyncio.Event()
+
+        async def poll_loop():
+            loop = asyncio.get_running_loop()
+            while True:
+                try:
+                    await asyncio.wait_for(stop.wait(), POLL_INTERVAL_S)
+                except asyncio.TimeoutError:
+                    pass
+                now = loop.time()
+                polled = evaluator.poll(now)
+                verdicts.extend(polled)
+                health_rows.append(
+                    health_snapshot(
+                        now, runtime.metrics, POLL_INTERVAL_S, polled
+                    )
+                )
+                if stop.is_set():
+                    return
+
+        async with runtime:
+            poller = (
+                asyncio.ensure_future(poll_loop()) if observed else None
+            )
+            start = time.monotonic()
+            results = await asyncio.gather(
+                *(
+                    runtime.serve_index(i % registry.num_records)
+                    for i in range(NUM_QUERIES)
+                )
+            )
+            elapsed = time.monotonic() - start
+            if poller is not None:
+                stop.set()
+                await poller
+        return elapsed, results, verdicts, health_rows
+
+    elapsed, results, verdicts, health_rows = asyncio.run(main())
+    correct = sum(
+        registry.decode(r.request, r.response)
+        == registry.expected(r.request.global_index)
+        for r in results
+    )
+    return {
+        "qps": NUM_QUERIES / elapsed,
+        "correct": correct,
+        "events": len(recorder.events()) if observed else 0,
+        "verdicts": len(verdicts),
+        "health_rows": len(health_rows),
+        "worst_state": max(
+            (v.state for v in verdicts), default="ok",
+            key=("ok", "warn", "breach").index,
+        ),
+    }
+
+
+def _best_of(registry, observed: bool) -> dict:
+    runs = [_burst(registry, observed) for _ in range(REPEATS)]
+    return max(runs, key=lambda r: r["qps"])
+
+
+def test_slo_engine_overhead(benchmark, report):
+    registry = _registry()
+
+    def sweep():
+        # Bare first, observed second: a warm page cache if anything
+        # *favors* the observed run.
+        return _best_of(registry, observed=False), _best_of(
+            registry, observed=True
+        )
+
+    bare, observed = run_once(benchmark, sweep)
+    overhead = 1.0 - observed["qps"] / bare["qps"]
+
+    if not SMOKE:
+        _OUT.write_text(
+            json.dumps(
+                {
+                    "records": NUM_RECORDS,
+                    "shards": NUM_SHARDS,
+                    "queries": NUM_QUERIES,
+                    "repeats": REPEATS,
+                    "sched_cores": len(os.sched_getaffinity(0)),
+                    "bare_qps": bare["qps"],
+                    "observed_qps": observed["qps"],
+                    "overhead": overhead,
+                    "overhead_bound": OVERHEAD_BOUND,
+                    "bare_correct": bare["correct"],
+                    "observed_correct": observed["correct"],
+                    "events": observed["events"],
+                    "verdicts": observed["verdicts"],
+                    "health_rows": observed["health_rows"],
+                    "worst_state": observed["worst_state"],
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+
+    lines = [
+        f"{'run':>12s} {'QPS':>8s} {'ok':>6s} {'events':>7s} {'polls':>6s}",
+        f"{'bare':>12s} {bare['qps']:>8.1f} "
+        f"{bare['correct']:>3d}/{NUM_QUERIES} {bare['events']:>7d} "
+        f"{0:>6d}",
+        f"{'observed':>12s} {observed['qps']:>8.1f} "
+        f"{observed['correct']:>3d}/{NUM_QUERIES} {observed['events']:>7d} "
+        f"{observed['health_rows']:>6d}",
+        f"overhead {overhead:+.1%} (bound {OVERHEAD_BOUND:.0%})",
+        "JSON skipped (smoke)" if SMOKE else f"JSON written to {_OUT.name}",
+    ]
+    report(
+        "SLO engine — burn-rate evaluation + flight recording overhead on "
+        "the real-crypto serving path",
+        lines,
+    )
+
+    # Correctness is unconditional, observed or not.
+    assert bare["correct"] == NUM_QUERIES
+    assert observed["correct"] == NUM_QUERIES
+    # The observed run actually ran the plane it claims to.
+    assert observed["events"] >= NUM_SHARDS  # >= one dispatch per shard
+    assert observed["verdicts"] >= 2  # both specs, every poll
+    assert observed["health_rows"] >= 1  # the final flush at minimum
+    assert observed["worst_state"] == "ok"  # a healthy burst stays healthy
+    assert bare["events"] == 0 and bare["verdicts"] == 0
+    # The ISSUE's overhead bar (skipped in smoke and on single-core
+    # runners: one tiny contended burst is noise, not a measurement).
+    if not SMOKE and MULTICORE:
+        assert observed["qps"] >= (1.0 - OVERHEAD_BOUND) * bare["qps"], (
+            f"observed {observed['qps']:.1f} QPS lost more than "
+            f"{OVERHEAD_BOUND:.0%} vs bare {bare['qps']:.1f} QPS"
+        )

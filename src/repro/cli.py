@@ -11,6 +11,7 @@ Commands
 ``cluster``     multi-process coordinator/worker serving smoke (real crypto)
 ``loadtest``    open-loop load test (sim clock, real crypto, or cluster)
 ``obs-report``  validate + render a traced loadtest's exported artifacts
+``obs-watch``   live (or --replay) terminal dashboard over a health JSONL
 ``batchpir``    cuckoo-batched multi-record retrieval + amortization model
 ``kvpir``       keyword PIR over a key-value store + keyword-overhead model
 ``update-churn``  online delta-apply vs full re-preprocess under churn
@@ -234,6 +235,19 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
     admission = AdmissionConfig(max_queue_depth=args.max_queue)
     wall_start = time.monotonic()
 
+    recorder = None
+    if args.postmortem_dir or args.slo or args.health_out:
+        from repro.obs.events import FlightRecorder
+
+        recorder = FlightRecorder(dump_dir=args.postmortem_dir)
+    slo_specs = []
+    if args.slo:
+        from repro.obs.slo import parse_slo
+
+        slo_specs = [parse_slo(text) for text in args.slo]
+    if args.health_out:
+        open(args.health_out, "w").close()  # truncate: one run, one file
+
     tracer = None
     profiler = None
     previous_profiler = None
@@ -282,7 +296,11 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             waiting_window_s=args.window_ms / 1e3, max_batch=args.max_batch
         )
         coordinator = ClusterCoordinator(
-            registry, num_workers=args.workers, tracer=tracer, profiler=profiler
+            registry,
+            num_workers=args.workers,
+            tracer=tracer,
+            profiler=profiler,
+            recorder=recorder,
         )
         backend = ClusterBackend(coordinator)
     else:
@@ -306,9 +324,56 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             await coordinator.start()
         try:
             runtime = ServeRuntime(
-                registry, backend, policy, admission, tracer=tracer
+                registry, backend, policy, admission, tracer=tracer,
+                recorder=recorder,
             )
             runtime.start()
+            evaluator = None
+            if slo_specs:
+                from repro.obs.slo import SloEvaluator
+
+                evaluator = SloEvaluator(
+                    runtime.metrics.series, slo_specs, recorder=recorder
+                )
+            sampler_task = None
+            stop_sampling = asyncio.Event()
+            if evaluator is not None or args.health_out:
+                from repro.obs.export import append_health_jsonl, health_snapshot
+
+                async def sample_health() -> None:
+                    loop = asyncio.get_running_loop()
+                    while True:
+                        try:
+                            # Timer-based wait: advances the virtual clock in
+                            # sim mode exactly like a real sleep would.
+                            await asyncio.wait_for(
+                                stop_sampling.wait(), args.health_interval
+                            )
+                        except asyncio.TimeoutError:
+                            pass
+                        now = loop.time()
+                        verdicts = (
+                            evaluator.poll(now) if evaluator is not None else []
+                        )
+                        if args.health_out:
+                            append_health_jsonl(
+                                args.health_out,
+                                health_snapshot(
+                                    now,
+                                    runtime.metrics,
+                                    args.health_interval,
+                                    verdicts,
+                                    coordinator.cluster_snapshot()
+                                    if coordinator is not None
+                                    else None,
+                                ),
+                            )
+                        if stop_sampling.is_set():
+                            return
+
+                sampler_task = asyncio.create_task(
+                    sample_health(), name="health-sampler"
+                )
             if args.distribution == "zipf":
                 indices = loadgen.zipf_indices(
                     registry.num_records, args.queries, a=args.zipf_a, seed=args.seed
@@ -318,10 +383,13 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
                     registry.num_records, args.queries, seed=args.seed
                 )
             report = await loadgen.run_open_loop(runtime, arrivals, indices)
+            if sampler_task is not None:
+                stop_sampling.set()  # one final sample fires on the way out
+                await sampler_task
             cluster_snap = (
                 coordinator.cluster_snapshot() if coordinator is not None else None
             )
-            return report, runtime, cluster_snap
+            return report, runtime, cluster_snap, evaluator
         finally:
             if coordinator is not None:
                 await coordinator.aclose()
@@ -330,9 +398,11 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         if args.mode == "sim":
             from repro.serve import run_in_virtual_time
 
-            (report, runtime, cluster_snap), virtual_s = run_in_virtual_time(run())
+            (report, runtime, cluster_snap, evaluator), virtual_s = (
+                run_in_virtual_time(run())
+            )
         else:
-            report, runtime, cluster_snap = asyncio.run(run())
+            report, runtime, cluster_snap, evaluator = asyncio.run(run())
             virtual_s = None
     finally:
         if args.trace:
@@ -353,6 +423,26 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         "virtual_s": virtual_s,
         "metrics": report.metrics,
     }
+    if evaluator is not None:
+        out["slo"] = evaluator.summary()
+    if recorder is not None:
+        out["flight_recorder"] = {
+            "events": len(recorder.events()),
+            "dropped": recorder.dropped,
+            "postmortems": recorder.dumps_written,
+        }
+    if args.health_out:
+        out["health_out"] = args.health_out
+    if args.prom_out:
+        from repro.obs.export import render_prometheus
+
+        with open(args.prom_out, "w") as fh:
+            fh.write(
+                render_prometheus(
+                    runtime.metrics.registry.snapshot(), cluster=cluster_snap
+                )
+            )
+        out["prom_out"] = args.prom_out
     if coordinator is not None:
         stats = coordinator.stats
         out["cluster"] = {
@@ -393,26 +483,86 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             "obs": obs_path,
         }
     print(json.dumps(out, indent=2))
-    return 0 if report.errored == 0 else 1
+    breached = (
+        args.fail_on_breach
+        and evaluator is not None
+        and evaluator.breaches > 0
+    )
+    return 0 if report.errored == 0 and not breached else 1
 
 
 def cmd_obs_report(args: argparse.Namespace) -> int:
     """Validate a traced loadtest's exports, then render the digest."""
     from repro.obs import (
+        render_postmortem,
         render_report,
         validate_chrome_trace,
         validate_obs_json,
+        validate_postmortem,
         validate_spans_jsonl,
     )
 
-    spans = validate_spans_jsonl(f"{args.prefix}.spans.jsonl")
-    trace = validate_chrome_trace(f"{args.prefix}.trace.json")
-    obs = validate_obs_json(f"{args.prefix}.obs.json")
-    for line in render_report(
-        spans, trace, obs, obs.get("measured_vs_modeled") or None
-    ):
-        print(line)
+    if args.prefix is None and args.postmortem is None:
+        print("error: need a PREFIX and/or --postmortem FILE", file=sys.stderr)
+        return 2
+    if args.prefix is not None:
+        spans = validate_spans_jsonl(f"{args.prefix}.spans.jsonl")
+        trace = validate_chrome_trace(f"{args.prefix}.trace.json")
+        obs = validate_obs_json(f"{args.prefix}.obs.json")
+        for line in render_report(
+            spans, trace, obs, obs.get("measured_vs_modeled") or None
+        ):
+            print(line)
+    if args.postmortem is not None:
+        doc = validate_postmortem(args.postmortem)
+        for line in render_postmortem(doc):
+            print(line)
     return 0
+
+
+def cmd_obs_watch(args: argparse.Namespace) -> int:
+    """Render a health JSONL as a terminal dashboard (live tail or replay)."""
+    import json
+    import time
+
+    from repro.obs.export import (
+        read_health_jsonl,
+        render_watch_header,
+        render_watch_row,
+        render_watch_rows,
+    )
+
+    if args.replay:
+        rows = read_health_jsonl(args.health)
+        for line in render_watch_rows(rows):
+            print(line)
+        breached = any(row.get("worst_state") == "breach" for row in rows)
+        return 1 if args.fail_on_breach and breached else 0
+    # Live mode: tail the file a running loadtest is appending to.  Only
+    # newline-terminated lines are consumed, so a row caught mid-write is
+    # simply picked up whole on the next poll.
+    print(render_watch_header(), flush=True)
+    seen = 0
+    breached = False
+    deadline = None if args.timeout is None else time.monotonic() + args.timeout
+    while True:
+        try:
+            with open(args.health) as fh:
+                lines = fh.readlines()
+        except OSError:
+            lines = []
+        complete = [line for line in lines if line.endswith("\n")]
+        for line in complete[seen:]:
+            try:
+                row = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # a torn row self-heals; strictness is --replay's job
+            breached = breached or row.get("worst_state") == "breach"
+            print(render_watch_row(row), flush=True)
+        seen = len(complete)
+        if deadline is not None and time.monotonic() >= deadline:
+            return 1 if args.fail_on_breach and breached else 0
+        time.sleep(args.interval)
 
 
 def cmd_batchpir(args: argparse.Namespace) -> int:
@@ -795,15 +945,90 @@ def build_parser() -> argparse.ArgumentParser:
         default="loadtest",
         help="output path prefix for the --trace artifacts",
     )
+    loadtest.add_argument(
+        "--slo",
+        action="append",
+        default=None,
+        metavar="SPEC",
+        help="SLO to evaluate during the run, e.g. 'p99<=0.25', "
+        "'reject<=0.01', 'error<=0.001', optionally '@FAST/SLOW' window "
+        "seconds; repeatable",
+    )
+    loadtest.add_argument(
+        "--fail-on-breach",
+        action="store_true",
+        help="exit non-zero if any --slo entered the breach state",
+    )
+    loadtest.add_argument(
+        "--health-out",
+        default=None,
+        metavar="FILE",
+        help="append periodic health snapshots (JSONL) for repro obs-watch",
+    )
+    loadtest.add_argument(
+        "--health-interval",
+        type=float,
+        default=1.0,
+        help="seconds between health snapshots / SLO polls",
+    )
+    loadtest.add_argument(
+        "--postmortem-dir",
+        default=None,
+        metavar="DIR",
+        help="flight-recorder post-mortem dumps on worker death / "
+        "heartbeat timeout",
+    )
+    loadtest.add_argument(
+        "--prom-out",
+        default=None,
+        metavar="FILE",
+        help="write the final metrics registry as Prometheus text exposition",
+    )
     loadtest.set_defaults(func=cmd_loadtest)
 
     obs_report = sub.add_parser(
         "obs-report", help="validate + render a traced loadtest's artifacts"
     )
     obs_report.add_argument(
-        "prefix", help="the --obs-out prefix the loadtest exported under"
+        "prefix",
+        nargs="?",
+        default=None,
+        help="the --obs-out prefix the loadtest exported under",
+    )
+    obs_report.add_argument(
+        "--postmortem",
+        default=None,
+        metavar="FILE",
+        help="also validate + render a flight-recorder post-mortem dump",
     )
     obs_report.set_defaults(func=cmd_obs_report)
+
+    obs_watch = sub.add_parser(
+        "obs-watch", help="terminal dashboard over a --health-out JSONL"
+    )
+    obs_watch.add_argument(
+        "health", help="the health JSONL a loadtest writes via --health-out"
+    )
+    obs_watch.add_argument(
+        "--replay",
+        action="store_true",
+        help="render the whole file strictly and exit (default: live tail)",
+    )
+    obs_watch.add_argument(
+        "--interval", type=float, default=0.5, help="live-tail poll seconds"
+    )
+    obs_watch.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="stop the live tail after this many seconds (default: forever)",
+    )
+    obs_watch.add_argument(
+        "--fail-on-breach",
+        action="store_true",
+        help="exit non-zero if any rendered snapshot was in breach",
+    )
+    obs_watch.set_defaults(func=cmd_obs_watch)
     return parser
 
 

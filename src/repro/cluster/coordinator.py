@@ -29,7 +29,13 @@ then mediates all traffic over one duplex pipe per worker:
 
 Reader threads never touch coordinator state directly: every inbound
 message is marshalled onto the event loop with ``call_soon_threadsafe``,
-so all bookkeeping is single-threaded on the loop.
+so all bookkeeping is single-threaded on the loop.  Outbound messages
+ride a per-worker writer thread for the mirror-image reason: a pipe
+``send`` to a stalled (SIGSTOP'd, livelocked) worker blocks once the OS
+buffer fills, and doing that on the loop would freeze the very monitor
+that is supposed to declare the worker dead.  The writer thread absorbs
+the block; the heartbeat monitor kills the process, which unblocks the
+write with ``EPIPE`` and lets the thread exit.
 """
 
 from __future__ import annotations
@@ -37,6 +43,7 @@ from __future__ import annotations
 import asyncio
 import itertools
 import multiprocessing
+import queue
 import threading
 from dataclasses import dataclass, field
 
@@ -49,6 +56,7 @@ from repro.errors import (
     WorkerDied,
 )
 from repro.mutate.log import UpdateLog
+from repro.obs.events import FlightRecorder
 from repro.obs.profile import KernelProfiler
 from repro.obs.trace import Tracer
 from repro.serve.registry import ServeRequest
@@ -80,6 +88,14 @@ class _Inflight:
     epoch: int
     queries: tuple
     future: asyncio.Future
+    #: Trace ids of the batch's requests — the cross-link the flight
+    #: recorder stamps into a worker-death event so a post-mortem can name
+    #: exactly which in-flight traces the death victimized.
+    trace_ids: tuple = ()
+
+
+#: Sentinel telling a worker's writer thread to exit its send loop.
+_WRITER_STOP = object()
 
 
 @dataclass
@@ -94,6 +110,8 @@ class _Worker:
     loading: dict[int, asyncio.Future] = field(default_factory=dict)
     publish_acks: dict[int, asyncio.Future] = field(default_factory=dict)
     reader: threading.Thread | None = None
+    writer: threading.Thread | None = None
+    outbox: queue.SimpleQueue = field(default_factory=queue.SimpleQueue)
 
 
 @dataclass(frozen=True)
@@ -135,6 +153,7 @@ class ClusterCoordinator:
         use_fast: bool = True,
         tracer: Tracer | None = None,
         profiler: KernelProfiler | None = None,
+        recorder: FlightRecorder | None = None,
     ):
         if num_workers < 1:
             raise ParameterError("need at least one worker process")
@@ -159,6 +178,9 @@ class ClusterCoordinator:
         #: and accumulate kernel stats (merged at WorkerStopped).
         self.tracer = tracer
         self.profiler = profiler
+        self.recorder = recorder
+        if recorder is not None:
+            recorder.attach_source("cluster", self.cluster_snapshot)
         self.stats = ClusterStats()
         self._workers: dict[int, _Worker] = {}
         #: shard id -> worker ids with a *ready* replica.
@@ -216,6 +238,13 @@ class ClusterCoordinator:
                 daemon=True,
             )
             worker.reader.start()
+            worker.writer = threading.Thread(
+                target=self._writer_loop,
+                args=(worker,),
+                name=f"cluster-writer-{worker_id}",
+                daemon=True,
+            )
+            worker.writer.start()
             self._workers[worker_id] = worker
         # Monitor first: a worker that dies while preprocessing its replicas
         # must fail start() with a typed error, not hang it.
@@ -249,7 +278,7 @@ class ClusterCoordinator:
                 pass
         for worker in self._workers.values():
             if worker.alive:
-                self._try_send(worker, Shutdown())
+                self._send(worker, Shutdown())
         join_timeout = max(5.0, 4 * self.heartbeat_timeout_s)
         await asyncio.gather(
             *(
@@ -270,6 +299,9 @@ class ClusterCoordinator:
                 pass
             if worker.reader is not None:
                 worker.reader.join(timeout=2.0)
+            if worker.writer is not None:
+                worker.outbox.put(_WRITER_STOP)
+                worker.writer.join(timeout=2.0)
             # Whatever was still pending dies typed, not dangling.
             self._fail_worker_state(worker, reason="coordinator drained")
 
@@ -347,6 +379,24 @@ class ClusterCoordinator:
         worker.alive = False
         if not self._draining:
             self.stats.worker_deaths += 1
+            if self.recorder is not None:
+                # Before the inflight map is failed+cleared: the event must
+                # cross-link every trace the death victimized, and the dump
+                # it triggers must still see the batches as in flight.
+                victims = tuple(
+                    t
+                    for inflight in worker.inflight.values()
+                    for t in inflight.trace_ids
+                )
+                self.recorder.record(
+                    "worker.death",
+                    self._loop.time(),
+                    trace_ids=victims,
+                    worker=worker.worker_id,
+                    reason=reason,
+                    shards=sorted(worker.shards),
+                    inflight_batches=len(worker.inflight),
+                )
         if worker.process.is_alive():
             worker.process.kill()  # hung/stopped, not exited: put it down
         for shard_id in worker.shards:
@@ -392,6 +442,14 @@ class ClusterCoordinator:
                     self._on_worker_death(worker, "process exited")
                 elif now - worker.last_seen > self.heartbeat_timeout_s:
                     self.stats.heartbeat_timeouts += 1
+                    if self.recorder is not None:
+                        self.recorder.record(
+                            "heartbeat.timeout",
+                            now,
+                            worker=worker.worker_id,
+                            last_seen_age_s=now - worker.last_seen,
+                            timeout_s=self.heartbeat_timeout_s,
+                        )
                     self._on_worker_death(
                         worker,
                         f"no heartbeat for {now - worker.last_seen:.1f}s "
@@ -399,18 +457,36 @@ class ClusterCoordinator:
                     )
 
     # -- replica placement -------------------------------------------------
-    def _try_send(self, worker: _Worker, msg) -> bool:
-        try:
-            worker.conn.send(msg)
-            return True
-        except (BrokenPipeError, OSError):
-            self._on_worker_death(worker, "pipe broke on send")
-            return False
+    def _send(self, worker: _Worker, msg) -> None:
+        """Queue ``msg`` for the worker's writer thread; never blocks.
+
+        A failed send surfaces asynchronously: the writer thread marshals
+        a death onto the loop, which fails every pending future for that
+        worker with a typed :class:`WorkerDied` — so callers just await
+        their ack instead of branching on a send result.
+        """
+        worker.outbox.put(msg)
+
+    def _writer_loop(self, worker: _Worker) -> None:
+        while True:
+            msg = worker.outbox.get()
+            if msg is _WRITER_STOP:
+                break
+            try:
+                worker.conn.send(msg)
+            except (BrokenPipeError, OSError):
+                try:
+                    self._loop.call_soon_threadsafe(
+                        self._on_worker_death, worker, "pipe broke on send"
+                    )
+                except RuntimeError:
+                    pass  # loop already closed during teardown
+                break
 
     def _load_replica(self, worker: _Worker, shard_id: int) -> asyncio.Future:
         future = self._loop.create_future()
         worker.loading[shard_id] = future
-        self._try_send(
+        self._send(
             worker,
             LoadReplica(
                 shard_id=shard_id,
@@ -445,6 +521,14 @@ class ClusterCoordinator:
                     f"{target.worker_id} died while loading"
                 ) from None
             self.stats.rebalanced_shards += 1
+            if self.recorder is not None:
+                self.recorder.record(
+                    "shard.rebalance",
+                    self._loop.time(),
+                    shard=shard_id,
+                    target_worker=target.worker_id,
+                    epoch=self.registry.current_epoch,
+                )
             return target.worker_id
 
     def _pick_worker(self, shard_id: int, exclude: set[int]) -> _Worker | None:
@@ -507,10 +591,11 @@ class ClusterCoordinator:
                 epoch=epoch,
                 queries=queries,
                 future=future,
+                trace_ids=trace_ids,
             )
             self.stats.batches_sent += 1
             rpc_start = self._loop.time()
-            if not self._try_send(
+            self._send(
                 worker,
                 AnswerBatch(
                     batch_id=batch_id,
@@ -519,17 +604,16 @@ class ClusterCoordinator:
                     queries=queries,
                     trace_ids=trace_ids,
                 ),
-            ):
-                tried.add(worker.worker_id)
-                self.stats.batches_retried += 1
-                continue  # death path already failed the future
+            )
             try:
                 responses = await future
-            except WorkerDied:
+            except WorkerDied as died:
                 tried.add(worker.worker_id)
                 if attempt + 1 >= self.max_attempts:
                     raise
                 self.stats.batches_retried += 1
+                self._record_retry(worker, shard_id, trace_ids, attempt,
+                                   died.reason)
                 continue
             self._trace_rpc(
                 worker, shard_id, epoch, trace_ids, len(queries),
@@ -541,6 +625,25 @@ class ClusterCoordinator:
             reason=f"shard {shard_id}: no attempt out of "
             f"{self.max_attempts} reached a live replica",
         )
+
+    def _record_retry(
+        self,
+        worker: _Worker,
+        shard_id: int,
+        trace_ids: tuple,
+        attempt: int,
+        reason: str,
+    ) -> None:
+        if self.recorder is not None:
+            self.recorder.record(
+                "batch.retry",
+                self._loop.time(),
+                trace_ids=trace_ids,
+                shard=shard_id,
+                dead_worker=worker.worker_id,
+                attempt=attempt,
+                reason=reason,
+            )
 
     def _trace_rpc(
         self,
@@ -624,7 +727,7 @@ class ClusterCoordinator:
                 # Collect the ack future even if the send fails: the death
                 # handler fails it with WorkerDied, which gather collects.
                 acks.append((worker, future))
-                self._try_send(worker, PublishEpoch(epoch=epoch, shard_ops=owned))
+                self._send(worker, PublishEpoch(epoch=epoch, shard_ops=owned))
             outcomes = await asyncio.gather(
                 *(f for _, f in acks), return_exceptions=True
             )
@@ -645,6 +748,15 @@ class ClusterCoordinator:
                 )
             self.registry.commit_publish(epoch, shard_ops)
             self.stats.epochs_published += 1
+            if self.recorder is not None:
+                self.recorder.record(
+                    "epoch.publish",
+                    self._loop.time(),
+                    epoch=epoch,
+                    acked_workers=sorted(acked),
+                    lost_workers=sorted(lost),
+                    polys_repacked=repacked,
+                )
         # Workers lost mid-publish orphan their shards; rebalance them at
         # the committed epoch (outside the lock — _ensure_replica takes it).
         for shard_id, owners in self._owners.items():

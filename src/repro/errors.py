@@ -76,6 +76,16 @@ class ObsError(ReproError):
     """An observability artifact (spans, trace, digest) failed validation."""
 
 
+class SloError(ObsError):
+    """An SLO specification is malformed or internally inconsistent.
+
+    Raised when parsing a ``--slo`` string or constructing an
+    :class:`~repro.obs.slo.SloSpec` with impossible windows, quantiles,
+    or objectives — configuration faults, distinct from a *breach*,
+    which is a verdict (data), never an exception.
+    """
+
+
 class ServeError(ReproError):
     """Base class for errors raised by the serving runtime (repro.serve)."""
 

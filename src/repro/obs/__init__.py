@@ -1,4 +1,4 @@
-"""repro.obs — tracing, live metrics, and kernel profiling (one surface).
+"""repro.obs — tracing, metrics, SLOs, flight recorder, export (one surface).
 
 The observability subsystem behind the serving stack:
 
@@ -10,6 +10,14 @@ The observability subsystem behind the serving stack:
   quantile sketches / windowed time series; the recording substrate
   under :class:`~repro.serve.metrics.ServeMetrics` and the live signal
   feed for the ROADMAP's SLO autoscaler.
+* :mod:`repro.obs.slo` — declarative :class:`~repro.obs.slo.SloSpec`
+  objectives judged by Google-SRE-style multi-window burn rates; the
+  sensor half of that autoscaler.
+* :mod:`repro.obs.events` — the flight recorder: a bounded ring of
+  structured control-plane events with post-mortem dumps on worker
+  death and heartbeat timeout.
+* :mod:`repro.obs.export` — Prometheus text exposition, periodic health
+  JSONL, and the ``repro obs-watch`` dashboard rendering.
 * :mod:`repro.obs.profile` — opt-in kernel stage timers in the batched
   hot path, reported next to the :class:`~repro.arch.simulator.
   IveSimulator` analytic attribution.
@@ -17,6 +25,14 @@ The observability subsystem behind the serving stack:
   ``repro loadtest --trace`` exports (``repro obs-report``).
 """
 
+from repro.obs.events import Event, FlightRecorder
+from repro.obs.export import (
+    append_health_jsonl,
+    health_snapshot,
+    read_health_jsonl,
+    render_prometheus,
+    render_watch_rows,
+)
 from repro.obs.metrics import (
     CounterMetric,
     GaugeMetric,
@@ -24,6 +40,7 @@ from repro.obs.metrics import (
     MetricsRegistry,
     QuantileSketch,
     TimeSeries,
+    WindowAggregate,
 )
 from repro.obs.profile import (
     KernelProfiler,
@@ -36,32 +53,49 @@ from repro.obs.profile import (
 from repro.obs.report import (
     cross_process_traces,
     measured_vs_modeled,
+    render_postmortem,
     render_report,
     validate_chrome_trace,
     validate_obs_json,
+    validate_postmortem,
     validate_spans_jsonl,
 )
+from repro.obs.slo import SloEvaluator, SloSpec, SloVerdict, parse_slo
 from repro.obs.trace import Span, Tracer
 
 __all__ = [
     "CounterMetric",
+    "Event",
+    "FlightRecorder",
     "GaugeMetric",
     "Histogram",
     "KernelProfiler",
     "MetricsRegistry",
     "QuantileSketch",
+    "SloEvaluator",
+    "SloSpec",
+    "SloVerdict",
     "Span",
     "StageStats",
     "TimeSeries",
     "Tracer",
+    "WindowAggregate",
     "active",
+    "append_health_jsonl",
     "cross_process_traces",
+    "health_snapshot",
     "install",
     "kernel_stage",
     "measured_vs_modeled",
+    "parse_slo",
     "profiled",
+    "read_health_jsonl",
+    "render_postmortem",
+    "render_prometheus",
     "render_report",
+    "render_watch_rows",
     "validate_chrome_trace",
     "validate_obs_json",
+    "validate_postmortem",
     "validate_spans_jsonl",
 ]

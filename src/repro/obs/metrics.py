@@ -129,17 +129,53 @@ class QuantileSketch:
         """Fold another sketch in (same accuracy, hence same bucketing)."""
         if other.gamma != self.gamma:
             raise ParameterError("cannot merge sketches of different accuracy")
+        # Snapshot the source under its own lock first (it may be a live
+        # window still being recorded into), then fold under ours.  Lock
+        # order is always source-then-destination on distinct objects, and
+        # self-merge would deadlock, so it short-circuits.
+        if other is self:
+            with self._lock:
+                self.count *= 2
+                self.sum *= 2.0
+                self._zero_count *= 2
+                for key in list(self._buckets):
+                    self._buckets[key] *= 2
+            return
+        with other._lock:
+            count, total = other.count, other.sum
+            zero = other._zero_count
+            buckets = dict(other._buckets)
+            lo, hi = other.min, other.max
         with self._lock:
-            self.count += other.count
-            self.sum += other.sum
-            self._zero_count += other._zero_count
-            for key, n in other._buckets.items():
+            self.count += count
+            self.sum += total
+            self._zero_count += zero
+            for key, n in buckets.items():
                 self._buckets[key] = self._buckets.get(key, 0) + n
-            for bound, pick in (("min", min), ("max", max)):
-                theirs = getattr(other, bound)
+            for bound, pick, theirs in (("min", min, lo), ("max", max, hi)):
                 ours = getattr(self, bound)
                 if theirs is not None:
                     setattr(self, bound, theirs if ours is None else pick(ours, theirs))
+
+    def count_above(self, threshold: float) -> int:
+        """How many recorded samples exceeded ``threshold``.
+
+        The count is exact up to bucket granularity: samples in the
+        threshold's own bucket are within ``relative_accuracy`` of it, so
+        the answer is exact for any threshold at least that far from
+        every sample — which is what burn-rate math needs ("requests
+        slower than the objective"), not an exact rank.
+        """
+        threshold = float(threshold)
+        with self._lock:
+            if self.count == 0:
+                return 0
+            if threshold < 0.0:
+                return self.count
+            if threshold <= _ZERO_FLOOR:
+                return self.count - self._zero_count
+            key = math.ceil(math.log(threshold) / self._log_gamma)
+            return sum(n for k, n in self._buckets.items() if k > key)
 
     def quantile(self, q: float) -> float | None:
         """Nearest-rank quantile estimate; ``None`` on an empty sketch."""
@@ -220,6 +256,33 @@ class _Window:
     latency: QuantileSketch | None = None
 
 
+@dataclass
+class WindowAggregate:
+    """Serving signals folded over a span of time-series windows.
+
+    The SLO evaluator's raw material: exact counts plus one merged
+    latency sketch, so burn rates are computed from counts — never
+    reconstructed from rounded rates.
+    """
+
+    since_s: float
+    until_s: float
+    submitted: int = 0
+    rejected: int = 0
+    served: int = 0
+    failed: int = 0
+    latency: QuantileSketch | None = None
+
+    @property
+    def rejection_rate(self) -> float:
+        return self.rejected / self.submitted if self.submitted else 0.0
+
+    @property
+    def error_rate(self) -> float:
+        finished = self.served + self.failed
+        return self.failed / finished if finished else 0.0
+
+
 class TimeSeries:
     """Windowed serving signals: the live view an autoscaler watches.
 
@@ -287,11 +350,45 @@ class TimeSeries:
                     window.rejected / window.submitted if window.submitted else 0.0
                 ),
                 "submitted": window.submitted,
+                # The raw shed count, not just the rounded rate: burn-rate
+                # math divides counts, and counts also survive re-windowing.
+                "rejected": window.rejected,
                 "served": window.served,
                 "failed": window.failed,
             }
             for key, window in items
         ]
+
+    def aggregate(self, since_s: float, until_s: float) -> WindowAggregate:
+        """Fold every window overlapping ``[since_s, until_s)`` into one.
+
+        A window is included when it overlaps the span at all, so the
+        aggregate is quantized to whole windows (the evaluator's lookback
+        resolution is the series' window width).  Works under either the
+        wall clock or the virtual-time loop — both record against the
+        same ``loop.time()`` axis the span refers to.
+        """
+        if until_s < since_s:
+            raise ParameterError("aggregate span must not be negative")
+        agg = WindowAggregate(
+            since_s=since_s,
+            until_s=until_s,
+            latency=QuantileSketch(self.relative_accuracy),
+        )
+        with self._lock:
+            windows = [
+                window
+                for key, window in self._windows.items()
+                if key * self.window_s < until_s
+                and (key + 1) * self.window_s > since_s
+            ]
+        for window in windows:
+            agg.submitted += window.submitted
+            agg.rejected += window.rejected
+            agg.served += window.served
+            agg.failed += window.failed
+            agg.latency.merge(window.latency)
+        return agg
 
 
 class MetricsRegistry:

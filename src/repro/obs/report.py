@@ -137,6 +137,82 @@ def validate_obs_json(path) -> dict:
     return obs
 
 
+def validate_postmortem(path) -> dict:
+    """Parse + schema-check a flight-recorder post-mortem dump."""
+    try:
+        with open(path) as fh:
+            doc = json.load(fh)
+    except OSError as exc:
+        raise ObsError(f"cannot read postmortem file {path}: {exc}") from None
+    except json.JSONDecodeError as exc:
+        raise ObsError(f"{path}: not valid JSON: {exc}") from None
+    if not isinstance(doc, dict):
+        raise ObsError(f"{path}: expected a JSON object")
+    for key in ("postmortem_version", "reason", "at_s", "events", "trace_index"):
+        if key not in doc:
+            raise ObsError(f"{path}: postmortem missing {key!r}")
+    if doc["postmortem_version"] != 1:
+        raise ObsError(
+            f"{path}: unsupported postmortem version {doc['postmortem_version']!r}"
+        )
+    if not isinstance(doc["events"], list):
+        raise ObsError(f"{path}: 'events' must be a list")
+    for i, event in enumerate(doc["events"]):
+        if not isinstance(event, dict):
+            raise ObsError(f"{path}: events[{i}] is not an object")
+        for key, kind in (
+            ("seq", int),
+            ("at_s", (int, float)),
+            ("kind", str),
+            ("severity", str),
+            ("trace_ids", list),
+            ("args", dict),
+        ):
+            if key not in event:
+                raise ObsError(f"{path}: events[{i}] missing {key!r}")
+            if not isinstance(event[key], kind) or isinstance(event[key], bool):
+                raise ObsError(
+                    f"{path}: events[{i}] field {key!r} has type "
+                    f"{type(event[key]).__name__}"
+                )
+    if not isinstance(doc["trace_index"], dict):
+        raise ObsError(f"{path}: 'trace_index' must be an object")
+    return doc
+
+
+def render_postmortem(doc: dict, last_events: int = 20) -> list[str]:
+    """Human-readable post-mortem lines for ``repro obs-report``."""
+    events = doc["events"]
+    by_severity: dict[str, int] = {}
+    for event in events:
+        by_severity[event["severity"]] = by_severity.get(event["severity"], 0) + 1
+    severity = ", ".join(f"{n} {s}" for s, n in sorted(by_severity.items()))
+    lines = [
+        f"post-mortem: {doc['reason']} at t={doc['at_s']:.3f}s",
+        f"{len(events)} event(s) in ring ({doc.get('dropped', 0)} dropped); "
+        f"{severity or 'none'}",
+        f"{len(doc['trace_index'])} trace(s) cross-linked to events",
+    ]
+    for event in events[-last_events:]:
+        args = " ".join(f"{k}={v}" for k, v in sorted(event["args"].items()))
+        traced = (
+            f" traces={event['trace_ids']}" if event["trace_ids"] else ""
+        )
+        lines.append(
+            f"  [{event['seq']:>5d}] t={event['at_s']:9.3f}s "
+            f"{event['severity']:>5s} {event['kind']:<18s} {args}{traced}"
+        )
+    cluster = doc.get("sources", {}).get("cluster")
+    if isinstance(cluster, dict) and "live_workers" in cluster:
+        lines.append(
+            f"cluster at dump: workers {cluster['live_workers']} live, "
+            f"{cluster.get('worker_deaths', 0)} death(s), "
+            f"{cluster.get('batches_retried', 0)} retried, "
+            f"{cluster.get('rebalanced_shards', 0)} rebalanced"
+        )
+    return lines
+
+
 def trace_pids(spans: list[dict]) -> dict[int, set[int]]:
     """trace id -> pids it was observed in (from validated span dicts)."""
     out: dict[int, set[int]] = {}

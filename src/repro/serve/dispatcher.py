@@ -27,6 +27,7 @@ from repro.errors import (
     ServeError,
     ShuttingDownError,
 )
+from repro.obs.events import FlightRecorder
 from repro.obs.trace import Tracer
 from repro.serve.metrics import ServeMetrics
 from repro.serve.registry import ServeRequest, ShardMap
@@ -88,6 +89,7 @@ class ShardDispatcher:
         admission: AdmissionConfig,
         metrics: ServeMetrics,
         tracer: Tracer | None = None,
+        recorder: FlightRecorder | None = None,
     ):
         self.shard_id = shard_id
         self.backend = backend
@@ -95,6 +97,7 @@ class ShardDispatcher:
         self.admission = admission
         self.metrics = metrics
         self.tracer = tracer
+        self.recorder = recorder
         self._tid = f"shard-{shard_id}"
         self._queue: deque[_Pending] = deque()
         self._arrived = asyncio.Event()
@@ -158,6 +161,15 @@ class ShardDispatcher:
                 tid=self._tid,
                 reason=reason,
             )
+        if self.recorder is not None:
+            self.recorder.record(
+                "admission.reject",
+                now,
+                trace_ids=(request.trace_id,),
+                shard=self.shard_id,
+                reason=reason,
+                queue_depth=len(self._queue),
+            )
 
     # -- run loop ----------------------------------------------------------
     async def _run(self) -> None:
@@ -188,6 +200,16 @@ class ShardDispatcher:
                 for _ in range(min(self.policy.max_batch, len(self._queue)))
             ]
             self.metrics.record_dispatch(self.shard_id, len(batch), len(self._queue))
+            if self.recorder is not None:
+                self.recorder.record(
+                    "batch.dispatch",
+                    loop.time(),
+                    trace_ids=(batch[0].request.trace_id,),
+                    shard=self.shard_id,
+                    batch=len(batch),
+                    queue_depth=len(self._queue),
+                    oldest_wait_s=loop.time() - batch[0].arrival_s,
+                )
             await self._serve(batch)
 
     async def _serve(self, batch: list[_Pending]) -> None:
@@ -200,6 +222,15 @@ class ShardDispatcher:
         except Exception as exc:  # noqa: BLE001 — fault isolation per batch
             finish_s = loop.time()
             self.metrics.record_failed(self.shard_id, len(batch), finish_s=finish_s)
+            if self.recorder is not None:
+                self.recorder.record(
+                    "batch.failed",
+                    finish_s,
+                    trace_ids=tuple(p.request.trace_id for p in batch),
+                    shard=self.shard_id,
+                    batch=len(batch),
+                    error=type(exc).__name__,
+                )
             if self.tracer is not None:
                 self.tracer.record_span(
                     "serve.batch",
@@ -274,6 +305,7 @@ class ServeRuntime:
         admission: AdmissionConfig | None = None,
         metrics: ServeMetrics | None = None,
         tracer: Tracer | None = None,
+        recorder: FlightRecorder | None = None,
     ):
         self.registry = registry
         self.backend = backend
@@ -282,8 +314,15 @@ class ServeRuntime:
         num_shards = registry.map.num_shards
         self.metrics = metrics if metrics is not None else ServeMetrics(num_shards)
         self.tracer = tracer
+        self.recorder = recorder
+        if recorder is not None:
+            # Post-mortems capture the serving state at the fatal event.
+            recorder.attach_source("serve_metrics", self.metrics.snapshot)
+            recorder.attach_source("live_series", self.metrics.live_series)
         self.dispatchers = [
-            ShardDispatcher(s, backend, policy, self.admission, self.metrics, tracer)
+            ShardDispatcher(
+                s, backend, policy, self.admission, self.metrics, tracer, recorder
+            )
             for s in range(num_shards)
         ]
 

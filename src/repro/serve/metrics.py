@@ -113,6 +113,20 @@ class ServeMetrics:
 
     # -- counter attribute compatibility ----------------------------------
     @property
+    def series(self):
+        """The windowed live :class:`~repro.obs.metrics.TimeSeries`.
+
+        The SLO evaluator and health sampler aggregate over this directly
+        (raw counts, not the rounded rows of :meth:`live_series`).
+        """
+        return self._series
+
+    @property
+    def queue_depth(self) -> int:
+        """Most recently sampled queue depth (instantaneous gauge)."""
+        return int(self._queue_depth.value)
+
+    @property
     def submitted(self) -> int:
         return self._submitted.value
 

@@ -1,0 +1,96 @@
+"""obs-report failure paths: every bad artifact dies typed, naming its file.
+
+The CLI contract under test: any validation failure exits 2 via a typed
+:class:`~repro.errors.ObsError` whose message names the offending file —
+an operator pointed at a corrupt export must learn *which* artifact to
+regenerate, not just that "validation failed".
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ObsError
+from repro.obs import validate_spans_jsonl
+
+
+def export_valid_artifacts(capsys, tmp_path):
+    """One small traced sim loadtest: the three-artifact happy path."""
+    prefix = tmp_path / "run"
+    assert main(
+        ["loadtest", "--mode", "sim", "--queries", "50", "--trace",
+         "--obs-out", str(prefix)]
+    ) == 0
+    capsys.readouterr()
+    return prefix
+
+
+class TestEmptyDirectory:
+    def test_prefix_into_empty_directory_names_the_missing_file(
+        self, capsys, tmp_path
+    ):
+        prefix = tmp_path / "empty" / "run"
+        (tmp_path / "empty").mkdir()
+        assert main(["obs-report", str(prefix)]) == 2
+        err = capsys.readouterr().err
+        assert "error:" in err
+        # The first artifact checked is the spans file; the message names it.
+        assert f"{prefix}.spans.jsonl" in err
+
+
+class TestTruncatedSpans:
+    def test_mid_line_truncation_is_typed_with_line_number(
+        self, capsys, tmp_path
+    ):
+        prefix = export_valid_artifacts(capsys, tmp_path)
+        spans_path = tmp_path / "run.spans.jsonl"
+        lines = spans_path.read_text().splitlines()
+        assert len(lines) > 3
+        # Chop the last line mid-JSON: the classic crashed-writer artifact.
+        truncated = "\n".join(lines[:-1] + [lines[-1][: len(lines[-1]) // 2]])
+        spans_path.write_text(truncated)
+        with pytest.raises(ObsError) as excinfo:
+            validate_spans_jsonl(spans_path)
+        message = str(excinfo.value)
+        assert str(spans_path) in message
+        assert f":{len(lines)}:" in message  # the exact bad line
+        assert main(["obs-report", str(prefix)]) == 2
+        assert "not valid JSON" in capsys.readouterr().err
+
+
+class TestMixedValidAndCorrupt:
+    def test_valid_spans_but_corrupt_trace_names_the_trace_file(
+        self, capsys, tmp_path
+    ):
+        prefix = export_valid_artifacts(capsys, tmp_path)
+        trace_path = tmp_path / "run.trace.json"
+        trace_path.write_text('{"traceEvents": "not a list"}')
+        assert main(["obs-report", str(prefix)]) == 2
+        err = capsys.readouterr().err
+        assert str(trace_path) in err
+
+    def test_valid_trace_but_wrong_typed_span_field_names_spans(
+        self, capsys, tmp_path
+    ):
+        prefix = export_valid_artifacts(capsys, tmp_path)
+        spans_path = tmp_path / "run.spans.jsonl"
+        spans = [json.loads(line) for line in spans_path.read_text().splitlines()]
+        spans[1]["dur_s"] = "fast"  # wrong type, still valid JSON
+        spans_path.write_text("\n".join(json.dumps(s) for s in spans) + "\n")
+        assert main(["obs-report", str(prefix)]) == 2
+        err = capsys.readouterr().err
+        assert str(spans_path) in err
+        assert ":2:" in err and "dur_s" in err
+
+    def test_digest_with_missing_metrics_keys_names_the_digest(
+        self, capsys, tmp_path
+    ):
+        prefix = export_valid_artifacts(capsys, tmp_path)
+        obs_path = tmp_path / "run.obs.json"
+        doc = json.loads(obs_path.read_text())
+        del doc["metrics"]["latency"]
+        obs_path.write_text(json.dumps(doc))
+        assert main(["obs-report", str(prefix)]) == 2
+        err = capsys.readouterr().err
+        assert str(obs_path) in err and "latency" in err

@@ -114,6 +114,33 @@ class TestMetrics:
         """
         assert percentile([], 95) is None
 
+    def test_percentile_matches_numpy_linear_interpolation(self):
+        """Direct contract for the one exact-percentile helper still in use.
+
+        The streaming sketches replaced it on the serving path, but the
+        benchmark harnesses (e.g. ``bench_mutate``) still feed it small
+        exact samples — pin its semantics to numpy's linear interpolation.
+        """
+        import numpy as np
+
+        values = [0.5, 0.1, 0.9, 0.3, 0.7]
+        for p in (0, 25, 50, 90, 99, 100):
+            assert percentile(values, p) == pytest.approx(
+                float(np.percentile(values, p))
+            )
+        assert percentile([42.0], 50) == 42.0
+        # Interpolates between ranks rather than snapping to a sample.
+        assert percentile([0.0, 1.0], 50) == pytest.approx(0.5)
+
+    def test_series_and_queue_depth_accessors(self):
+        m = ServeMetrics(1)
+        m.record_submit(accepted=True, now_s=0.25)
+        m.record_served(0, latency_s=0.01, queue_wait_s=0.0, finish_s=0.5)
+        m.record_queue_depth(7)
+        assert m.queue_depth == 7
+        agg = m.series.aggregate(0.0, 1.0)
+        assert (agg.submitted, agg.served) == (1, 1)
+
     def test_counters_and_derived_quantities(self):
         m = ServeMetrics(2)
         m.record_submit(accepted=True, now_s=0.0)
