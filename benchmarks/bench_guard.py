@@ -33,7 +33,12 @@ _BENCH_DIR = pathlib.Path(__file__).resolve().parent
 
 #: Leaf names whose values assert *correctness*, not speed.  Exact match
 #: against the baseline is mandatory; anything else is advisory.
-_CORRECTNESS_RE = re.compile(r"(^|_)correct(_|$)|^errored$|^failed$")
+#: ``identical`` / ``byte_identical`` flag bit-exact recomputation checks;
+#: ``wrong_bytes`` counts responses that decoded to the wrong record (the
+#: hint tier's never-a-wrong-byte invariant) — any drift is a bug.
+_CORRECTNESS_RE = re.compile(
+    r"(^|_)correct(_|$)|^errored$|^failed$|(^|_)identical$|^wrong_bytes$"
+)
 
 
 def _flatten(doc, prefix=""):

@@ -340,6 +340,61 @@ class IveSimulator:
             raise SimulationError("a lookup must probe at least one candidate")
         return self.latency(candidates)
 
+    # -- hint-PIR online phase (repro.hintpir) -------------------------------
+    def hintpir_online_latency(self, batch: int, entry_bits: int = 8) -> PirLatency:
+        """One batched hint-PIR online window: a plaintext ``DB @ Q`` GEMM.
+
+        SimplePIR's entire online server computation is one modular GEMM
+        over the *raw* database (Z_p entries of ``entry_bits`` bits, laid
+        out record-per-column: ``num_db_polys`` columns of
+        ``poly_payload_bytes`` records) — no ExpandQuery, no ColTor, no
+        NTT domain, and the stream covers ``db_raw_bytes`` instead of the
+        RNS/NTT-expanded ``num_db_polys * poly_bytes``.  That raw-vs-
+        preprocessed footprint gap plus the skipped per-query pipeline
+        stages is exactly the paper's Table IV argument that IVE's GEMM
+        path subsumes SimplePIR.
+
+        Roofline like :meth:`rowsel_seconds`: the DB stream, the query
+        matrix stream, and the MAC throughput overlap, with DB and query
+        traffic serializing when both ride HBM.  Each Z_p entry costs one
+        MAC per query (plaintext GEMM — no ciphertext component pair).
+        The response is one Z_q word per matrix row per query; uploads
+        overlap the batching window, so only the download is exposed on
+        PCIe, mirroring :meth:`comm_seconds`.
+        """
+        if batch < 1:
+            raise SimulationError("batch must be >= 1")
+        if entry_bits < 1:
+            raise SimulationError("entry_bits must be >= 1")
+        p, c = self.params, self.config
+        word_bytes = 4  # Z_q response/query words (q fits 32 bits)
+        entries = p.db_raw_bytes * 8 // entry_bits
+        rows = p.poly_payload_bytes * 8 // entry_bits  # entries per record
+        cols = p.num_db_polys  # one record per column
+        stream_s = p.db_raw_bytes / self.db_bandwidth
+        query_s = batch * cols * word_bytes / c.memory.hbm_bandwidth
+        gemm_s = batch * entries / (c.chip_gemm_macs_per_cycle * c.clock_hz)
+        if self.db_on_hbm:
+            rowsel_s = max(gemm_s, stream_s + query_s)
+        else:
+            rowsel_s = max(gemm_s, stream_s, query_s)
+        return PirLatency(
+            config=c,
+            params=p,
+            batch=batch,
+            expand_s=0.0,
+            rowsel_s=TIMING_OVERHEAD * rowsel_s,
+            coltor_s=0.0,
+            noc_s=0.0,
+            comm_s=batch * rows * word_bytes / c.pcie_bandwidth,
+        )
+
+    def min_raw_db_read_seconds(self) -> float:
+        """One pass over the raw (un-preprocessed) database — the hint-PIR
+        analog of :meth:`min_db_read_seconds`, and the waiting-window floor
+        for a hint-tier shard."""
+        return self.params.db_raw_bytes / self.db_bandwidth
+
     # -- online updates (repro.mutate) ---------------------------------------
     def update_apply_latency(self, dirty_polys: int) -> UpdateLatency:
         """Cost of re-preprocessing ``dirty_polys`` database polynomials.

@@ -14,6 +14,7 @@ Commands
 ``obs-watch``   live (or --replay) terminal dashboard over a health JSONL
 ``batchpir``    cuckoo-batched multi-record retrieval + amortization model
 ``kvpir``       keyword PIR over a key-value store + keyword-overhead model
+``hintpir``     hint-tier PIR (SimplePIR) + epoch refresh economics model
 ``update-churn``  online delta-apply vs full re-preprocess under churn
 """
 
@@ -35,6 +36,7 @@ _FIGURES = {
     "Table III": "benchmarks/bench_table3_prior_hw.py",
     "Fig. 13a-e": "benchmarks/bench_fig13_sensitivity.py",
     "Table IV": "benchmarks/bench_table4_other_schemes.py",
+    "Table IV (hintpir)": "benchmarks/bench_hintpir.py",
     "Fig. 14a/14b": "benchmarks/bench_fig14_ark_scheduler.py",
 }
 
@@ -262,8 +264,19 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         # by the coordinator at shutdown.
         previous_profiler = install_profiler(profiler)
 
-    if args.serving != "plain" and args.mode != "sim":
+    if args.serving in ("batchpir", "kvpir") and args.mode != "sim":
         print("--serving batchpir/kvpir is a sim-mode model", file=sys.stderr)
+        return 2
+    if args.serving == "hintpir" and args.mode == "cluster":
+        print("--serving hintpir runs in sim or real mode", file=sys.stderr)
+        return 2
+    if args.publish_period is not None and not (
+        args.serving == "hintpir" and args.mode == "real"
+    ):
+        print(
+            "--publish-period requires --serving hintpir --mode real",
+            file=sys.stderr,
+        )
         return 2
     if args.mode == "sim":
         from repro.serve import SimShardRegistry, SimulatedBackend
@@ -276,11 +289,31 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             num_shards=args.shards,
             batchpir=args.serving == "batchpir",
             kvpir=args.serving == "kvpir",
+            hintpir=args.serving == "hintpir",
         )
         policy = BatchPolicy(
             waiting_window_s=registry.waiting_window_s(), max_batch=args.max_batch
         )
         backend = SimulatedBackend(registry, tracer=tracer)
+    elif args.serving == "hintpir":
+        # Real hint-tier serving: per-shard SimplePIR deployments behind
+        # the dispatch windows, with optional mid-traffic epoch publishes
+        # (the stale-hint path a production hint tier must survive).
+        from repro.hintpir import HintCryptoBackend, HintServeRegistry
+        from repro.pir.simplepir import SimplePirParams
+
+        registry = HintServeRegistry.random(
+            num_records=args.records,
+            record_bytes=args.record_bytes,
+            num_shards=args.shards,
+            params=SimplePirParams(lwe_dim=64),
+            seed=args.seed,
+            client_history=1 << 20,  # decode audit replays every epoch
+        )
+        policy = BatchPolicy(
+            waiting_window_s=args.window_ms / 1e3, max_batch=args.max_batch
+        )
+        backend = HintCryptoBackend(registry)
     elif args.mode == "cluster":
         from repro.cluster import ClusterBackend, ClusterCoordinator, ClusterRegistry
 
@@ -382,7 +415,46 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
                 indices = loadgen.uniform_indices(
                     registry.num_records, args.queries, seed=args.seed
                 )
-            report = await loadgen.run_open_loop(runtime, arrivals, indices)
+            publisher_task = None
+            stop_publishing = asyncio.Event()
+            if args.publish_period is not None:
+                import numpy as np
+
+                from repro.mutate import UpdateLog
+
+                pub_rng = np.random.default_rng(args.seed + 1)
+
+                async def publish_epochs() -> None:
+                    while True:
+                        try:
+                            await asyncio.wait_for(
+                                stop_publishing.wait(), args.publish_period
+                            )
+                            return
+                        except asyncio.TimeoutError:
+                            pass
+                        dirty = max(
+                            1, round(args.publish_churn * registry.num_records)
+                        )
+                        log = UpdateLog()
+                        for idx in pub_rng.choice(
+                            registry.num_records, size=dirty, replace=False
+                        ):
+                            log.put(int(idx), pub_rng.bytes(args.record_bytes))
+                        registry.publish(log)
+
+                publisher_task = asyncio.create_task(
+                    publish_epochs(), name="epoch-publisher"
+                )
+            report = await loadgen.run_open_loop(
+                runtime,
+                arrivals,
+                indices,
+                collect_results=args.serving == "hintpir" and args.mode == "real",
+            )
+            if publisher_task is not None:
+                stop_publishing.set()
+                await publisher_task
             if sampler_task is not None:
                 stop_sampling.set()  # one final sample fires on the way out
                 await sampler_task
@@ -423,6 +495,46 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         "virtual_s": virtual_s,
         "metrics": report.metrics,
     }
+    hint_wrong = 0
+    if args.serving == "hintpir" and args.mode == "real":
+        # Correctness audit: every completed response must decode to the
+        # ground truth at its answer's epoch, resolve to a delta-patched
+        # hint, or be the typed HintStale — never a wrong byte.  Decoding
+        # in epoch order replays the hint patches the way a client would.
+        from repro.errors import HintStale
+
+        correct = stale = 0
+        results = sorted(
+            report.results or [], key=lambda r: getattr(r.response, "epoch", -1)
+        )
+        for result in results:
+            try:
+                value = registry.decode(result.request, result.response)
+            except HintStale:
+                stale += 1
+                continue
+            truth = registry.expected(
+                result.request.global_index, epoch=result.response.epoch
+            )
+            if value == truth:
+                correct += 1
+            else:
+                hint_wrong += 1
+        out["hintpir"] = {
+            "decoded_correct": correct,
+            "wrong_bytes": hint_wrong,
+            "stale_rejections": stale,
+            "epochs_published": registry.epoch,
+            "hint_downloads": sum(
+                registry.client(s).downloads for s in range(registry.num_shards)
+            ),
+            "patched_epochs": sum(
+                registry.client(s).patched_epochs
+                for s in range(registry.num_shards)
+            ),
+            "offline_bytes": registry.transcript().offline_bytes,
+            "online_bytes_per_query": registry.transcript().online_bytes,
+        }
     if evaluator is not None:
         out["slo"] = evaluator.summary()
     if recorder is not None:
@@ -488,7 +600,7 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         and evaluator is not None
         and evaluator.breaches > 0
     )
-    return 0 if report.errored == 0 and not breached else 1
+    return 0 if report.errored == 0 and hint_wrong == 0 and not breached else 1
 
 
 def cmd_obs_report(args: argparse.Namespace) -> int:
@@ -692,6 +804,127 @@ def cmd_kvpir(args: argparse.Namespace) -> int:
     return 0 if ok else 1
 
 
+def cmd_hintpir(args: argparse.Namespace) -> int:
+    """Hint-tier PIR: real offline/online roundtrip + refresh economics model."""
+    import time
+
+    import numpy as np
+
+    from repro.errors import HintStale
+    from repro.hintpir import (
+        HintPirClient,
+        HintPirProtocol,
+        churn_refresh_curve,
+        crossover_churn,
+        hintpir_vs_full,
+    )
+    from repro.mutate import UpdateLog
+    from repro.pir.simplepir import SimplePirParams
+
+    if args.db_gib not in _DIMS:
+        print(f"supported DB sizes: {sorted(_DIMS)} GiB", file=sys.stderr)
+        return 2
+    params = SimplePirParams(lwe_dim=args.lwe_dim)
+    rng = np.random.default_rng(args.seed)
+    records = [rng.bytes(args.record_bytes) for _ in range(args.records)]
+    protocol = HintPirProtocol(
+        records, args.record_bytes, params, seed=args.seed,
+        retain_epochs=args.retain, client_seed=args.seed + 1,
+    )
+    t = protocol.server.transcript()
+    print(
+        f"{args.records} records x {args.record_bytes} B: offline "
+        f"{t.offline_bytes / 1024:.1f} KiB hint, online "
+        f"{t.online_bytes / 1024:.2f} KiB/query "
+        f"(DB {t.db_bytes / 1024:.1f} KiB)"
+    )
+
+    # Online phase: one batched window over k random records.
+    k = min(args.k, args.records)
+    picks = [int(i) for i in rng.choice(args.records, size=k, replace=False)]
+    start = time.monotonic()
+    queries = [protocol.client.build_query(i) for i in picks]
+    answers = protocol.server.answer_window(queries)
+    decoded = [
+        protocol.client.decode(q, a) for q, a in zip(queries, answers)
+    ]
+    elapsed = time.monotonic() - start
+    ok = all(value == records[i] for value, i in zip(decoded, picks))
+    print(
+        f"answered {k} queries in one batched window: "
+        f"{'OK' if ok else 'MISMATCH'} in {elapsed * 1e3:.1f} ms"
+    )
+
+    # Epoch publishes: delta-patched decode, then the typed stale rejection.
+    laggard = HintPirClient(protocol.server, seed=args.seed + 2)
+    truth = list(records)
+    dirty_per_epoch = max(1, round(args.churn * args.records))
+    for _ in range(args.epochs):
+        log = UpdateLog()
+        for idx in rng.choice(args.records, size=dirty_per_epoch, replace=False):
+            record = rng.bytes(args.record_bytes)
+            log.put(int(idx), record)
+            truth[int(idx)] = record
+        report = protocol.publish(log)
+    target = int(rng.integers(args.records))
+    patched_ok = (
+        protocol.fetch(target) == truth[target]
+        and protocol.client.hint_epoch == protocol.server.epoch
+    )
+    print(
+        f"published {args.epochs} epochs at {args.churn:.1%} churn "
+        f"({dirty_per_epoch} writes, {report.patch_bytes} B delta-hint each); "
+        f"client delta-patched to epoch {protocol.client.hint_epoch}: "
+        f"{'OK' if patched_ok else 'MISMATCH'}"
+    )
+    stale_ok = False
+    if args.epochs > args.retain:
+        outcome = protocol.server.answer(laggard.build_query(target))
+        stale_ok = isinstance(outcome, HintStale)
+        print(
+            f"laggard at epoch 0 past the {args.retain}-epoch window -> "
+            f"{'typed HintStale (OK)' if stale_ok else 'MISMATCH: answered'}"
+        )
+    else:
+        stale_ok = True
+
+    model_params = PirParams.paper(d0=256, num_dims=_DIMS[args.db_gib])
+    points = hintpir_vs_full(model_params, batches=(1, 16, 64, 256))
+    print(
+        f"modeled on IVE, {args.db_gib} GiB DB (hint-tier online vs full "
+        f"RowSel/ColTor pass):"
+    )
+    print(
+        f"  {'batch':>6s} {'window ms':>10s} {'per-query ms':>13s} "
+        f"{'vs full pass':>12s}"
+    )
+    for p in points:
+        print(
+            f"  {p.batch:>6d} {p.online_s * 1e3:>10.3f} "
+            f"{p.per_query_s * 1e3:>13.4f} {p.speedup:>11.1f}x"
+        )
+    curve = churn_refresh_curve(model_params)
+    print("hint refresh economics (per epoch, per client):")
+    print(
+        f"  {'churn':>8s} {'dirty':>7s} {'mode':>6s} {'refresh MiB':>12s} "
+        f"{'online MiB':>11s} {'refresh %':>10s}"
+    )
+    for p in curve:
+        print(
+            f"  {p.churn:>8.4%} {p.dirty_records:>7d} {p.refresh_mode:>6s} "
+            f"{p.refresh_bytes / 2**20:>12.3f} {p.online_bytes / 2**20:>11.3f} "
+            f"{p.refresh_fraction:>9.1%}"
+        )
+    crossover = crossover_churn(curve)
+    print(
+        "refresh dominates the client's wire budget beyond "
+        f"{crossover:.2%} churn/epoch"
+        if crossover is not None
+        else "refresh never dominates across the swept churn range"
+    )
+    return 0 if ok and patched_ok and stale_ok else 1
+
+
 def cmd_update_churn(args: argparse.Namespace) -> int:
     """Mutable-database churn: real delta applies + the IVE update model."""
     import time
@@ -841,6 +1074,26 @@ def build_parser() -> argparse.ArgumentParser:
     kvpir.add_argument("--db-gib", type=int, default=2, help="model DB size")
     kvpir.set_defaults(func=cmd_kvpir)
 
+    hintpir = sub.add_parser(
+        "hintpir", help="hint-tier PIR: offline hint + sublinear online phase"
+    )
+    hintpir.add_argument("--records", type=int, default=128)
+    hintpir.add_argument("--record-bytes", type=int, default=32)
+    hintpir.add_argument("--lwe-dim", type=int, default=128)
+    hintpir.add_argument("--k", type=int, default=16, help="queries per window")
+    hintpir.add_argument(
+        "--epochs", type=int, default=3, help="mutation epochs to publish"
+    )
+    hintpir.add_argument(
+        "--churn", type=float, default=0.05, help="fraction of records per epoch"
+    )
+    hintpir.add_argument(
+        "--retain", type=int, default=2, help="delta-hint retain window (epochs)"
+    )
+    hintpir.add_argument("--seed", type=int, default=0)
+    hintpir.add_argument("--db-gib", type=int, default=2, help="model DB size")
+    hintpir.set_defaults(func=cmd_hintpir)
+
     churn = sub.add_parser(
         "update-churn", help="online database updates: delta apply vs re-preprocess"
     )
@@ -912,10 +1165,26 @@ def build_parser() -> argparse.ArgumentParser:
     )
     loadtest.add_argument(
         "--serving",
-        choices=("plain", "batchpir", "kvpir"),
+        choices=("plain", "batchpir", "kvpir", "hintpir"),
         default="plain",
-        help="sim-mode serving model: per-query scans, cuckoo-batched "
-        "passes, or keyword lookups over the slot table",
+        help="serving tier: per-query scans, cuckoo-batched passes, "
+        "keyword lookups (sim mode), or the hint tier's batched plaintext "
+        "GEMM (sim and real modes)",
+    )
+    loadtest.add_argument(
+        "--publish-period",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="with --serving hintpir --mode real: publish a mutation epoch "
+        "every SECONDS mid-traffic, exercising the delta-patch/HintStale "
+        "path under load",
+    )
+    loadtest.add_argument(
+        "--publish-churn",
+        type=float,
+        default=0.05,
+        help="fraction of records dirtied per --publish-period epoch",
     )
     loadtest.add_argument(
         "--zipf-a", type=float, default=1.2, help="Zipf exponent (with zipf)"

@@ -54,6 +54,10 @@ class KeyNotFound(KvPirError):
         super().__init__(f"no record tagged for key {key!r}")
 
 
+class HintPirError(ReproError):
+    """Base class for errors raised by the hint-PIR tier (repro.hintpir)."""
+
+
 class MutateError(ReproError):
     """Base class for errors raised by the update layer (repro.mutate)."""
 
@@ -142,4 +146,25 @@ class StaleEpoch(ServeError):
         super().__init__(
             f"epoch {epoch} is no longer served (live epochs "
             f"[{oldest_live}, {current}])"
+        )
+
+
+class HintStale(ServeError):
+    """A hint-PIR query carried a hint too old to patch with a delta.
+
+    The hint server retains per-epoch dirty-column deltas for a bounded
+    window; a client whose offline hint predates that window cannot be
+    brought current by a delta-hint and must re-download the full hint.
+    Answering anyway would decode to a *wrong byte* (the ``ΔDB @ A @ s``
+    term corrupts the noise floor), so the server refuses with this typed
+    rejection instead.
+    """
+
+    def __init__(self, hint_epoch: int, current: int, oldest_patchable: int):
+        self.hint_epoch = hint_epoch
+        self.current = current
+        self.oldest_patchable = oldest_patchable
+        super().__init__(
+            f"hint from epoch {hint_epoch} is unpatchable (delta window "
+            f"covers [{oldest_patchable}, {current}]); re-download the hint"
         )

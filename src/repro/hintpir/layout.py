@@ -1,0 +1,128 @@
+"""Record layout for the hint-PIR tier: records as matrix columns.
+
+SimplePIR serves a (rows x cols) matrix over Z_p.  This layout packs
+record ``i`` into **column** ``i`` — ``rows`` entries of ``p_log2`` bits
+each — so one online query retrieves a whole record, and a mutation to
+record ``i`` dirties exactly one column.  That column alignment is what
+makes epoch delta-hints cheap: a publish touching ``k`` records yields a
+``ΔDB @ A`` patch over ``k`` columns, not a full re-hint.
+
+The layout also owns the transcript arithmetic: how many bytes the
+offline hint, the online query, and the online answer occupy on the
+wire for a given parameter set.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import LayoutError
+from repro.pir.simplepir import SimplePirParams
+
+
+@dataclass(frozen=True)
+class HintLayout:
+    """Geometry of a hint-PIR deployment: ``num_records`` x ``record_bytes``."""
+
+    num_records: int
+    record_bytes: int
+    params: SimplePirParams
+
+    def __post_init__(self):
+        if self.num_records < 1:
+            raise LayoutError("hint-PIR layout needs at least one record")
+        if self.record_bytes < 1:
+            raise LayoutError("record_bytes must be positive")
+
+    # -- geometry ---------------------------------------------------------
+
+    @property
+    def rows(self) -> int:
+        """Entries per record: record bits split into p_log2-bit limbs."""
+        bits = self.record_bytes * 8
+        return -(-bits // self.params.p_log2)
+
+    @property
+    def cols(self) -> int:
+        return self.num_records
+
+    # -- transcript arithmetic -------------------------------------------
+
+    @property
+    def word_bytes(self) -> int:
+        """Wire bytes per Z_q element."""
+        return (self.params.q_log2 + 7) // 8
+
+    @property
+    def hint_bytes(self) -> int:
+        """Offline download: the (rows x lwe_dim) hint matrix."""
+        return self.rows * self.params.lwe_dim * self.word_bytes
+
+    @property
+    def query_bytes(self) -> int:
+        """Online upload: one Z_q element per column."""
+        return self.cols * self.word_bytes
+
+    @property
+    def answer_bytes(self) -> int:
+        """Online download: one Z_q element per row."""
+        return self.rows * self.word_bytes
+
+    @property
+    def db_bytes(self) -> int:
+        return self.num_records * self.record_bytes
+
+    @property
+    def delta_entry_bytes(self) -> int:
+        """Bytes per delta-hint value: signed, entries in (-(p-1), p-1)."""
+        return (self.params.p_log2 + 1 + 7) // 8
+
+    def patch_bytes(self, dirty_cols: int) -> int:
+        """Wire size of a delta-hint over ``dirty_cols`` dirty columns.
+
+        The client re-derives ``A`` from the 8-byte seed, so the server
+        ships only the signed column deltas plus the dirty column ids —
+        sublinear in the database for sparse churn.
+        """
+        return self.rows * dirty_cols * self.delta_entry_bytes + dirty_cols * 4 + 8
+
+    # -- packing ----------------------------------------------------------
+
+    def pack_record(self, record: bytes) -> np.ndarray:
+        """One record -> a length-``rows`` column of Z_p entries."""
+        if len(record) > self.record_bytes:
+            raise LayoutError(
+                f"record of {len(record)} bytes exceeds slot of "
+                f"{self.record_bytes}"
+            )
+        padded = record.ljust(self.record_bytes, b"\x00")
+        bits = np.unpackbits(np.frombuffer(padded, dtype=np.uint8), bitorder="little")
+        limbs = np.zeros(self.rows * self.params.p_log2, dtype=np.uint8)
+        limbs[: bits.size] = bits
+        weights = np.int64(1) << np.arange(self.params.p_log2, dtype=np.int64)
+        return limbs.reshape(self.rows, self.params.p_log2).astype(np.int64) @ weights
+
+    def pack_records(self, records) -> np.ndarray:
+        """All records -> the (rows x cols) database matrix."""
+        records = list(records)
+        if len(records) != self.num_records:
+            raise LayoutError(
+                f"layout holds {self.num_records} records, got {len(records)}"
+            )
+        matrix = np.empty((self.rows, self.cols), dtype=np.int64)
+        for i, record in enumerate(records):
+            matrix[:, i] = self.pack_record(record)
+        return matrix
+
+    def unpack_column(self, column: np.ndarray) -> bytes:
+        """A decoded length-``rows`` column -> the record bytes."""
+        column = np.asarray(column, dtype=np.int64)
+        if column.shape != (self.rows,):
+            raise LayoutError(
+                f"column must have {self.rows} entries, got {column.shape}"
+            )
+        bits = (column[:, None] >> np.arange(self.params.p_log2)) & 1
+        flat = bits.astype(np.uint8).reshape(-1)[: self.record_bytes * 8]
+        return np.packbits(flat, bitorder="little").tobytes()

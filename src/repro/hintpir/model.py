@@ -1,0 +1,201 @@
+"""Refresh economics of the hint tier: when does churn eat the savings?
+
+The hint tier trades a large offline download for a cheap online phase.
+Mutations tax that trade: every epoch publish forces each client to
+either fetch a delta-hint (churn-proportional) or re-download the full
+hint.  This module sweeps churn rates at paper scale and locates the
+crossover where refresh traffic starts to dominate the client's wire
+budget — the operating envelope the serving tier must respect.
+
+Geometry maps the repo's standard database onto SimplePIR terms: one
+record per preprocessed polynomial payload (``num_db_polys`` columns of
+``poly_payload_bytes``-byte records), ``entry_bits``-bit Z_p limbs, and
+the paper-scale LWE dimension (2^10) rather than the test-friendly
+default of :class:`~repro.pir.simplepir.SimplePirParams`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.arch.config import IveConfig
+from repro.arch.simulator import IveSimulator
+from repro.errors import ParameterError
+from repro.params import PirParams
+
+#: Paper-scale LWE secret dimension (SimplePIR uses 2^10).
+DEFAULT_LWE_DIM = 1024
+#: Z_p limb width: one byte per entry (p = 2^8).
+DEFAULT_ENTRY_BITS = 8
+#: Z_q wire word (q fits 32 bits).
+WORD_BYTES = 4
+#: Default online traffic per epoch used by the churn sweep: one design
+#: batch of queries between consecutive publishes.
+DEFAULT_QUERIES_PER_EPOCH = 64
+
+
+@dataclass(frozen=True)
+class HintGeometry:
+    """SimplePIR matrix geometry for one parameter set."""
+
+    num_records: int
+    record_bytes: int
+    lwe_dim: int
+    entry_bits: int
+
+    @property
+    def rows(self) -> int:
+        return -(-self.record_bytes * 8 // self.entry_bits)
+
+    @property
+    def cols(self) -> int:
+        return self.num_records
+
+    @property
+    def hint_bytes(self) -> int:
+        return self.rows * self.lwe_dim * WORD_BYTES
+
+    @property
+    def query_bytes(self) -> int:
+        return self.cols * WORD_BYTES
+
+    @property
+    def answer_bytes(self) -> int:
+        return self.rows * WORD_BYTES
+
+    @property
+    def delta_entry_bytes(self) -> int:
+        """Signed delta limb: entries in ``(-(p-1), p-1)``."""
+        return (self.entry_bits + 1 + 7) // 8
+
+    def patch_bytes(self, dirty_records: int) -> int:
+        return (
+            self.rows * dirty_records * self.delta_entry_bytes
+            + dirty_records * 4
+            + 8
+        )
+
+    @classmethod
+    def from_params(
+        cls,
+        params: PirParams,
+        lwe_dim: int = DEFAULT_LWE_DIM,
+        entry_bits: int = DEFAULT_ENTRY_BITS,
+    ) -> "HintGeometry":
+        return cls(
+            num_records=params.num_db_polys,
+            record_bytes=params.poly_payload_bytes,
+            lwe_dim=lwe_dim,
+            entry_bits=entry_bits,
+        )
+
+
+@dataclass(frozen=True)
+class HintOnlinePoint:
+    """Hint-tier online cost vs a full RowSel/ColTor pass at one batch."""
+
+    batch: int
+    online_s: float  # one batched hint-PIR window
+    per_query_s: float  # amortized per query
+    full_pass_s: float  # one full-pipeline pass at batch 1
+    speedup: float  # full_pass_s / per_query_s
+
+
+def hintpir_vs_full(
+    params: PirParams | None = None,
+    config: IveConfig | None = None,
+    batches=(1, 16, 64, 256),
+    entry_bits: int = DEFAULT_ENTRY_BITS,
+) -> list[HintOnlinePoint]:
+    """Online server cost of the hint tier against the full pipeline.
+
+    The comparison behind the ROADMAP gate: amortized per-query hint-PIR
+    service time (one plaintext GEMM shared by the window) against one
+    single-query RowSel/ColTor pass on the same simulator.
+    """
+    params = params or PirParams.paper()
+    sim = IveSimulator(config or IveConfig.ive(), params)
+    full_pass_s = sim.latency(1).total_s
+    points = []
+    for batch in batches:
+        online_s = sim.hintpir_online_latency(batch, entry_bits).total_s
+        per_query_s = online_s / batch
+        points.append(
+            HintOnlinePoint(
+                batch=batch,
+                online_s=online_s,
+                per_query_s=per_query_s,
+                full_pass_s=full_pass_s,
+                speedup=full_pass_s / per_query_s,
+            )
+        )
+    return points
+
+
+@dataclass(frozen=True)
+class HintRefreshPoint:
+    """Client wire budget at one churn rate: refresh vs online traffic."""
+
+    churn: float  # fraction of records dirtied per epoch
+    dirty_records: int
+    patch_bytes: int  # delta-hint size for this epoch's churn
+    hint_bytes: int  # full re-download alternative
+    refresh_bytes: int  # min of the two — what a rational client moves
+    refresh_mode: str  # "delta" | "full"
+    online_bytes: int  # queries_per_epoch online round trips
+    refresh_fraction: float  # refresh share of the total wire budget
+
+    @property
+    def total_bytes(self) -> int:
+        return self.refresh_bytes + self.online_bytes
+
+
+def churn_refresh_curve(
+    params: PirParams | None = None,
+    lwe_dim: int = DEFAULT_LWE_DIM,
+    entry_bits: int = DEFAULT_ENTRY_BITS,
+    queries_per_epoch: int = DEFAULT_QUERIES_PER_EPOCH,
+    churns=(1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 1e-2, 3e-2, 1e-1, 3e-1),
+) -> list[HintRefreshPoint]:
+    """Per-epoch client traffic across churn rates, at paper scale.
+
+    Each point: an epoch dirties ``churn * num_records`` records; the
+    client pays ``min(delta patch, full hint)`` to stay current plus its
+    ``queries_per_epoch`` online round trips.  The refresh *fraction*
+    locates the crossover — churn beyond which keeping the hint fresh
+    costs more wire than the queries it accelerates.
+    """
+    if queries_per_epoch < 1:
+        raise ParameterError("queries_per_epoch must be >= 1")
+    geometry = HintGeometry.from_params(
+        params or PirParams.paper(), lwe_dim, entry_bits
+    )
+    online_bytes = queries_per_epoch * (geometry.query_bytes + geometry.answer_bytes)
+    points = []
+    for churn in churns:
+        if not 0.0 <= churn <= 1.0:
+            raise ParameterError(f"churn must be in [0, 1], got {churn}")
+        dirty = max(1, round(churn * geometry.num_records)) if churn > 0 else 0
+        patch = geometry.patch_bytes(dirty)
+        refresh = min(patch, geometry.hint_bytes)
+        points.append(
+            HintRefreshPoint(
+                churn=churn,
+                dirty_records=dirty,
+                patch_bytes=patch,
+                hint_bytes=geometry.hint_bytes,
+                refresh_bytes=refresh,
+                refresh_mode="delta" if patch <= geometry.hint_bytes else "full",
+                online_bytes=online_bytes,
+                refresh_fraction=refresh / (refresh + online_bytes),
+            )
+        )
+    return points
+
+
+def crossover_churn(points: list[HintRefreshPoint]) -> float | None:
+    """First churn rate where refresh traffic dominates (fraction > 1/2)."""
+    for point in points:
+        if point.refresh_fraction > 0.5:
+            return point.churn
+    return None

@@ -18,6 +18,8 @@ from repro.pir.simplepir import (
     SimplePirParams,
     SimplePirServer,
     db_matrix_shape,
+    lwe_public_matrix,
+    modular_gemm,
 )
 
 __all__ = [
@@ -41,7 +43,36 @@ __all__ = [
     "expand_query_batched",
     "expansion_powers",
     "layout_for",
+    "lwe_public_matrix",
+    "modular_gemm",
     "num_rowsel_cols",
     "row_select",
     "row_select_vec",
+]
+
+# The hint tier (repro.hintpir) builds its protocol family on the
+# SimplePIR core above; re-exported here so the PIR surface is one
+# import.  Deliberately at the end of the module: repro.hintpir imports
+# repro.pir.simplepir (the submodule, never this package's attributes),
+# so this late import cannot form a cycle.
+from repro.hintpir.protocol import (  # noqa: E402
+    HintAnswer,
+    HintDelta,
+    HintEpochDelta,
+    HintPirClient,
+    HintPirProtocol,
+    HintPirServer,
+    HintQuery,
+    HintTranscript,
+)
+
+__all__ += [
+    "HintAnswer",
+    "HintDelta",
+    "HintEpochDelta",
+    "HintPirClient",
+    "HintPirProtocol",
+    "HintPirServer",
+    "HintQuery",
+    "HintTranscript",
 ]

@@ -6,6 +6,12 @@ a column, and the server answers with a single matrix-vector product —
 "one server for the price of two".  This functional implementation backs
 the Table IV comparison and the Section VI-D claim that IVE's modular GEMM
 path covers SimplePIR's entire server computation.
+
+All products here are taken mod q with :func:`modular_gemm`, which chunks
+the accumulation so partial sums provably fit int64 for *any* valid
+parameter set — the naive ``(a @ b) % q`` is only accidentally correct
+when q is a power of two (int64 wraparound is congruent mod 2^k) and
+silently wrong otherwise.
 """
 
 from __future__ import annotations
@@ -16,6 +22,47 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import LayoutError, ParameterError
+
+_INT64_MAX = (1 << 63) - 1
+
+
+def modular_gemm(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
+    """``(a @ b) % q`` with int64 accumulation that provably never overflows.
+
+    ``a`` and ``b`` must already be reduced into ``[0, q)`` (or, for delta
+    matrices, into ``(-q, q)``).  The inner dimension is split into chunks
+    small enough that ``chunk * max|a| * max|b| + (q - 1)`` fits int64;
+    each chunk's partial product is reduced mod q before the next is
+    accumulated.  Chunking is exact mod q, so the result is byte-identical
+    regardless of where the chunk boundaries fall.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    inner = a.shape[-1]
+    if inner == 0:
+        return np.zeros(a.shape[:-1] + b.shape[1:], dtype=np.int64)
+    max_a = int(np.max(np.abs(a), initial=0))
+    max_b = int(np.max(np.abs(b), initial=0))
+    per_term = max_a * max_b
+    if per_term == 0:
+        return np.zeros(a.shape[:-1] + b.shape[1:], dtype=np.int64)
+    chunk = (_INT64_MAX - (q - 1)) // per_term
+    if chunk < 1:
+        # A single product term overflows int64 (q-sized times q-sized
+        # operands at large q): fall back to exact arbitrary-precision
+        # integers.  Slow, but only reachable at parameter corners that
+        # int64 fundamentally cannot host — never the DB-side hot path,
+        # where one operand is p-sized.
+        return np.asarray(
+            (a.astype(object) @ b.astype(object)) % q, dtype=np.int64
+        )
+    if chunk >= inner:
+        return (a @ b) % q
+    acc = np.zeros(a.shape[:-1] + b.shape[1:], dtype=np.int64)
+    for start in range(0, inner, chunk):
+        stop = min(start + chunk, inner)
+        acc = (acc + a[..., start:stop] @ b[start:stop]) % q
+    return acc
 
 
 @dataclass(frozen=True)
@@ -40,9 +87,16 @@ class SimplePirParams:
         return self.q // self.p
 
     def __post_init__(self):
-        # Accumulating `cols` products of p-size by q-size values must fit int64.
+        # Each product term of a p-size by q-size value must leave room for
+        # at least one accumulation step (modular_gemm chunks the rest).
         if self.q_log2 + self.p_log2 >= 60:
             raise ParameterError("q*p too large for int64 accumulation")
+        if self.p_log2 >= self.q_log2:
+            raise ParameterError(
+                "p must be smaller than q (delta = q/p scales the payload)"
+            )
+        if self.lwe_dim < 1 or self.q_log2 < 1 or self.p_log2 < 1:
+            raise ParameterError("lwe_dim, q_log2, p_log2 must be positive")
 
 
 class SimplePirServer:
@@ -54,16 +108,18 @@ class SimplePirServer:
             raise LayoutError("SimplePIR database must be a 2-D matrix")
         if db_matrix.max(initial=0) >= params.p:
             raise LayoutError(f"database entries must be < p = {params.p}")
+        if db_matrix.min(initial=0) < 0:
+            raise LayoutError("database entries must be non-negative")
         self.db = db_matrix
         self.params = params
-        rng = np.random.default_rng(seed)
-        self.a_matrix = rng.integers(
-            0, params.q, size=(db_matrix.shape[1], params.lwe_dim), dtype=np.int64
+        self.seed = seed
+        self.a_matrix = lwe_public_matrix(
+            db_matrix.shape[1], params.lwe_dim, params.q, seed
         )
 
     def hint(self) -> np.ndarray:
         """Offline download: DB @ A mod q (rows x lwe_dim)."""
-        return (self.db @ self.a_matrix) % self.params.q
+        return modular_gemm(self.db, self.a_matrix, self.params.q)
 
     def answer(self, query_vector: np.ndarray) -> np.ndarray:
         """Online answer: DB @ query mod q (one pass over the whole DB)."""
@@ -72,7 +128,34 @@ class SimplePirServer:
             raise LayoutError(
                 f"query must have {self.db.shape[1]} entries, got {query_vector.shape}"
             )
-        return (self.db @ query_vector) % self.params.q
+        return modular_gemm(self.db, query_vector, self.params.q)
+
+    def answer_batch(self, query_matrix: np.ndarray) -> np.ndarray:
+        """Answer a stack of queries with one DB @ Q GEMM.
+
+        ``query_matrix`` is (cols, batch) — one query vector per column —
+        and the result is (rows, batch), column i answering query i.  One
+        GEMM amortizes the single pass over the database across the whole
+        batch; chunked accumulation makes the result byte-identical to
+        answering each query alone.
+        """
+        query_matrix = np.asarray(query_matrix, dtype=np.int64)
+        if query_matrix.ndim != 2 or query_matrix.shape[0] != self.db.shape[1]:
+            raise LayoutError(
+                f"query matrix must be ({self.db.shape[1]}, batch), "
+                f"got {query_matrix.shape}"
+            )
+        return modular_gemm(self.db, query_matrix, self.params.q)
+
+
+def lwe_public_matrix(cols: int, lwe_dim: int, q: int, seed: int) -> np.ndarray:
+    """The public LWE matrix A, derived deterministically from ``seed``.
+
+    Client and server expand the same seed instead of shipping the
+    (cols x lwe_dim) matrix: the transcript carries 8 bytes, not ~n*N*4.
+    """
+    rng = np.random.default_rng(seed)
+    return rng.integers(0, q, size=(cols, lwe_dim), dtype=np.int64)
 
 
 class SimplePirClient:
@@ -96,13 +179,15 @@ class SimplePirClient:
         ).astype(np.int64)
         one_hot = np.zeros(self.num_cols, dtype=np.int64)
         one_hot[col] = params.delta
-        query = (self.a_matrix @ secret % params.q + error + one_hot) % params.q
+        query = (
+            modular_gemm(self.a_matrix, secret, params.q) + error + one_hot
+        ) % params.q
         return query, secret
 
     def recover(self, answer: np.ndarray, secret: np.ndarray, row: int) -> int:
         """Decode DB[row, col] from the server's answer."""
         params = self.params
-        noisy = (answer - self.hint @ secret) % params.q
+        noisy = (answer - modular_gemm(self.hint, secret, params.q)) % params.q
         value = int((int(noisy[row]) + params.delta // 2) // params.delta) % params.p
         return value
 

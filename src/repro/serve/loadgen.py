@@ -130,6 +130,11 @@ class LoadReport:
     errored: int
     offered_qps: float
     metrics: dict
+    #: Completed :class:`~repro.serve.dispatcher.ServeResult`\ s, populated
+    #: only when ``run_open_loop(collect_results=True)`` — correctness
+    #: audits (e.g. the hint tier's never-a-wrong-byte check) need the
+    #: responses, not just the counters.
+    results: list | None = None
 
     @property
     def reject_rate(self) -> float:
@@ -141,6 +146,7 @@ async def run_open_loop(
     arrivals: np.ndarray,
     indices: np.ndarray,
     drain: bool = True,
+    collect_results: bool = False,
 ) -> LoadReport:
     """Drive ``runtime`` with the given arrival schedule.
 
@@ -175,4 +181,9 @@ async def run_open_loop(
         errored=errored,
         offered_qps=(len(arrivals) - 1) / offered_span if offered_span > 0 else 0.0,
         metrics=runtime.metrics.snapshot(),
+        results=(
+            [o for o in outcomes if not isinstance(o, BaseException)]
+            if collect_results
+            else None
+        ),
     )

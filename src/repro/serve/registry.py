@@ -252,12 +252,21 @@ class SimShardRegistry:
     config: IveConfig | None = None
     batchpir: bool = False
     kvpir: bool = False
+    # hintpir mode: the window is one plaintext DB @ Q GEMM over the raw
+    # database (repro.hintpir) instead of the full Expand/RowSel/ColTor
+    # pipeline; Z_p entries of hint_entry_bits bits.
+    hintpir: bool = False
+    hint_entry_bits: int = 8
     design_batch: int = 64
     # kvpir mode: probes per lookup; None = kvpir.model.DEFAULT_MODEL_CANDIDATES
     candidates_per_lookup: int | None = None
     _service_cache: dict[int, float] = field(default_factory=dict, repr=False)
 
     def __post_init__(self):
+        if self.hintpir and (self.batchpir or self.kvpir):
+            raise ParameterError(
+                "hintpir mode cannot combine with batchpir/kvpir"
+            )
         if not modmath.is_power_of_two(self.num_shards):
             raise ParameterError("shard count must be a power of two")
         levels = modmath.ilog2(self.num_shards)
@@ -336,6 +345,10 @@ class SimShardRegistry:
             if self.batch_system is not None:
                 passes = math.ceil(batch / self.design_batch)
                 seconds = passes * self.batch_system.pass_latency().total_s
+            elif self.hintpir:
+                seconds = self.system.simulator.hintpir_online_latency(
+                    batch, self.hint_entry_bits
+                ).total_s
             else:
                 seconds = self.system.latency(batch).total_s
             self._service_cache[batch] = seconds
@@ -345,11 +358,15 @@ class SimShardRegistry:
         """Paper policy: window = one RowSel DB read of the shard slice.
 
         The batchpir analog reads every bucket database once (the
-        replicated set), which is what one coalesced pass amortizes.
+        replicated set), which is what one coalesced pass amortizes; the
+        hintpir analog is one pass over the *raw* database — the hint
+        tier never streams the NTT-expanded form.
         """
         if self.batch_system is not None:
             return (
                 self.batch_system.num_buckets
                 * self.batch_system.simulator.min_db_read_seconds()
             )
+        if self.hintpir:
+            return self.system.simulator.min_raw_db_read_seconds()
         return self.system.min_db_read_seconds()

@@ -1,0 +1,105 @@
+"""Hint-tier record layout: columns, limbs, transcript arithmetic."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import LayoutError
+from repro.hintpir.layout import HintLayout
+from repro.pir.simplepir import SimplePirParams
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return HintLayout(16, 24, SimplePirParams(lwe_dim=64))
+
+
+class TestGeometry:
+    def test_rows_cover_record_bits(self, layout):
+        assert layout.rows * layout.params.p_log2 >= layout.record_bytes * 8
+        assert (layout.rows - 1) * layout.params.p_log2 < layout.record_bytes * 8
+
+    def test_one_record_per_column(self, layout):
+        assert layout.cols == layout.num_records
+
+    def test_ragged_limb_count(self):
+        # 5 bytes = 40 bits at 3-bit limbs -> 14 rows (ceil), not 13.
+        layout = HintLayout(4, 5, SimplePirParams(lwe_dim=8, p_log2=3))
+        assert layout.rows == 14
+
+    def test_rejects_degenerate(self):
+        with pytest.raises(LayoutError):
+            HintLayout(0, 8, SimplePirParams())
+        with pytest.raises(LayoutError):
+            HintLayout(8, 0, SimplePirParams())
+
+
+class TestTranscriptArithmetic:
+    def test_wire_sizes(self, layout):
+        word = (layout.params.q_log2 + 7) // 8
+        assert layout.word_bytes == word
+        assert layout.hint_bytes == layout.rows * layout.params.lwe_dim * word
+        assert layout.query_bytes == layout.cols * word
+        assert layout.answer_bytes == layout.rows * word
+        assert layout.db_bytes == 16 * 24
+
+    def test_patch_scales_with_dirty_columns(self, layout):
+        empty = layout.patch_bytes(0)
+        one = layout.patch_bytes(1)
+        many = layout.patch_bytes(7)
+        assert empty < one < many
+        assert many - one == 6 * (one - empty)
+
+    def test_sparse_patch_beats_full_hint(self):
+        layout = HintLayout(4096, 32, SimplePirParams(lwe_dim=512))
+        assert layout.patch_bytes(4) < layout.hint_bytes
+
+
+class TestPacking:
+    def test_roundtrip(self, layout):
+        rng = np.random.default_rng(0)
+        for _ in range(8):
+            record = rng.bytes(layout.record_bytes)
+            assert layout.unpack_column(layout.pack_record(record)) == record
+
+    def test_short_record_zero_padded(self, layout):
+        record = b"abc"
+        padded = record.ljust(layout.record_bytes, b"\x00")
+        assert layout.unpack_column(layout.pack_record(record)) == padded
+
+    def test_entries_fit_plaintext_modulus(self, layout):
+        column = layout.pack_record(b"\xff" * layout.record_bytes)
+        assert column.max() < layout.params.p
+        assert column.min() >= 0
+
+    def test_matrix_assembly_matches_per_record(self, layout):
+        rng = np.random.default_rng(1)
+        records = [rng.bytes(layout.record_bytes) for _ in range(layout.cols)]
+        matrix = layout.pack_records(records)
+        assert matrix.shape == (layout.rows, layout.cols)
+        for i, record in enumerate(records):
+            assert np.array_equal(matrix[:, i], layout.pack_record(record))
+
+    def test_rejects_oversized_record(self, layout):
+        with pytest.raises(LayoutError):
+            layout.pack_record(b"x" * (layout.record_bytes + 1))
+
+    def test_rejects_wrong_record_count(self, layout):
+        with pytest.raises(LayoutError):
+            layout.pack_records([b"x"] * (layout.cols - 1))
+
+    def test_rejects_wrong_column_shape(self, layout):
+        with pytest.raises(LayoutError):
+            layout.unpack_column(np.zeros(layout.rows + 1, dtype=np.int64))
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=st.binary(min_size=0, max_size=24),
+        p_log2=st.integers(min_value=1, max_value=12),
+    )
+    def test_roundtrip_property(self, data, p_log2):
+        params = SimplePirParams(lwe_dim=8, q_log2=max(p_log2 + 1, 20), p_log2=p_log2)
+        layout = HintLayout(1, 24, params)
+        padded = data.ljust(24, b"\x00")
+        assert layout.unpack_column(layout.pack_record(data)) == padded

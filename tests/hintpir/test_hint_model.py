@@ -1,0 +1,85 @@
+"""Hint-tier cost model: online speedup gate and refresh economics."""
+
+import pytest
+
+from repro.arch.config import IveConfig
+from repro.arch.simulator import IveSimulator
+from repro.errors import ParameterError
+from repro.hintpir.model import (
+    HintGeometry,
+    churn_refresh_curve,
+    crossover_churn,
+    hintpir_vs_full,
+)
+from repro.params import PirParams
+
+
+class TestGeometry:
+    def test_maps_paper_database(self):
+        params = PirParams.paper()
+        geometry = HintGeometry.from_params(params)
+        assert geometry.num_records == params.num_db_polys
+        assert geometry.record_bytes == params.poly_payload_bytes
+        assert geometry.rows * geometry.entry_bits >= geometry.record_bytes * 8
+
+    def test_sparse_patch_beats_full_hint(self):
+        geometry = HintGeometry.from_params(PirParams.paper())
+        assert geometry.patch_bytes(1) < geometry.hint_bytes
+        assert geometry.patch_bytes(geometry.num_records) > geometry.hint_bytes
+
+
+class TestOnlineSpeedup:
+    def test_roadmap_gate_10x_at_design_batch(self):
+        """The PR's acceptance gate: hint-tier online service >=10x below
+        one full RowSel/ColTor pass at paper scale and the design batch."""
+        points = {p.batch: p for p in hintpir_vs_full()}
+        assert points[64].speedup >= 10.0
+
+    def test_batching_amortizes(self):
+        points = hintpir_vs_full(batches=(1, 16, 64, 256))
+        per_query = [p.per_query_s for p in points]
+        assert per_query == sorted(per_query, reverse=True)
+        assert points[-1].speedup > points[0].speedup
+
+    def test_online_latency_dominated_by_raw_stream(self):
+        params = PirParams.paper()
+        sim = IveSimulator(IveConfig.ive(), params)
+        online = sim.hintpir_online_latency(1)
+        assert online.total_s >= sim.min_raw_db_read_seconds()
+        assert online.expand_s == 0.0 and online.coltor_s == 0.0
+
+
+class TestRefreshEconomics:
+    def test_curve_monotone_in_churn(self):
+        points = churn_refresh_curve()
+        fractions = [p.refresh_fraction for p in points]
+        assert fractions == sorted(fractions)
+        assert all(p.refresh_bytes <= p.hint_bytes for p in points)
+
+    def test_crossover_exists_at_paper_scale(self):
+        points = churn_refresh_curve()
+        crossover = crossover_churn(points)
+        assert crossover is not None
+        assert 1e-4 < crossover < 1.0
+
+    def test_delta_yields_to_full_redownload_at_high_churn(self):
+        points = churn_refresh_curve()
+        modes = [p.refresh_mode for p in points]
+        assert modes[0] == "delta"
+        assert modes[-1] == "full"
+        first_full = modes.index("full")
+        assert all(m == "full" for m in modes[first_full:])  # no flip-flop
+
+    def test_low_churn_refresh_is_cheap(self):
+        [point] = churn_refresh_curve(churns=(1e-5,))
+        assert point.refresh_fraction < 0.05
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ParameterError):
+            churn_refresh_curve(queries_per_epoch=0)
+        with pytest.raises(ParameterError):
+            churn_refresh_curve(churns=(1.5,))
+
+    def test_no_crossover_when_churn_stays_tiny(self):
+        points = churn_refresh_curve(churns=(1e-6, 1e-5))
+        assert crossover_churn(points) is None
