@@ -33,11 +33,14 @@ _BENCH_DIR = pathlib.Path(__file__).resolve().parent
 
 #: Leaf names whose values assert *correctness*, not speed.  Exact match
 #: against the baseline is mandatory; anything else is advisory.
-#: ``identical`` / ``byte_identical`` flag bit-exact recomputation checks;
-#: ``wrong_bytes`` counts responses that decoded to the wrong record (the
-#: hint tier's never-a-wrong-byte invariant) — any drift is a bug.
+#: ``identical`` / ``byte_identical`` flag bit-exact recomputation checks
+#: (the compute-backend parity gate in BENCH_hotpath rides on these);
+#: ``decoded_ok`` flags end-to-end decode correctness; ``wrong_bytes``
+#: counts responses that decoded to the wrong record (the hint tier's
+#: never-a-wrong-byte invariant) — any drift is a bug.
 _CORRECTNESS_RE = re.compile(
-    r"(^|_)correct(_|$)|^errored$|^failed$|(^|_)identical$|^wrong_bytes$"
+    r"(^|_)correct(_|$)|^errored$|^failed$|(^|_)identical$|^decoded_ok$"
+    r"|^wrong_bytes$"
 )
 
 

@@ -1,17 +1,21 @@
-"""Batched tensor hot path vs the per-poly reference pipeline.
+"""Compute-backend hot path: reference vs ``eager`` vs ``planned``.
 
-One claim, measured end to end: routing ExpandQuery -> RowSel -> ColTor
-through the stacked kernels in ``repro.he.batched`` (multi-modulus NTTs,
-limb-iCRT gadget decomposition, lazy-reduction GEMM/inner products) must
-make ``PirServer.answer`` >= 5x faster than the per-poly oracle at a
-mid-size RowSel-dominated parameter set — while producing *byte-identical*
-``PirResponse`` transcripts (the fast path only reassociates exact modular
-arithmetic, so any divergence is a bug, not noise).
+One claim, measured end to end, at a mid-size RowSel-dominated geometry:
+
+* the ``eager`` backend (stacked tensor kernels in ``repro.he.batched``)
+  must keep its >= 5x over the per-poly reference oracle;
+* the ``planned`` backend (GEMM-form NTT plans + Barrett reduction +
+  tensor-resident ColTor, ``repro.he.backend``) must be >= 2x faster
+  again than ``eager`` on ``PirServer.answer``;
+* every backend produces *byte-identical* ``PirResponse`` transcripts —
+  backends only reassociate exact modular arithmetic, so any divergence
+  is a bug, not noise.
 
 Also timed: database preprocessing (one batched CRT+NTT per plane vs one
 call per polynomial), the speedup the serving layer sees on every epoch
 build.  Results land in BENCH_hotpath.json so future PRs have a
-trajectory.
+trajectory; ``bench_guard`` holds the ``byte_identical`` / ``decoded_ok``
+/ ``identical`` leaves to exact match.
 """
 
 import json
@@ -27,6 +31,7 @@ from repro.he.poly import Domain, RingContext
 from repro.params import PirParams
 from repro.pir.database import PirDatabase, PreprocessedDatabase
 from repro.pir.protocol import PirProtocol
+from repro.pir.server import PirServer
 
 #: BENCH_SMOKE=1 shrinks every knob for the CI smoke job: the scripts
 #: must still run end to end, but results are not written or compared.
@@ -39,7 +44,8 @@ DIMS = 3 if SMOKE else 6
 D0 = 8 if SMOKE else 32
 NUM_QUERIES = 1 if SMOKE else 3
 RECORD_BYTES = 512
-SPEEDUP_BOUND = 5.0  # the ISSUE's answer-path bound (not asserted in smoke)
+EAGER_BOUND = 5.0  # eager over the per-poly oracle (pre-backend ISSUE bound)
+PLANNED_BOUND = 2.0  # planned over eager (this ISSUE's gate)
 PREPROCESS_BOUND = 3.0  # per-poly preprocess is already vectorised
 
 _OUT = pathlib.Path(__file__).resolve().parent / "BENCH_hotpath.json"
@@ -56,13 +62,26 @@ def _preprocess_reference(db: PirDatabase, ring: RingContext) -> tuple[float, ob
     return elapsed, PreprocessedDatabase(db.layout, ring, planes)
 
 
+def _identical(responses, oracle_responses) -> bool:
+    return all(
+        np.array_equal(f.a.residues, r.a.residues)
+        and np.array_equal(f.b.residues, r.b.residues)
+        for fr, rr in zip(responses, oracle_responses)
+        for f, r in zip(fr.plane_cts, rr.plane_cts)
+    )
+
+
 def _run() -> dict:
     params = PirParams.small(n=256, d0=D0, num_dims=DIMS)
     num_records = params.num_db_polys  # one record per polynomial
     db = PirDatabase.random(params, num_records, RECORD_BYTES, seed=31)
-    protocol = PirProtocol(params, db, seed=32)
-    server = protocol.server
-    ring = server.ring
+    protocol = PirProtocol(params, db, seed=32, backend="planned")
+    ring = protocol.server.ring
+    setup = protocol.client.setup_message()
+    servers = {
+        "eager": PirServer(protocol.server.db, setup, backend="eager"),
+        "planned": protocol.server,
+    }
 
     # -- preprocessing: batched (current) vs per-poly (reference) ---------
     start = time.monotonic()
@@ -75,29 +94,32 @@ def _run() -> dict:
         for a, b in zip(fast_row, ref_row)
     )
 
-    # -- answer path: fast vs reference, byte-identical transcripts ------
+    # -- answer path: reference oracle, then each backend -----------------
     rng = np.random.default_rng(33)
     indices = [int(i) for i in rng.choice(num_records, size=NUM_QUERIES, replace=False)]
     queries = [protocol.client.build_query(i, db.layout) for i in indices]
-    server.answer(queries[0])  # warm caches (twiddles, limb tables, tensors)
-    server.answer_reference(queries[0])
+    for server in servers.values():
+        server.answer(queries[0])  # warm caches (twiddles, plans, tensors)
+    protocol.server.answer_reference(queries[0])
 
     start = time.monotonic()
-    fast = [server.answer(q) for q in queries]
-    fast_s = time.monotonic() - start
-    start = time.monotonic()
-    ref = [server.answer_reference(q) for q in queries]
+    ref = [protocol.server.answer_reference(q) for q in queries]
     ref_s = time.monotonic() - start
 
-    identical = all(
-        np.array_equal(f.a.residues, r.a.residues)
-        and np.array_equal(f.b.residues, r.b.residues)
-        for fr, rr in zip(fast, ref)
-        for f, r in zip(fr.plane_cts, rr.plane_cts)
-    )
+    # Interleaved passes, best-of: a load spike on the shared runner
+    # should not land entirely on one backend's sample.
+    passes = 1 if SMOKE else 2
+    timings = {name: float("inf") for name in servers}
+    responses: dict[str, list] = {}
+    for _ in range(passes):
+        for name, server in servers.items():
+            start = time.monotonic()
+            responses[name] = [server.answer(q) for q in queries]
+            timings[name] = min(timings[name], time.monotonic() - start)
+
     decoded_ok = all(
         protocol.client.decode_response(resp, idx, db.layout) == db.record(idx)
-        for resp, idx in zip(fast, indices)
+        for resp, idx in zip(responses["planned"], indices)
     )
     return {
         "params": {
@@ -110,10 +132,18 @@ def _run() -> dict:
         },
         "answer": {
             "queries": NUM_QUERIES,
-            "fast_s_per_query": fast_s / NUM_QUERIES,
             "reference_s_per_query": ref_s / NUM_QUERIES,
-            "speedup": ref_s / fast_s,
-            "byte_identical": identical,
+            "eager": {
+                "s_per_query": timings["eager"] / NUM_QUERIES,
+                "speedup_vs_reference": ref_s / timings["eager"],
+                "byte_identical": _identical(responses["eager"], ref),
+            },
+            "planned": {
+                "s_per_query": timings["planned"] / NUM_QUERIES,
+                "speedup_vs_reference": ref_s / timings["planned"],
+                "speedup_vs_eager": timings["eager"] / timings["planned"],
+                "byte_identical": _identical(responses["planned"], ref),
+            },
             "decoded_ok": decoded_ok,
         },
         "preprocess": {
@@ -131,15 +161,20 @@ def test_hotpath_speedup_and_equivalence(benchmark, report):
         _OUT.write_text(json.dumps(result, indent=2) + "\n")
 
     p, ans, pre = result["params"], result["answer"], result["preprocess"]
+    eager, planned = ans["eager"], ans["planned"]
     report(
-        "Batched tensor hot path — answer pipeline and preprocessing",
+        "Compute-backend hot path — answer pipeline and preprocessing",
         [
             f"geometry: D0={p['d0']} x 2^{p['num_dims']} = {p['num_polys']} polys, "
             f"n={p['n']}, {p['db_bytes'] / 2**20:.1f} MiB raw DB",
             f"answer (per query): reference {ans['reference_s_per_query'] * 1e3:.1f} ms"
-            f" -> fast {ans['fast_s_per_query'] * 1e3:.1f} ms"
-            f" = {ans['speedup']:.1f}x",
-            f"transcripts byte-identical: {ans['byte_identical']}, "
+            f" -> eager {eager['s_per_query'] * 1e3:.1f} ms"
+            f" ({eager['speedup_vs_reference']:.1f}x)"
+            f" -> planned {planned['s_per_query'] * 1e3:.1f} ms"
+            f" ({planned['speedup_vs_eager']:.1f}x over eager,"
+            f" {planned['speedup_vs_reference']:.1f}x over reference)",
+            f"transcripts byte-identical: eager {eager['byte_identical']}, "
+            f"planned {planned['byte_identical']}; "
             f"decoded correctly: {ans['decoded_ok']}",
             f"preprocess: per-poly {pre['reference_s'] * 1e3:.0f} ms -> batched "
             f"{pre['fast_s'] * 1e3:.0f} ms = {pre['speedup']:.1f}x "
@@ -148,14 +183,16 @@ def test_hotpath_speedup_and_equivalence(benchmark, report):
         ],
     )
 
-    # The fast path may never diverge from the oracle...
-    assert ans["byte_identical"]
+    # No backend may ever diverge from the oracle...
+    assert eager["byte_identical"]
+    assert planned["byte_identical"]
     assert ans["decoded_ok"]
     assert pre["identical"]
-    # ...and must clear the speedup bounds end to end.  A single tiny
+    # ...and each must clear its speedup bound end to end.  A single tiny
     # query on a shared CI runner is not a stable timing sample, so the
-    # smoke job only checks equivalence — the speedup claim is asserted
+    # smoke job only checks equivalence — the speedup claims are asserted
     # at full size.
     if not SMOKE:
-        assert ans["speedup"] >= SPEEDUP_BOUND, ans
+        assert eager["speedup_vs_reference"] >= EAGER_BOUND, eager
+        assert planned["speedup_vs_eager"] >= PLANNED_BOUND, planned
         assert pre["speedup"] >= PREPROCESS_BOUND, pre

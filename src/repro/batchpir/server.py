@@ -24,6 +24,7 @@ from repro.batchpir.client import (
 from repro.batchpir.hashing import CuckooConfig
 from repro.batchpir.layout import BatchDatabase, BatchLayout
 from repro.errors import ParameterError
+from repro.he.backend import ComputeBackend
 from repro.params import PirParams
 from repro.pir.client import ClientSetup
 from repro.pir.database import PirDatabase
@@ -34,18 +35,23 @@ from repro.pir.server import PirServer
 class BatchPirServer:
     """One PirServer per bucket, sharing the client's evaluation keys.
 
-    ``use_fast`` selects the batched tensor hot path in every bucket
-    server (the default); the per-poly oracle stays reachable for
-    equivalence checks.
+    ``backend`` selects the compute backend for every bucket server
+    (the registry default when unset); the per-poly oracle stays
+    reachable through ``PirServer.answer_reference``.
     """
 
     def __init__(
-        self, db: BatchDatabase, ring, setup: ClientSetup, use_fast: bool = True
+        self,
+        db: BatchDatabase,
+        ring,
+        setup: ClientSetup,
+        backend: str | ComputeBackend | None = None,
     ):
         self.layout = db.layout
         self.db = db
         self.servers = [
-            PirServer(bucket_db.preprocess(ring), setup, use_fast=use_fast)
+            PirServer(bucket_db.preprocess(ring, backend=backend), setup,
+                      backend=backend)
             for bucket_db in db.bucket_dbs
         ]
 
@@ -85,6 +91,7 @@ class BatchPirProtocol:
         hash_seed: int = 0,
         seed: int | None = None,
         config: CuckooConfig | None = None,
+        backend: str | ComputeBackend | None = None,
     ):
         size = record_bytes if record_bytes is not None else len(records[0])
         self.config = (
@@ -96,7 +103,9 @@ class BatchPirProtocol:
         self.db = BatchDatabase(self.layout, records)
         self.client = BatchPirClient(self.layout, seed=seed)
         setup = self.client.setup_message()
-        self.server = BatchPirServer(self.db, self.client.pir.ring, setup)
+        self.server = BatchPirServer(
+            self.db, self.client.pir.ring, setup, backend=backend
+        )
         self.transcript = Transcript(
             setup_bytes=setup.size_bytes(self.layout.bucket_params)
         )

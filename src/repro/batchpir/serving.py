@@ -42,6 +42,7 @@ class BatchServeRegistry:
         record_bytes: int | None = None,
         hash_seed: int = 0,
         seed: int | None = None,
+        backend: str | None = None,
     ):
         self.params = params
         self.max_batch = max_batch
@@ -59,7 +60,9 @@ class BatchServeRegistry:
             client = BatchPirClient(layout, seed=seed)
             self._clients.append(client)
             self._servers.append(
-                BatchPirServer(db, client.pir.ring, client.setup_message())
+                BatchPirServer(
+                    db, client.pir.ring, client.setup_message(), backend=backend
+                )
             )
 
     @classmethod
@@ -71,11 +74,13 @@ class BatchServeRegistry:
         max_batch: int,
         num_shards: int = 1,
         seed: int | None = None,
+        backend: str | None = None,
     ) -> "BatchServeRegistry":
         rng = np.random.default_rng(seed)
         records = [rng.bytes(record_bytes) for _ in range(num_records)]
         return cls(
-            params, records, max_batch, num_shards, record_bytes, seed=seed
+            params, records, max_batch, num_shards, record_bytes, seed=seed,
+            backend=backend,
         )
 
     @property

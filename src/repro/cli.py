@@ -98,6 +98,7 @@ def cmd_serve(args: argparse.Namespace) -> int:
         record_bytes=args.record_bytes,
         num_shards=args.shards,
         seed=args.seed,
+        backend=args.backend,
     )
     policy = BatchPolicy(
         waiting_window_s=args.window_ms / 1e3, max_batch=args.max_batch
@@ -159,7 +160,10 @@ def cmd_cluster(args: argparse.Namespace) -> int:
 
     async def run():
         coordinator = ClusterCoordinator(
-            registry, num_workers=args.workers, replication=args.replication
+            registry,
+            num_workers=args.workers,
+            replication=args.replication,
+            backend=args.backend,
         )
         async with coordinator:
             backend = ClusterBackend(coordinator)
@@ -309,6 +313,7 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             params=SimplePirParams(lwe_dim=64),
             seed=args.seed,
             client_history=1 << 20,  # decode audit replays every epoch
+            backend=args.backend,
         )
         policy = BatchPolicy(
             waiting_window_s=args.window_ms / 1e3, max_batch=args.max_batch
@@ -331,6 +336,7 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
         coordinator = ClusterCoordinator(
             registry,
             num_workers=args.workers,
+            backend=args.backend,
             tracer=tracer,
             profiler=profiler,
             recorder=recorder,
@@ -346,6 +352,7 @@ def cmd_loadtest(args: argparse.Namespace) -> int:
             record_bytes=args.record_bytes,
             num_shards=args.shards,
             seed=args.seed,
+            backend=args.backend,
         )
         policy = BatchPolicy(
             waiting_window_s=args.window_ms / 1e3, max_batch=args.max_batch
@@ -830,6 +837,7 @@ def cmd_hintpir(args: argparse.Namespace) -> int:
     protocol = HintPirProtocol(
         records, args.record_bytes, params, seed=args.seed,
         retain_epochs=args.retain, client_seed=args.seed + 1,
+        backend=args.backend,
     )
     t = protocol.server.transcript()
     print(
@@ -1092,6 +1100,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     hintpir.add_argument("--seed", type=int, default=0)
     hintpir.add_argument("--db-gib", type=int, default=2, help="model DB size")
+    hintpir.add_argument(
+        "--backend",
+        default="planned",
+        help="compute backend name from the repro.he.backend registry "
+        "(unknown names exit 2 listing the registered ones)",
+    )
     hintpir.set_defaults(func=cmd_hintpir)
 
     churn = sub.add_parser(
@@ -1124,6 +1138,11 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--window-ms", type=float, default=10.0)
     serve.add_argument("--max-batch", type=int, default=8)
     serve.add_argument("--seed", type=int, default=3)
+    serve.add_argument(
+        "--backend",
+        default="planned",
+        help="compute backend name from the repro.he.backend registry",
+    )
     serve.set_defaults(func=cmd_serve)
 
     cluster = sub.add_parser(
@@ -1144,6 +1163,11 @@ def build_parser() -> argparse.ArgumentParser:
         "--publish",
         action="store_true",
         help="also broadcast an epoch publish and re-read the updated record",
+    )
+    cluster.add_argument(
+        "--backend",
+        default="planned",
+        help="compute backend name, reconstructed inside each worker process",
     )
     cluster.set_defaults(func=cmd_cluster)
 
@@ -1252,6 +1276,12 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="FILE",
         help="write the final metrics registry as Prometheus text exposition",
+    )
+    loadtest.add_argument(
+        "--backend",
+        default="planned",
+        help="compute backend for real/cluster/hintpir serving (sim mode "
+        "ignores it); unknown names exit 2 listing the registered ones",
     )
     loadtest.set_defaults(func=cmd_loadtest)
 

@@ -55,6 +55,7 @@ from repro.errors import (
     StaleEpoch,
     WorkerDied,
 )
+from repro.he.backend import get_backend
 from repro.mutate.log import UpdateLog
 from repro.obs.events import FlightRecorder
 from repro.obs.profile import KernelProfiler
@@ -150,7 +151,7 @@ class ClusterCoordinator:
         heartbeat_timeout_s: float = 10.0,
         max_attempts: int = 3,
         retain: int = 2,
-        use_fast: bool = True,
+        backend: str = "planned",
         tracer: Tracer | None = None,
         profiler: KernelProfiler | None = None,
         recorder: FlightRecorder | None = None,
@@ -172,7 +173,9 @@ class ClusterCoordinator:
         self.heartbeat_timeout_s = heartbeat_timeout_s
         self.max_attempts = max_attempts
         self.retain = retain
-        self.use_fast = use_fast
+        # Validate the name eagerly — a typo should fail here, not in a
+        # spawned worker; only the registry key travels in WorkerConfig.
+        self.backend = get_backend(backend).name
         #: When set, workers are spawned with trace/profile on: they time
         #: answers (spans ride home in BatchDone, merged into the tracer)
         #: and accumulate kernel stats (merged at WorkerStopped).
@@ -213,7 +216,7 @@ class ClusterCoordinator:
                 heartbeat_interval_s=self.heartbeat_interval_s,
                 retain=self.retain,
                 seed=None if seed is None else seed + worker_id,
-                use_fast=self.use_fast,
+                backend=self.backend,
                 trace=self.tracer is not None,
                 profile=self.profiler is not None,
             )

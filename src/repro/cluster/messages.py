@@ -51,7 +51,10 @@ class WorkerConfig:
     #: Worker-local seed derived from the cluster seed (``seed + worker_id``)
     #: so a seeded loadtest is reproducible end to end across processes.
     seed: int | None
-    use_fast: bool = True
+    #: Compute-backend name (``repro.he.backend`` registry) reconstructed
+    #: inside the spawned process — backends themselves never cross the
+    #: pipe, only the registry key.
+    backend: str = "planned"
     #: Observability opt-ins (``repro.obs``): with ``trace`` the worker
     #: times each answered query and ships :class:`~repro.obs.trace.Span`
     #: values back in :class:`BatchDone`; with ``profile`` it installs a

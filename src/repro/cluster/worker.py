@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass, field
 
 from repro.errors import ClusterError, ReproError, StaleEpoch
+from repro.he.backend import get_backend
 from repro.he.poly import RingContext
 from repro.mutate.log import UpdateLog
 from repro.mutate.versioned import EpochSnapshot, VersionedDatabase
@@ -86,6 +87,9 @@ class ClusterWorker:
         self.config = config
         self.setup = setup
         self.ring = RingContext.shared(config.params)
+        # Reconstructed from the registry name that travelled in the
+        # pickled WorkerConfig; resolution errors surface at spawn.
+        self.backend = get_backend(config.backend)
         self.replicas: dict[int, _Replica] = {}
         self._send_lock = threading.Lock()
         self._stop = threading.Event()
@@ -122,11 +126,12 @@ class ClusterWorker:
             list(msg.records),
             self.config.record_bytes,
             ring=self.ring,
+            backend=self.backend,
         )
         replica = _Replica(shard_id=msg.shard_id, vdb=vdb)
         replica.snapshots[msg.epoch] = vdb.current
         replica.servers[msg.epoch] = PirServer(
-            vdb.current.pre, self.setup, use_fast=self.config.use_fast
+            vdb.current.pre, self.setup, backend=self.backend
         )
         self.replicas[msg.shard_id] = replica
         self._send(
@@ -239,7 +244,7 @@ class ClusterWorker:
                 repacked += snapshot.cost.polys_repacked
                 replica.snapshots[msg.epoch] = snapshot
                 replica.servers[msg.epoch] = PirServer(
-                    snapshot.pre, self.setup, use_fast=self.config.use_fast
+                    snapshot.pre, self.setup, backend=self.backend
                 )
                 oldest_kept = msg.epoch - self.config.retain + 1
                 for epoch in [e for e in replica.servers if e < oldest_kept]:

@@ -1,0 +1,760 @@
+"""Pluggable compute backends for the batched PIR kernel layer.
+
+Every consumer of the hot path — ``PirServer``, batchpir, kvpir, the
+hintpir/SimplePIR GEMM tier, the mutate re-NTT, the serving registries
+and the cluster workers — resolves a :class:`ComputeBackend` once at
+construction (``get_backend("planned")`` by default) instead of
+threading ad-hoc fast-path booleans.  A backend implements the small
+primitive surface (forward/inverse NTT, gadget decomposition, the
+modular GEMMs and key-switch inner products) and inherits the shared
+pipeline ops built on top of them (``substitute``, ``external_product``,
+``expand``, ``rowsel``, ``coltor``), so the whole
+ExpandQuery→RowSel→ColTor pipeline retargets by swapping primitives.
+
+Two backends are registered:
+
+* ``eager`` — the existing stacked-numpy path (lazy-reduction
+  butterflies, limb-iCRT decomposition, chunked int64 einsums), kept
+  byte-for-byte as the correctness oracle;
+* ``planned`` — precomputed per-:class:`~repro.he.poly.RingContext` NTT
+  *plans*: the twiddle/bit-reversal structure of each ring is folded
+  once into dense per-modulus transform matrices (built by pushing the
+  identity through the existing butterflies, so output ordering is
+  identical by construction), and transforms become float64 GEMMs with
+  Barrett reduction replacing the per-stage ``%``
+  (:func:`repro.he.modred.barrett_reduce`).  Gadget digits (< z) ride
+  one fused ``(batch*k, n) @ (n, rns*n)`` dgemm; general residues split
+  into 14-bit halves so the accumulation provably stays below the
+  float64-exact bound.  ColTor rounds stay tensor-resident (the
+  even/odd halves are residue-tensor views, never re-stacked ciphertext
+  lists), which together with the vec-form RowSel output removes every
+  intermediate ciphertext-stack materialization between expand and the
+  final response.  Rings whose geometry breaks a plan's exactness bound
+  (n > {max_n}, oversized moduli, oversized digits) fall back to the
+  eager primitives per call — never silently wrong, at most slower.
+
+All backend arithmetic is exact modular arithmetic, so every backend is
+byte-identical; ``tests/pir/test_backend_parity.py`` asserts this across
+all four serving modes.  Kernel-stage labels carry the backend name
+(``ntt_fwd@planned``) so profiles attribute time to the implementation
+that spent it; :func:`repro.obs.report.measured_vs_modeled` aggregates
+over the suffix.
+
+Registering a third backend::
+
+    class MyBackend(EagerBackend):
+        name = "mine"
+        def ntt_forward(self, ctx, residues): ...
+
+    register_backend(MyBackend())
+
+after which ``--backend mine`` works everywhere a backend name travels,
+including reconstruction inside spawned cluster workers.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+from repro.he.batched import (
+    BfvCiphertextVec,
+    RnsPolyVec,
+    _batched_decompose_impl,
+    _chunked_einsum,
+    _lazy_inner,
+    _limb_tables,
+    _rns_forward_impl,
+    _rns_inverse_impl,
+    overflow_safe_chunk,
+)
+from repro.he.bfv import BfvCiphertext
+from repro.he.gadget import Gadget
+from repro.he.modred import (
+    FLOAT64_EXACT_MAX,
+    barrett_reduce,
+    barrett_reduce_nonneg,
+)
+from repro.he.poly import Domain, RingContext
+from repro.he.rgsw import RgswCiphertext
+from repro.he.subs import SubsKey
+from repro.obs.profile import kernel_stage
+
+_INT64_MAX = (1 << 63) - 1
+
+#: Largest ring degree the planned backend builds dense NTT plans for.
+#: Above this the per-modulus (2n, n) transform matrices outgrow both
+#: the float64-exact accumulation bound and any sensible cache budget,
+#: so the planned backend falls back to the eager butterflies.
+PLAN_MAX_N = 512
+
+
+def modular_gemm(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
+    """``(a @ b) % q`` with int64 accumulation that provably never overflows.
+
+    ``a`` and ``b`` must already be reduced into ``[0, q)`` (or, for delta
+    matrices, into ``(-q, q)``).  The inner dimension is split into chunks
+    small enough that ``chunk * max|a| * max|b| + (q - 1)`` fits int64;
+    each chunk's partial product is reduced mod q before the next is
+    accumulated.  Chunking is exact mod q, so the result is byte-identical
+    regardless of where the chunk boundaries fall.
+    """
+    a = np.asarray(a, dtype=np.int64)
+    b = np.asarray(b, dtype=np.int64)
+    inner = a.shape[-1]
+    if inner == 0:
+        return np.zeros(a.shape[:-1] + b.shape[1:], dtype=np.int64)
+    max_a = int(np.max(np.abs(a), initial=0))
+    max_b = int(np.max(np.abs(b), initial=0))
+    per_term = max_a * max_b
+    if per_term == 0:
+        return np.zeros(a.shape[:-1] + b.shape[1:], dtype=np.int64)
+    chunk = (_INT64_MAX - (q - 1)) // per_term
+    if chunk < 1:
+        # A single product term overflows int64 (q-sized times q-sized
+        # operands at large q): fall back to exact arbitrary-precision
+        # integers.  Slow, but only reachable at parameter corners that
+        # int64 fundamentally cannot host — never the DB-side hot path,
+        # where one operand is p-sized.
+        return np.asarray(
+            (a.astype(object) @ b.astype(object)) % q, dtype=np.int64
+        )
+    if chunk >= inner:
+        return (a @ b) % q
+    acc = np.zeros(a.shape[:-1] + b.shape[1:], dtype=np.int64)
+    for start in range(0, inner, chunk):
+        stop = min(start + chunk, inner)
+        acc = (acc + a[..., start:stop] @ b[start:stop]) % q
+    return acc
+
+
+class ComputeBackend:
+    """Kernel-primitive surface plus the pipeline ops built on it.
+
+    Subclasses provide the primitives (NTTs, decomposition, GEMMs); the
+    pipeline ops (``substitute`` … ``coltor``) are implemented here once
+    in terms of those primitives, so a backend that swaps a primitive
+    retargets the whole ExpandQuery→RowSel→ColTor pipeline.  Pipeline
+    ops never call the module-level ``rns_forward``/``rns_inverse`` —
+    every transform routes through ``self`` so the backend's plan (and
+    its profiler label) is always in effect.
+    """
+
+    name: str = ""
+
+    def _label(self, stage: str) -> str:
+        return f"{stage}@{self.name}"
+
+    # -- primitives (subclass responsibility) ----------------------------
+    def ntt_forward(self, ctx: RingContext, residues: np.ndarray) -> np.ndarray:
+        """Stacked forward NTT over every RNS row: (..., rns, n) -> same."""
+        raise NotImplementedError
+
+    def ntt_inverse(self, ctx: RingContext, residues: np.ndarray) -> np.ndarray:
+        """Stacked inverse NTT over every RNS row: (..., rns, n) -> same."""
+        raise NotImplementedError
+
+    def digits_forward(self, ctx: RingContext, digits: np.ndarray) -> np.ndarray:
+        """NTT a digit tensor (batch, k, n) into every RNS row.
+
+        The output feeds ``inner`` and nothing else, so a backend may
+        return *partially* reduced residues (e.g. ``[0, 2q)``) as long
+        as its own ``inner`` accounts for the wider operand range — the
+        inner product's final reduction makes the pipeline result
+        canonical (and byte-identical) either way.
+        """
+        raise NotImplementedError
+
+    def decompose(self, gadget: Gadget, vec: RnsPolyVec) -> np.ndarray:
+        """Gadget digits of a whole batch: (batch, gadget_len, n) int64."""
+        raise NotImplementedError
+
+    def inner(
+        self, digits: np.ndarray, rows: np.ndarray, moduli_col: np.ndarray
+    ) -> np.ndarray:
+        """Key-switch inner product ``out[b] = sum_k digits[b, k] * rows[k]``."""
+        raise NotImplementedError
+
+    def rowsel_gemm(
+        self, db: np.ndarray, query: np.ndarray, moduli_col: np.ndarray
+    ) -> np.ndarray:
+        """RowSel GEMM: (cols, rows, rns, n) x (rows, rns, n) -> (cols, rns, n)."""
+        raise NotImplementedError
+
+    def modular_gemm(self, a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
+        """Dense ``(a @ b) % q`` (the SimplePIR/hintpir server tier)."""
+        raise NotImplementedError
+
+    # -- domain helpers ---------------------------------------------------
+    def vec_to_ntt(self, vec: RnsPolyVec) -> RnsPolyVec:
+        if vec.domain is Domain.NTT:
+            return vec
+        return RnsPolyVec(
+            vec.ctx, self.ntt_forward(vec.ctx, vec.residues), Domain.NTT
+        )
+
+    def vec_to_coeff(self, vec: RnsPolyVec) -> RnsPolyVec:
+        if vec.domain is Domain.COEFF:
+            return vec
+        return RnsPolyVec(
+            vec.ctx, self.ntt_inverse(vec.ctx, vec.residues), Domain.COEFF
+        )
+
+    # -- pipeline ops -----------------------------------------------------
+    def substitute(
+        self, vec: BfvCiphertextVec, evk: SubsKey, gadget: Gadget
+    ) -> BfvCiphertextVec:
+        """Subs(ct, evk.r) over a whole batch of ciphertexts at once."""
+        if evk.num_rows != gadget.length:
+            raise ParameterError(
+                f"evk has {evk.num_rows} rows; gadget expects {gadget.length}"
+            )
+        ctx = vec.a.ctx
+        moduli_col = ctx._moduli_col
+        nbytes = vec.a.residues.nbytes + vec.b.residues.nbytes
+        with kernel_stage(self._label("subs"), nbytes):
+            a_aut = self.vec_to_coeff(vec.a).automorphism(evk.r)
+            b_aut = self.vec_to_ntt(
+                self.vec_to_coeff(vec.b).automorphism(evk.r)
+            )
+            digits = self.digits_forward(ctx, self.decompose(gadget, a_aut))
+            rows_a = np.stack([row.residues for row in evk.a_rows])
+            rows_b = np.stack([row.residues for row in evk.b_rows])
+            out_a = self.inner(digits, rows_a, moduli_col)
+            out_b = (self.inner(digits, rows_b, moduli_col) + b_aut.residues) \
+                % moduli_col
+            return BfvCiphertextVec(
+                RnsPolyVec(ctx, out_a, Domain.NTT),
+                RnsPolyVec(ctx, out_b, Domain.NTT),
+            )
+
+    def external_product(
+        self, rgsw: RgswCiphertext, vec: BfvCiphertextVec, gadget: Gadget
+    ) -> BfvCiphertextVec:
+        """ct_RGSW ⊡ ct_BFV for a batch of BFV ciphertexts (Fig. 3 flow)."""
+        ell = gadget.length
+        if rgsw.num_rows != 2 * ell:
+            raise ParameterError(
+                f"RGSW has {rgsw.num_rows} rows; gadget expects {2 * ell}"
+            )
+        ctx = vec.a.ctx
+        batch = vec.batch
+        nbytes = vec.a.residues.nbytes + vec.b.residues.nbytes
+        with kernel_stage(self._label("ext_product"), nbytes):
+            stacked = self.vec_to_coeff(RnsPolyVec.concat(vec.a, vec.b))
+            digits = self.decompose(gadget, stacked)  # (2*batch, ell, n)
+            # Per ciphertext the digit order is a-digits then b-digits.
+            digits = np.concatenate([digits[:batch], digits[batch:]], axis=1)
+            digits = self.digits_forward(ctx, digits)  # (batch, 2*ell, rns, n)
+            rows_a = np.stack([row.residues for row in rgsw.a_rows])
+            rows_b = np.stack([row.residues for row in rgsw.b_rows])
+            return BfvCiphertextVec(
+                RnsPolyVec(
+                    ctx, self.inner(digits, rows_a, ctx._moduli_col), Domain.NTT
+                ),
+                RnsPolyVec(
+                    ctx, self.inner(digits, rows_b, ctx._moduli_col), Domain.NTT
+                ),
+            )
+
+    def cmux(
+        self,
+        rgsw_bit: RgswCiphertext,
+        if_zeros: BfvCiphertextVec,
+        if_ones: BfvCiphertextVec,
+        gadget: Gadget,
+    ) -> BfvCiphertextVec:
+        """Homomorphic select: bit ⊡ (ones - zeros) + zeros, batched."""
+        return self.external_product(
+            rgsw_bit, if_ones - if_zeros, gadget
+        ) + if_zeros
+
+    def expand(
+        self,
+        ct: BfvCiphertext,
+        evks: dict[int, SubsKey],
+        levels: int,
+        gadget: Gadget,
+    ) -> BfvCiphertextVec:
+        """Batched ExpandQuery tree: one query ct -> 2^levels one-hot cts."""
+        n = ct.a.ctx.n
+        if (1 << levels) > n:
+            raise ParameterError(
+                f"cannot expand {levels} levels in a degree-{n} ring"
+            )
+        nbytes = ct.a.residues.nbytes + ct.b.residues.nbytes
+        with kernel_stage(self._label("expand"), nbytes):
+            vec = BfvCiphertextVec.from_cts([ct])
+            for a in range(levels):
+                r = n // (1 << a) + 1
+                if r not in evks:
+                    raise ParameterError(
+                        f"missing evk for substitution power r={r}"
+                    )
+                evk = evks[r]
+                step = 1 << a
+                swapped = self.substitute(vec, evk, gadget)
+                even = vec + swapped
+                odd = (vec - swapped).monomial_mul(-step)
+                vec = BfvCiphertextVec.concat(even, odd)
+            return vec
+
+    def rowsel(
+        self,
+        expanded: BfvCiphertextVec,
+        db_tensor: np.ndarray,
+        moduli_col: np.ndarray,
+    ) -> BfvCiphertextVec:
+        """Batched RowSel over one plane's (cols, d0, rns, n) tensor."""
+        d0 = db_tensor.shape[1]
+        if expanded.batch != d0:
+            raise ParameterError(
+                f"expected {d0} expanded ciphertexts, got {expanded.batch}"
+            )
+        ctx = expanded.a.ctx
+        with kernel_stage(self._label("rowsel"), 2 * db_tensor.nbytes):
+            out_a = self.rowsel_gemm(db_tensor, expanded.a.residues, moduli_col)
+            out_b = self.rowsel_gemm(db_tensor, expanded.b.residues, moduli_col)
+        return BfvCiphertextVec(
+            RnsPolyVec(ctx, out_a, Domain.NTT),
+            RnsPolyVec(ctx, out_b, Domain.NTT),
+        )
+
+    @staticmethod
+    def _check_coltor(count: int, selection_bits: list) -> None:
+        if count == 0:
+            raise ParameterError("ColTor needs at least one entry")
+        if count & (count - 1):
+            raise ParameterError(
+                f"ColTor entry count {count} must be a power of two"
+            )
+        if (1 << len(selection_bits)) != count:
+            raise ParameterError(
+                f"{count} entries need {count.bit_length() - 1} selection "
+                f"bits, got {len(selection_bits)}"
+            )
+
+    def coltor(
+        self,
+        entries: BfvCiphertextVec,
+        selection_bits: list[RgswCiphertext],
+        gadget: Gadget,
+    ) -> BfvCiphertext:
+        """Tournament reduction: 2^d RowSel outputs -> one response ct.
+
+        The base implementation mirrors the historical fast path exactly:
+        each round restacks the surviving ciphertexts into even/odd vec
+        halves via the ciphertext list (the planned backend overrides
+        this with tensor-resident slicing).
+        """
+        self._check_coltor(entries.batch, selection_bits)
+        nbytes = entries.a.residues.nbytes + entries.b.residues.nbytes
+        with kernel_stage(self._label("coltor"), nbytes):
+            current = entries.cts()
+            for rgsw_bit in selection_bits:
+                zeros = BfvCiphertextVec.from_cts(current[0::2])
+                ones = BfvCiphertextVec.from_cts(current[1::2])
+                current = self.cmux(rgsw_bit, zeros, ones, gadget).cts()
+            return current[0]
+
+
+class EagerBackend(ComputeBackend):
+    """The current stacked-numpy path: butterflies, limb iCRT, int64 einsums.
+
+    Byte-for-byte the pre-backend fast path; kept as the correctness
+    oracle every other backend is measured against.
+    """
+
+    name = "eager"
+
+    def ntt_forward(self, ctx: RingContext, residues: np.ndarray) -> np.ndarray:
+        with kernel_stage(self._label("ntt_fwd"), getattr(residues, "nbytes", 0)):
+            return _rns_forward_impl(ctx, residues)
+
+    def ntt_inverse(self, ctx: RingContext, residues: np.ndarray) -> np.ndarray:
+        with kernel_stage(self._label("ntt_inv"), getattr(residues, "nbytes", 0)):
+            return _rns_inverse_impl(ctx, residues)
+
+    def digits_forward(self, ctx: RingContext, digits: np.ndarray) -> np.ndarray:
+        batch, k, n = digits.shape
+        tiled = np.broadcast_to(
+            digits[:, :, None, :], (batch, k, ctx.rns_count, n)
+        )
+        return self.ntt_forward(ctx, tiled)
+
+    def decompose(self, gadget: Gadget, vec: RnsPolyVec) -> np.ndarray:
+        if vec.domain is not Domain.COEFF:
+            vec = self.vec_to_coeff(vec)
+        with kernel_stage(self._label("decompose"), vec.residues.nbytes):
+            return _batched_decompose_impl(gadget, vec)
+
+    def inner(
+        self, digits: np.ndarray, rows: np.ndarray, moduli_col: np.ndarray
+    ) -> np.ndarray:
+        return _lazy_inner(digits, rows, moduli_col)
+
+    def rowsel_gemm(
+        self, db: np.ndarray, query: np.ndarray, moduli_col: np.ndarray
+    ) -> np.ndarray:
+        if db.ndim != 4 or query.ndim != 3 or db.shape[1:] != query.shape:
+            raise ParameterError(
+                f"GEMM shape mismatch: db {db.shape} vs query {query.shape}"
+            )
+        chunk = overflow_safe_chunk(int(moduli_col.max()))
+        with kernel_stage(self._label("gemm"), db.nbytes + query.nbytes):
+            return _chunked_einsum(
+                "crmn,rmn->cmn", db, query, db.shape[1], chunk, moduli_col,
+                (db.shape[0],) + query.shape[1:],
+            )
+
+    def modular_gemm(self, a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
+        return modular_gemm(a, b, q)
+
+
+class _GemmNttPlan:
+    """Dense-GEMM evaluation plan for one ring, cached per RingContext.
+
+    The negacyclic NTT is linear over Z_q, so each per-modulus transform
+    *is* an n×n matrix; pushing ``np.eye(n)`` through the existing
+    butterfly implementation folds the twiddle tables and bit-reversed
+    output ordering into dense matrices that are identical-by-
+    construction to the eager transforms.  Two layouts are kept:
+
+    * ``fwd_unit`` — forward matrices of all moduli hstacked to
+      ``(n, rns*n)`` float64.  Gadget digits share one coefficient row
+      across the RNS axis, so the whole digit tensor forwards in a
+      single dgemm; exact while ``n * max_digit * (q-1) < 2^53``.
+    * ``fwd_split`` / ``inv_split`` — per-modulus ``(2n, n)`` matrices
+      for general residues, which are too large for a direct float64
+      product: each residue splits into 14-bit halves ``x = hi*2^14 +
+      lo`` and the top block of the matrix pre-folds the ``2^14``
+      factor (``(2^14 * M) % q``), keeping every accumulation below the
+      float64-exact bound for n <= {max_n} at ~28-bit moduli.
+
+    Post-GEMM accumulators are canonicalised with Barrett reduction
+    (:func:`repro.he.modred.barrett_reduce`) — no per-stage ``%``
+    anywhere in the planned transforms.
+    """
+
+    SPLIT_LOG2 = 14
+
+    def __init__(self, ctx: RingContext):
+        n = ctx.n
+        s = self.SPLIT_LOG2
+        moduli = [ntt.q for ntt in ctx.ntts]
+        eye = np.eye(n, dtype=np.int64)
+        # Row i of ntt.forward(eye) is NTT(e_i): linearity gives
+        # NTT(x) = x @ M, bit-reversal ordering included.
+        fwd_mats = [ntt.forward(eye) for ntt in ctx.ntts]
+        inv_mats = [ntt.inverse(eye) for ntt in ctx.ntts]
+        self.moduli = [int(q) for q in moduli]
+        #: (rns, 1) int64 — broadcasts over (..., rns, n) accumulators so
+        #: one Barrett call reduces the whole RNS stack.
+        self.moduli_col = np.asarray(self.moduli, dtype=np.int64)[:, None]
+        self.fwd_unit = np.hstack(fwd_mats).astype(np.float64)
+        self.fwd_split = self._split_stack(fwd_mats, moduli, s)
+        self.inv_split = self._split_stack(inv_mats, moduli, s)
+        qmax = max(self.moduli)
+        hi_max = (qmax - 1) >> s
+        lo_max = (1 << s) - 1
+        #: Whether the hi/lo split transform is float64-exact for this ring.
+        self.split_ok = n * (hi_max + lo_max) * (qmax - 1) < FLOAT64_EXACT_MAX
+        #: Multiply by the digit tensor's max value for the digit-GEMM bound.
+        self.digit_coeff = n * (qmax - 1)
+
+    @staticmethod
+    def _split_stack(mats: list, moduli: list, s: int) -> np.ndarray:
+        return np.stack([
+            np.concatenate([(mat * (1 << s)) % q, mat], axis=0)
+            for mat, q in zip(mats, moduli)
+        ]).astype(np.float64)
+
+
+class PlannedBackend(EagerBackend):
+    """Plan-driven backend: NTTs as float64 GEMMs with Barrett reduction.
+
+    Inherits the eager primitives for the stages where int64 einsum
+    contraction already wins (the RowSel GEMM) and replaces the
+    transform-heavy stages with the per-ring dense plans of
+    :class:`_GemmNttPlan`; gadget decomposition keeps the eager limb
+    iCRT but canonicalises the lift on two packed int64 halves instead
+    of limb-wise comparisons.  Every plan use is gated on its exactness
+    bound, with per-call fallback to the eager implementation.
+    """
+
+    name = "planned"
+
+    def _plan(self, ctx: RingContext) -> _GemmNttPlan | None:
+        plan = getattr(ctx, "_gemm_ntt_plan_cache", None)
+        if plan is None:
+            plan = _GemmNttPlan(ctx) if ctx.n <= PLAN_MAX_N else False
+            ctx._gemm_ntt_plan_cache = plan
+        return plan or None
+
+    def _split_transform(
+        self, ctx: RingContext, plan: _GemmNttPlan,
+        residues: np.ndarray, mats: np.ndarray,
+    ) -> np.ndarray:
+        x = np.asarray(residues, dtype=np.int64) % ctx._moduli_col
+        lead = x.shape[:-2]
+        rns, n = x.shape[-2:]
+        s = plan.SPLIT_LOG2
+        hi = (x >> s).astype(np.float64)
+        lo = (x & ((1 << s) - 1)).astype(np.float64)
+        x2 = np.concatenate([hi, lo], axis=-1).reshape(-1, rns, 2 * n)
+        out = np.empty((x2.shape[0], rns, n), dtype=np.int64)
+        for m in range(rns):
+            acc = x2[:, m, :] @ mats[m]
+            # Matrix entries and split halves are non-negative, so the
+            # accumulator qualifies for the cheap no-floor Barrett form.
+            out[:, m, :] = barrett_reduce_nonneg(acc, plan.moduli[m])
+        return out.reshape(lead + (rns, n))
+
+    def ntt_forward(self, ctx: RingContext, residues: np.ndarray) -> np.ndarray:
+        plan = self._plan(ctx)
+        if plan is None or not plan.split_ok:
+            return super().ntt_forward(ctx, residues)
+        with kernel_stage(self._label("ntt_fwd"), getattr(residues, "nbytes", 0)):
+            return self._split_transform(ctx, plan, residues, plan.fwd_split)
+
+    def ntt_inverse(self, ctx: RingContext, residues: np.ndarray) -> np.ndarray:
+        plan = self._plan(ctx)
+        if plan is None or not plan.split_ok:
+            return super().ntt_inverse(ctx, residues)
+        with kernel_stage(self._label("ntt_inv"), getattr(residues, "nbytes", 0)):
+            return self._split_transform(ctx, plan, residues, plan.inv_split)
+
+    def digits_forward(self, ctx: RingContext, digits: np.ndarray) -> np.ndarray:
+        plan = self._plan(ctx)
+        if plan is not None and digits.size:
+            dmax = int(digits.max())
+            dmin = int(digits.min())
+            if dmin >= 0 and plan.digit_coeff * dmax < FLOAT64_EXACT_MAX:
+                batch, k, n = digits.shape
+                rns = ctx.rns_count
+                with kernel_stage(self._label("ntt_fwd"), digits.nbytes):
+                    acc = digits.reshape(batch * k, n).astype(np.float64) \
+                        @ plan.fwd_unit
+                    acc = acc.reshape(batch, k, rns, n)
+                    out = np.empty((batch, k, rns, n), dtype=np.int64)
+                    for m in range(rns):
+                        # Partial [0, 2q) residues: this backend's
+                        # ``inner`` sizes its chunks on the actual
+                        # operand range, so canonicalising here would
+                        # be a wasted pass.
+                        out[..., m, :] = barrett_reduce_nonneg(
+                            acc[..., m, :], plan.moduli[m], partial=True
+                        )
+                return out
+        return super().digits_forward(ctx, digits)
+
+    def decompose(self, gadget: Gadget, vec: RnsPolyVec) -> np.ndarray:
+        """Limb-iCRT decomposition with half-packed canonicalisation.
+
+        Same Eq. 3 lift as the eager implementation, but after carry
+        propagation the base-z limbs are packed into two exact int64
+        halves ``S = high * z^lo + low``, so the ``rns_count - 1``
+        conditional subtractions of Q become a handful of full-width
+        integer ops instead of limb-wise lexicographic compare/borrow
+        chains.  Digits come back out via shifts and masks —
+        byte-identical to the eager path by construction.
+        """
+        if vec.domain is not Domain.COEFF:
+            vec = self.vec_to_coeff(vec)
+        tables = _limb_tables(gadget)
+        nlimbs = tables["nlimbs"]
+        blog = gadget.base_log2
+        lo_limbs = nlimbs // 2
+        hi_limbs = nlimbs - lo_limbs
+        # Each packed half must stay an exact int64: the low half is
+        # fully carried (< z^lo), the high half's top limb holds up to
+        # rns_count unpropagated carries (3 extra bits covers rns <= 7).
+        # Exotic bases fall back to the eager limb-wise path.
+        if (
+            not tables["limb_ok"]
+            or lo_limbs * blog > 62
+            or hi_limbs * blog + 3 > 62
+        ):
+            return super().decompose(gadget, vec)
+        with kernel_stage(self._label("decompose"), vec.residues.nbytes):
+            z = gadget.base
+            moduli, qhat_inv = tables["moduli"], tables["qhat_inv"]
+            t = (vec.residues * qhat_inv[:, None]) % moduli[:, None]
+            # Limb-major accumulation: acc[li] is a contiguous
+            # (batch, n) slab for the carry sweep below.
+            acc = np.einsum("bmn,ml->lbn", t, tables["qhat_limbs"])
+            for li in range(nlimbs - 1):
+                carry = acc[li] >> blog
+                acc[li] -= carry << blog
+                acc[li + 1] += carry
+            low = acc[0].copy()
+            for li in range(1, lo_limbs):
+                low += acc[li] << (blog * li)
+            high = acc[lo_limbs].copy()
+            for li in range(1, hi_limbs):
+                high += acc[lo_limbs + li] << (blog * li)
+            big_q = gadget.ctx.basis.modulus_product
+            z_lo = 1 << (blog * lo_limbs)
+            q_low, q_high = big_q % z_lo, big_q >> (blog * lo_limbs)
+            for _ in range(gadget.ctx.rns_count - 1):
+                ge = (high > q_high) | ((high == q_high) & (low >= q_low))
+                if not ge.any():
+                    break
+                gi = ge.astype(np.int64)
+                low -= q_low * gi
+                high -= q_high * gi
+                borrow = low < 0
+                low += z_lo * borrow
+                high -= borrow
+            digits = np.empty(
+                (vec.batch, gadget.length, vec.ctx.n), dtype=np.int64
+            )
+            mask = z - 1
+            for j in range(gadget.length):
+                src, shift = (
+                    (low, blog * j) if j < lo_limbs
+                    else (high, blog * (j - lo_limbs))
+                )
+                digits[:, j] = (src >> shift) & mask
+            return digits
+
+    def inner(
+        self, digits: np.ndarray, rows: np.ndarray, moduli_col: np.ndarray
+    ) -> np.ndarray:
+        """Key-switch inner product sized on the *actual* operand range.
+
+        This backend's ``digits_forward`` hands over partially reduced
+        ``[0, 2q)`` digits, so the overflow-safe chunk is computed from
+        the operand maxima instead of assuming canonical inputs.  The
+        final reduction canonicalises, so results stay byte-identical.
+        """
+        if digits.size == 0 or rows.size == 0:
+            return super().inner(digits, rows, moduli_col)
+        per_term = int(digits.max()) * int(rows.max())
+        if per_term == 0:
+            return np.zeros(
+                (digits.shape[0],) + rows.shape[1:], dtype=np.int64
+            )
+        chunk = (_INT64_MAX - (int(moduli_col.max()) - 1)) // per_term
+        if chunk < 1:
+            # Out-of-range operands (never this backend's own digits):
+            # canonicalise and take the eager path.
+            return super().inner(digits % moduli_col, rows, moduli_col)
+        return _chunked_einsum(
+            "bkmn,kmn->bmn", digits, rows, digits.shape[1], chunk,
+            moduli_col, (digits.shape[0],) + rows.shape[1:],
+        )
+
+    def modular_gemm(self, a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
+        """Chunked float64 dgemm with Barrett tails; exact, BLAS-backed.
+
+        int64 matmul in numpy is a scalar loop; float64 hits BLAS.  The
+        inner axis is chunked so every partial accumulation stays below
+        2^53 (float64-exact), each chunk Barrett-reduced before the
+        next.  Operand ranges that cannot satisfy the bound take the
+        eager int64 path — identical results either way.
+        """
+        a = np.asarray(a, dtype=np.int64)
+        b = np.asarray(b, dtype=np.int64)
+        inner = a.shape[-1]
+        if inner == 0:
+            return np.zeros(a.shape[:-1] + b.shape[1:], dtype=np.int64)
+        max_a = int(np.max(np.abs(a), initial=0))
+        max_b = int(np.max(np.abs(b), initial=0))
+        per_term = max_a * max_b
+        if per_term == 0:
+            return np.zeros(a.shape[:-1] + b.shape[1:], dtype=np.int64)
+        if q >= FLOAT64_EXACT_MAX:
+            return modular_gemm(a, b, q)
+        chunk = (FLOAT64_EXACT_MAX - q) // per_term
+        if chunk < 1:
+            return modular_gemm(a, b, q)
+        af = a.astype(np.float64)
+        bf = b.astype(np.float64)
+        if chunk >= inner:
+            return barrett_reduce(af @ bf, q)
+        acc = np.zeros(a.shape[:-1] + b.shape[1:], dtype=np.int64)
+        for start in range(0, inner, chunk):
+            stop = min(start + chunk, inner)
+            acc += barrett_reduce(af[..., start:stop] @ bf[start:stop], q)
+            acc -= q * (acc >= q)
+        return acc
+
+    def coltor(
+        self,
+        entries: BfvCiphertextVec,
+        selection_bits: list[RgswCiphertext],
+        gadget: Gadget,
+    ) -> BfvCiphertext:
+        """Tensor-resident tournament: even/odd halves are residue views.
+
+        No per-round ciphertext lists and no restacking — each round
+        slices the surviving batch's residue tensors directly, so the
+        only materialization on the whole expand→rowsel→coltor path is
+        the final response ciphertext.
+        """
+        self._check_coltor(entries.batch, selection_bits)
+        ctx = entries.a.ctx
+        nbytes = entries.a.residues.nbytes + entries.b.residues.nbytes
+        with kernel_stage(self._label("coltor"), nbytes):
+            current = entries
+            for rgsw_bit in selection_bits:
+                zeros = BfvCiphertextVec(
+                    RnsPolyVec(ctx, current.a.residues[0::2], Domain.NTT),
+                    RnsPolyVec(ctx, current.b.residues[0::2], Domain.NTT),
+                )
+                ones = BfvCiphertextVec(
+                    RnsPolyVec(ctx, current.a.residues[1::2], Domain.NTT),
+                    RnsPolyVec(ctx, current.b.residues[1::2], Domain.NTT),
+                )
+                current = self.cmux(rgsw_bit, zeros, ones, gadget)
+            return current.ct(0)
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: dict[str, ComputeBackend] = {}
+
+#: The backend every layer resolves when none is named explicitly.
+DEFAULT_BACKEND = "planned"
+
+
+def register_backend(backend: ComputeBackend) -> ComputeBackend:
+    """Add a backend instance to the registry under ``backend.name``."""
+    if not backend.name:
+        raise ParameterError("compute backend must have a non-empty name")
+    _REGISTRY[backend.name] = backend
+    return backend
+
+
+def backend_names() -> list[str]:
+    """Registered backend names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def get_backend(name: str = DEFAULT_BACKEND) -> ComputeBackend:
+    """Look up a registered backend by name; unknown names are typed errors."""
+    backend = _REGISTRY.get(name)
+    if backend is None:
+        raise ParameterError(
+            f"unknown compute backend {name!r}; registered backends: "
+            f"{', '.join(backend_names())}"
+        )
+    return backend
+
+
+def resolve_backend(
+    backend: str | ComputeBackend | None = None,
+) -> ComputeBackend:
+    """Accept a backend name, an instance, or None (-> the default)."""
+    if backend is None:
+        return get_backend()
+    if isinstance(backend, ComputeBackend):
+        return backend
+    return get_backend(backend)
+
+
+register_backend(EagerBackend())
+register_backend(PlannedBackend())

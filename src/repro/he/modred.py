@@ -1,0 +1,176 @@
+"""Barrett and Montgomery modular-reduction forms for the planned backend.
+
+The planned compute backend (:mod:`repro.he.backend`) evaluates NTTs as
+dense GEMMs, so its hot accumulators live in *float64* — every value is
+an exact integer below 2^53 (dgemm over integer-valued doubles is exact
+in that range).  Reducing those accumulators with numpy's ``%`` would
+first require an int64 round trip and then pay the slow hardware modulo;
+:func:`barrett_reduce` instead estimates the quotient with one float
+multiply by the precomputed reciprocal and finishes with exact int64
+corrections — the classic Barrett form, specialised to the float-resident
+accumulator.
+
+:class:`MontgomeryContext` is the companion Montgomery form (REDC with
+R = 2^32 via native uint64 wraparound).  It is the right shape for
+substrates whose cheap primitive is a wrapping multiply rather than a
+float FMA — a third registered backend targeting such hardware would
+build its butterflies on it — and the hypothesis suite pins both forms
+against plain ``%`` across the full :class:`~repro.params.PirParams`
+modulus range.
+
+Exactness argument for :func:`barrett_reduce` (why the mixed
+float/int64 dance cannot be off):
+
+* inputs are integer-valued float64 with ``|x| < 2^53`` — exactly
+  representable, no rounding has happened yet;
+* ``k = floor(x * (1/q))`` computed in float64 differs from the true
+  ``floor(x / q)`` by at most 1 (one rounding of the reciprocal, one of
+  the product);
+* the remainder ``x - k*q`` is computed **in int64** — ``k*q <= |x| + q``
+  can exceed 2^53, where float64 spacing is 2 ulp, so a float multiply
+  there could round and silently corrupt the result by ±1;
+* with ``k`` off by at most one, the int64 remainder lies in ``(-q, 2q)``
+  and a single conditional ``±q`` correction canonicalises it.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import ParameterError
+
+#: Largest integer magnitude float64 represents exactly (2^53).
+FLOAT64_EXACT_MAX = 1 << 53
+
+
+def barrett_reduce(acc: np.ndarray, q) -> np.ndarray:
+    """Exact ``acc mod q`` for an integer-valued float64 tensor.
+
+    ``acc`` must hold exact integers with ``|acc| < 2^53`` (the caller's
+    accumulation bound guarantees this for the GEMM-NTT plans).  Returns
+    canonical residues in ``[0, q)`` as int64.
+
+    ``q`` is a scalar modulus or an int64 array broadcastable against
+    ``acc`` (e.g. ``(rns, 1)`` against a ``(..., rns, n)`` accumulator),
+    so a whole RNS stack reduces in one set of full-tensor passes
+    instead of a per-modulus loop over strided slices.
+    """
+    if isinstance(q, (int, np.integer)):
+        if q < 2:
+            raise ParameterError(f"modulus {q} must be at least 2")
+        if q >= FLOAT64_EXACT_MAX:
+            raise ParameterError(
+                f"modulus {q} exceeds the float64-exact Barrett range"
+            )
+        quot = np.floor(acc * (1.0 / q))
+    else:
+        q = np.asarray(q, dtype=np.int64)
+        if np.any(q < 2):
+            raise ParameterError("every modulus must be at least 2")
+        if np.any(q >= FLOAT64_EXACT_MAX):
+            raise ParameterError(
+                "a modulus exceeds the float64-exact Barrett range"
+            )
+        quot = np.floor(acc * (1.0 / q))
+    # Both casts are exact: |acc| < 2^53 by contract and |quot| <= |acc|/q + 1.
+    r = acc.astype(np.int64) - quot.astype(np.int64) * q
+    r += q * (r < 0)
+    r -= q * (r >= q)
+    return r
+
+
+def barrett_reduce_nonneg(
+    acc: np.ndarray, q: int, partial: bool = False
+) -> np.ndarray:
+    """Barrett for *non-negative* accumulators: fewer full-tensor passes.
+
+    The reciprocal is biased two ulps low, so the truncated quotient
+    ``k = trunc(acc * recip)`` never exceeds ``floor(acc / q)`` — the
+    remainder ``acc - k*q`` lands in ``[0, 2q)`` with no negative branch
+    and no ``np.floor`` pass.  With ``partial=True`` that ``[0, 2q)``
+    value is returned as-is for consumers that re-reduce anyway (the
+    key-switch inner product sizes its chunks on the actual operand
+    range); otherwise one conditional subtract canonicalises to
+    ``[0, q)``.
+
+    Exactness needs the downward bias to cost at most one quotient:
+    the quotient error is ``<= (acc/q) * 2^-51 < 1`` for ``acc < 2^53``
+    once ``q >= 2^14``, hence the tighter modulus floor than
+    :func:`barrett_reduce` (which handles any ``q >= 2``).
+    """
+    if q < (1 << 14):
+        raise ParameterError(
+            f"modulus {q} below 2^14: the biased-reciprocal quotient bound "
+            f"needs q >= 2^14 (use barrett_reduce)"
+        )
+    if q >= FLOAT64_EXACT_MAX:
+        raise ParameterError(
+            f"modulus {q} exceeds the float64-exact Barrett range"
+        )
+    recip = np.nextafter(np.nextafter(1.0 / q, 0.0), 0.0)
+    quot = (acc * recip).astype(np.int64)
+    r = acc.astype(np.int64) - quot * q
+    if not partial:
+        r -= q * (r >= q)
+    return r
+
+
+class MontgomeryContext:
+    """Montgomery form mod ``q`` with ``R = 2^32``, vectorised over int64.
+
+    REDC computes ``t * R^{-1} mod q`` with two multiplies and a shift —
+    no division, no hardware modulo — using the identity
+    ``(t + ((t * (-q^{-1}) mod R)) * q) / R  ≡  t * R^{-1} (mod q)``.
+    The low-half product ``t * q_inv_neg mod R`` is the natural wrapping
+    behaviour of uint64 arithmetic masked to 32 bits, which is why the
+    kernels below run on ``view``-free numpy tensors without big-ints.
+    """
+
+    R_LOG2 = 32
+
+    def __init__(self, q: int):
+        if q < 3 or q % 2 == 0:
+            raise ParameterError(
+                f"Montgomery reduction needs an odd modulus >= 3, got {q}"
+            )
+        if q >= (1 << 31):
+            # t + m*q must fit uint64: q*2^32 + q*2^32 < 2^64 needs q < 2^31.
+            raise ParameterError(
+                f"modulus {q} too large for the R=2^32 Montgomery form"
+            )
+        self.q = q
+        self.r = 1 << self.R_LOG2
+        self.mask = self.r - 1
+        self.r_mod_q = self.r % q
+        self.r2_mod_q = (self.r_mod_q * self.r_mod_q) % q
+        # -q^{-1} mod R, the REDC constant.
+        self.q_inv_neg = (-pow(q, -1, self.r)) % self.r
+
+    def to_mont(self, x: np.ndarray) -> np.ndarray:
+        """Map canonical residues into Montgomery form: ``x * R mod q``."""
+        arr = np.asarray(x, dtype=np.int64) % self.q
+        return (arr * self.r_mod_q) % self.q  # < 2^28 * 2^31: fits int64
+
+    def reduce(self, t: np.ndarray) -> np.ndarray:
+        """REDC: ``t -> t * R^{-1} mod q`` for ``0 <= t < q * R``."""
+        tu = np.asarray(t).astype(np.uint64)
+        m = (tu & np.uint64(self.mask)) * np.uint64(self.q_inv_neg) \
+            & np.uint64(self.mask)
+        u = (tu + m * np.uint64(self.q)) >> np.uint64(self.R_LOG2)
+        out = u.astype(np.int64)
+        out -= self.q * (out >= self.q)
+        return out
+
+    def mul(self, a_mont: np.ndarray, b_mont: np.ndarray) -> np.ndarray:
+        """Product of two Montgomery-form tensors, result in Montgomery form."""
+        a = np.asarray(a_mont, dtype=np.int64)
+        b = np.asarray(b_mont, dtype=np.int64)
+        return self.reduce(a * b)  # residues < q < 2^31: product fits int64
+
+    def from_mont(self, x_mont: np.ndarray) -> np.ndarray:
+        """Map Montgomery-form residues back to canonical form."""
+        return self.reduce(np.asarray(x_mont, dtype=np.int64))
+
+    def modmul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Canonical ``a * b mod q`` through one round trip (for the tests)."""
+        return self.from_mont(self.mul(self.to_mont(a), self.to_mont(b)))

@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import HintPirError, HintStale, LayoutError
+from repro.he.backend import ComputeBackend
 from repro.hintpir.layout import HintLayout
 from repro.mutate.log import UpdateLog
 from repro.pir.simplepir import (
@@ -145,6 +146,7 @@ class HintPirServer:
         params: SimplePirParams | None = None,
         seed: int = 0,
         retain_epochs: int = 4,
+        backend: str | ComputeBackend | None = None,
     ):
         if retain_epochs < 0:
             raise HintPirError("retain_epochs must be >= 0")
@@ -154,7 +156,9 @@ class HintPirServer:
         self.params = params
         self.seed = seed
         self.retain_epochs = retain_epochs
-        self.core = SimplePirServer(self.layout.pack_records(records), params, seed)
+        self.core = SimplePirServer(
+            self.layout.pack_records(records), params, seed, backend=backend
+        )
         self.epoch = 0
         self._deltas: dict[int, HintEpochDelta] = {}
         self._hint = self.core.hint()
@@ -223,7 +227,9 @@ class HintPirServer:
             # columns only — the same computation the patched client does.
             self._hint = (
                 self._hint
-                + modular_gemm(values, self.core.a_matrix[dirty], self.params.q)
+                + self.core.backend.modular_gemm(
+                    values, self.core.a_matrix[dirty], self.params.q
+                )
             ) % self.params.q
             self.epoch += 1
             self._deltas[self.epoch] = HintEpochDelta(
@@ -445,9 +451,11 @@ class HintPirProtocol:
         seed: int = 0,
         retain_epochs: int = 4,
         client_seed: int = 1,
+        backend: str | ComputeBackend | None = None,
     ):
         self.server = HintPirServer(
-            records, record_bytes, params, seed=seed, retain_epochs=retain_epochs
+            records, record_bytes, params, seed=seed, retain_epochs=retain_epochs,
+            backend=backend,
         )
         self.client = HintPirClient(self.server, seed=client_seed)
 

@@ -24,6 +24,7 @@ from concurrent.futures import ThreadPoolExecutor
 import numpy as np
 
 from repro.errors import HintPirError, HintStale, RoutingError
+from repro.he.backend import ComputeBackend
 from repro.hintpir.protocol import (
     HintPirClient,
     HintPirServer,
@@ -135,6 +136,7 @@ class HintServeRegistry:
         client_seed: int = 1,
         client_history: int = 8,
         truth_epochs: int | None = None,
+        backend: str | ComputeBackend | None = None,
     ):
         self.params = params or SimplePirParams()
         self.record_bytes = record_bytes
@@ -162,6 +164,7 @@ class HintServeRegistry:
                 self.params,
                 seed=seed + shard_id,
                 retain_epochs=retain_epochs,
+                backend=backend,
             )
             self._servers.append(server)
             self._clients.append(

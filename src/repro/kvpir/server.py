@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 from repro.batchpir.server import BatchPirServer
 from repro.errors import KeyNotFound
+from repro.he.backend import ComputeBackend
 from repro.hashing.cuckoo import key_bytes
 from repro.kvpir.client import KvPirClient, KvPlan, KvQuery, KvResponse
 from repro.kvpir.layout import (
@@ -33,16 +34,20 @@ from repro.pir.protocol import Transcript
 class KvPirServer:
     """Batch-PIR server over the cuckoo slot table.
 
-    ``use_fast`` is forwarded to every per-bucket ``PirServer`` (batched
-    tensor hot path by default).
+    ``backend`` is forwarded to every per-bucket ``PirServer`` (the
+    registry default when unset).
     """
 
     def __init__(
-        self, db: KvDatabase, ring, setup: ClientSetup, use_fast: bool = True
+        self,
+        db: KvDatabase,
+        ring,
+        setup: ClientSetup,
+        backend: str | ComputeBackend | None = None,
     ):
         self.layout = db.layout
         self.db = db
-        self.batch_server = BatchPirServer(db.batch_db, ring, setup, use_fast=use_fast)
+        self.batch_server = BatchPirServer(db.batch_db, ring, setup, backend=backend)
 
     def answer(self, query: KvQuery) -> KvResponse:
         return KvResponse(chunks=[self.batch_server.answer(q) for q in query.chunks])
@@ -72,6 +77,7 @@ class KvPirProtocol:
         max_lookup_batch: int = DEFAULT_LOOKUP_BATCH,
         hash_seed: int = 0,
         seed: int | None = None,
+        backend: str | ComputeBackend | None = None,
     ):
         self.db = KvDatabase.from_items(
             params,
@@ -83,7 +89,9 @@ class KvPirProtocol:
         self.layout = self.db.layout
         self.client = KvPirClient(self.layout, seed=seed)
         setup = self.client.setup_message()
-        self.server = KvPirServer(self.db, self.client.batch.pir.ring, setup)
+        self.server = KvPirServer(
+            self.db, self.client.batch.pir.ring, setup, backend=backend
+        )
         self.transcript = Transcript(
             setup_bytes=setup.size_bytes(self.layout.batch.bucket_params)
         )

@@ -72,6 +72,7 @@ class KvServeRegistry:
         max_lookup_batch: int = DEFAULT_LOOKUP_BATCH,
         hash_seed: int = 0,
         seed: int | None = None,
+        backend: str | None = None,
     ):
         self.params = params
         self.max_lookup_batch = max_lookup_batch
@@ -99,7 +100,10 @@ class KvServeRegistry:
             client = KvPirClient(db.layout, seed=seed)
             self._clients.append(client)
             self._servers.append(
-                KvPirServer(db, client.batch.pir.ring, client.setup_message())
+                KvPirServer(
+                    db, client.batch.pir.ring, client.setup_message(),
+                    backend=backend,
+                )
             )
 
     @classmethod

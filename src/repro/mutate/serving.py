@@ -24,6 +24,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import MutateError, StaleEpoch
+from repro.he.backend import ComputeBackend, resolve_backend
 from repro.mutate.log import Put, UpdateLog
 from repro.mutate.versioned import EpochSnapshot, UpdateCost, VersionedDatabase
 from repro.params import PirParams
@@ -74,11 +75,13 @@ class VersionedShardRegistry:
         record_bytes: int | None = None,
         seed: int | None = None,
         retain: int = 2,
+        backend: str | ComputeBackend | None = None,
     ):
         if retain < 1:
             raise MutateError("must retain at least the current epoch")
         self.params = params
         self.retain = retain
+        self.backend = resolve_backend(backend)
         self.map = ShardMap(len(records), num_shards)
         self.client = PirClient(params, seed=seed)
         self._setup = self.client.setup_message()
@@ -88,7 +91,8 @@ class VersionedShardRegistry:
             shard_records = records[start : start + self.map.sizes[shard_id]]
             self._vdbs.append(
                 VersionedDatabase(
-                    params, shard_records, record_bytes, ring=self.client.ring
+                    params, shard_records, record_bytes, ring=self.client.ring,
+                    backend=self.backend,
                 )
             )
         snapshots = [vdb.current for vdb in self._vdbs]
@@ -96,7 +100,10 @@ class VersionedShardRegistry:
             0: _EpochState(
                 epoch=0,
                 snapshots=snapshots,
-                servers=[PirServer(s.pre, self._setup) for s in snapshots],
+                servers=[
+                    PirServer(s.pre, self._setup, backend=self.backend)
+                    for s in snapshots
+                ],
                 cost=snapshots[0].cost,
             )
         }
@@ -111,10 +118,14 @@ class VersionedShardRegistry:
         num_shards: int,
         seed: int | None = None,
         retain: int = 2,
+        backend: str | ComputeBackend | None = None,
     ) -> "VersionedShardRegistry":
         rng = np.random.default_rng(seed)
         records = [rng.bytes(record_bytes) for _ in range(num_records)]
-        return cls(params, records, num_shards, record_bytes, seed=seed, retain=retain)
+        return cls(
+            params, records, num_shards, record_bytes, seed=seed, retain=retain,
+            backend=backend,
+        )
 
     # -- geometry ----------------------------------------------------------
     @property
@@ -165,7 +176,7 @@ class VersionedShardRegistry:
         for vdb, shard_log in zip(self._vdbs, shard_logs):
             snapshot = vdb.apply(shard_log)
             snapshots.append(snapshot)
-            servers.append(PirServer(snapshot.pre, self._setup))
+            servers.append(PirServer(snapshot.pre, self._setup, backend=self.backend))
             cost = snapshot.cost if cost is None else cost.merge(snapshot.cost)
         self.current_epoch += 1
         self._epochs[self.current_epoch] = _EpochState(

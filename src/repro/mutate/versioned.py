@@ -26,6 +26,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.errors import MutateError
+from repro.he.backend import ComputeBackend, resolve_backend
 from repro.he.batched import RnsPolyVec
 from repro.he.poly import Domain, RingContext
 from repro.mutate.log import UpdateLog
@@ -92,6 +93,7 @@ def apply_record_updates(
     pre: PreprocessedDatabase | None = None,
     ring: RingContext | None = None,
     in_place: bool = False,
+    backend: "str | ComputeBackend | None" = None,
 ) -> tuple[PirDatabase, PreprocessedDatabase | None, UpdateCost]:
     """Apply coalesced writes/appends to one database, dirty cells only.
 
@@ -176,11 +178,14 @@ def apply_record_updates(
                 new_pre._tensors[plane] = tensor.copy()
                 tensor_copied += tensor.shape[0]
         # One batched CRT + stacked NTT per plane over just the dirty
-        # cells; set_poly keeps the RowSel GEMM tensor cache coherent.
+        # cells, routed through the resolved compute backend; set_poly
+        # keeps the RowSel GEMM tensor cache coherent.
+        resolved = resolve_backend(backend)
         for plane, polys in by_plane.items():
-            vec = RnsPolyVec.from_small_coeffs(
-                ring, planes[plane, polys], domain=Domain.NTT
+            coeff = RnsPolyVec.from_small_coeffs(
+                ring, planes[plane, polys], domain=Domain.COEFF
             )
+            vec = resolved.vec_to_ntt(coeff)
             for j, poly in enumerate(polys):
                 new_pre.set_poly(plane, poly, vec.poly(j))
         if in_place:
@@ -227,9 +232,11 @@ class VersionedDatabase:
         records: list[bytes],
         record_bytes: int | None = None,
         ring: RingContext | None = None,
+        backend: "str | ComputeBackend | None" = None,
     ):
         db = PirDatabase.from_records(records, params, record_bytes)
-        pre = db.preprocess(ring) if ring is not None else None
+        self.backend = resolve_backend(backend)
+        pre = db.preprocess(ring, backend=self.backend) if ring is not None else None
         self.ring = ring
         full = db.layout.plane_count * params.num_db_polys
         base_cost = UpdateCost(
@@ -257,7 +264,8 @@ class VersionedDatabase:
         cur = self.current
         writes, appends = log.coalesced(cur.db.num_records)
         db, pre, cost = apply_record_updates(
-            cur.db, writes, appends, pre=cur.pre, ring=self.ring
+            cur.db, writes, appends, pre=cur.pre, ring=self.ring,
+            backend=self.backend,
         )
         self.current = EpochSnapshot(
             epoch=cur.epoch + 1, db=db, pre=pre, cost=cost

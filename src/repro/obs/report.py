@@ -227,6 +227,26 @@ def cross_process_traces(spans: list[dict]) -> list[int]:
     return sorted(t for t, pids in trace_pids(spans).items() if len(pids) >= 2)
 
 
+def aggregate_kernel_profile(kernel_profile: dict) -> dict:
+    """Sum per-stage stats across compute backends.
+
+    Kernel-stage labels carry the backend that spent the time
+    (``ntt_fwd@planned``); model comparison and stage-level assertions
+    want the base stage regardless of implementation, so fold
+    ``stage@backend`` into ``stage`` by summing calls/seconds/bytes.
+    """
+    out: dict[str, dict] = {}
+    for name, stats in kernel_profile.items():
+        base = name.split("@", 1)[0]
+        agg = out.setdefault(
+            base, {"calls": 0, "seconds": 0.0, "bytes_moved": 0}
+        )
+        agg["calls"] += stats.get("calls", 0)
+        agg["seconds"] += stats.get("seconds", 0.0)
+        agg["bytes_moved"] += stats.get("bytes_moved", 0)
+    return out
+
+
 def measured_vs_modeled(
     kernel_profile: dict, params, queries: int
 ) -> list[dict]:
@@ -240,6 +260,7 @@ def measured_vs_modeled(
     from repro.arch.config import IveConfig
     from repro.arch.simulator import IveSimulator
 
+    kernel_profile = aggregate_kernel_profile(kernel_profile)
     modeled = IveSimulator(IveConfig.ive(), params).latency(1).breakdown()
     modeled_total = sum(modeled[STAGE_TO_MODEL[s]] for s in STAGE_TO_MODEL)
     measured_total = sum(

@@ -10,12 +10,19 @@ the breadth-first reference; the ``repro.sched`` package reasons about
 BFS/DFS/hierarchical orders for the hardware, which reorder *scheduling*
 but never the per-ciphertext operation sequence (Section IV-A), so this
 functional implementation is order-equivalent.
+
+:func:`column_tournament` dispatches the batched rounds to a resolved
+:class:`~repro.he.backend.ComputeBackend` (each round is one batched
+cmux — all of the round's digit decompositions, NTTs, and
+external-product contractions stacked); the per-pair
+:func:`column_tournament_reference` is the oracle.
 """
 
 from __future__ import annotations
 
 from repro.errors import ParameterError
-from repro.he.batched import BfvCiphertextVec, batched_cmux
+from repro.he.backend import ComputeBackend, resolve_backend
+from repro.he.batched import BfvCiphertextVec
 from repro.he.bfv import BfvCiphertext
 from repro.he.gadget import Gadget
 from repro.he.rgsw import RgswCiphertext, cmux
@@ -26,15 +33,27 @@ def column_tournament(
     entries: list[BfvCiphertext],
     selection_bits: list[RgswCiphertext],
     gadget: Gadget,
-    use_fast: bool = False,
+    backend: str | ComputeBackend | None = None,
 ) -> BfvCiphertext:
     """Reduce 2^d RowSel outputs to the single response ciphertext.
 
-    With ``use_fast`` every tournament round runs as one batched cmux —
-    all of the round's digit decompositions, NTTs, and external-product
-    contractions stacked — instead of one cmux per pair; results are
-    element-identical (the per-pair path is the oracle).
+    Batched path: every tournament round runs as one backend cmux over
+    the stacked even/odd halves; results are element-identical to
+    :func:`column_tournament_reference` on every backend.
     """
+    if not entries:
+        raise ParameterError("ColTor needs at least one entry")
+    return resolve_backend(backend).coltor(
+        BfvCiphertextVec.from_cts(entries), selection_bits, gadget
+    )
+
+
+def column_tournament_reference(
+    entries: list[BfvCiphertext],
+    selection_bits: list[RgswCiphertext],
+    gadget: Gadget,
+) -> BfvCiphertext:
+    """Per-pair oracle: one scalar cmux per surviving pair per round."""
     count = len(entries)
     if count == 0:
         raise ParameterError("ColTor needs at least one entry")
@@ -51,13 +70,8 @@ def column_tournament(
     )
     with kernel_stage("coltor", nbytes):
         for rgsw_bit in selection_bits:
-            if use_fast:
-                zeros = BfvCiphertextVec.from_cts(current[0::2])
-                ones = BfvCiphertextVec.from_cts(current[1::2])
-                current = batched_cmux(rgsw_bit, zeros, ones, gadget).cts()
-            else:
-                current = [
-                    cmux(rgsw_bit, current[2 * i], current[2 * i + 1], gadget)
-                    for i in range(len(current) // 2)
-                ]
+            current = [
+                cmux(rgsw_bit, current[2 * i], current[2 * i + 1], gadget)
+                for i in range(len(current) // 2)
+            ]
         return current[0]

@@ -13,6 +13,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.errors import LayoutError
+from repro.he.backend import ComputeBackend, resolve_backend
 from repro.he.batched import RnsPolyVec
 from repro.he.poly import Domain, RingContext, RnsPoly
 from repro.params import PirParams
@@ -123,17 +124,24 @@ class PirDatabase:
     def raw_bytes(self) -> int:
         return self.layout.num_records * self.layout.record_bytes
 
-    def preprocess(self, ring: RingContext) -> "PreprocessedDatabase":
+    def preprocess(
+        self,
+        ring: RingContext,
+        backend: "str | ComputeBackend | None" = None,
+    ) -> "PreprocessedDatabase":
         """CRT + NTT every polynomial (Section II-B preprocessing).
 
-        One batched CRT + stacked NTT call per plane; the per-poly
-        ``RnsPoly`` entries are views into the plane's residue tensor,
-        which is seeded straight into the RowSel GEMM cache.
+        One batched CRT + stacked NTT call per plane, routed through the
+        resolved compute backend; the per-poly ``RnsPoly`` entries are
+        views into the plane's residue tensor, which is seeded straight
+        into the RowSel GEMM cache.
         """
+        resolved = resolve_backend(backend)
         planes: list[list[RnsPoly]] = []
         tensors: dict[int, np.ndarray] = {}
         for index, plane in enumerate(self.planes):
-            vec = RnsPolyVec.from_small_coeffs(ring, plane, domain=Domain.NTT)
+            coeff = RnsPolyVec.from_small_coeffs(ring, plane, domain=Domain.COEFF)
+            vec = resolved.vec_to_ntt(coeff)
             planes.append(vec.polys())
             tensors[index] = vec.residues
         pre = PreprocessedDatabase(self.layout, ring, planes)

@@ -14,11 +14,11 @@ scaling with odd P, payload headroom with power-of-two P).
 from __future__ import annotations
 
 from repro.errors import ParameterError
-from repro.he.batched import BfvCiphertextVec, batched_substitute
+from repro.he.backend import ComputeBackend, resolve_backend
+from repro.he.batched import BfvCiphertextVec
 from repro.he.bfv import BfvCiphertext
 from repro.he.gadget import Gadget
 from repro.he.subs import SubsKey, substitute
-from repro.obs.profile import kernel_stage
 
 
 def expansion_powers(n: int, levels: int) -> list[int]:
@@ -56,30 +56,16 @@ def expand_query_batched(
     evks: dict[int, SubsKey],
     levels: int,
     gadget: Gadget,
+    backend: str | ComputeBackend | None = None,
 ) -> BfvCiphertextVec:
     """Batched tree expansion: every level is a handful of stacked kernels.
 
-    Element-identical to :func:`expand_query`: at level ``a`` the live
-    set has exactly ``step = 2^a`` ciphertexts, so the reference's
-    interleave ``expanded[j] / expanded[j + step]`` is a plain
-    concatenation of the even and odd halves — which is how the whole
-    level becomes one batched Subs, one batched add/sub pair, and one
-    batched monomial multiply.
+    Element-identical to :func:`expand_query` on every backend: at level
+    ``a`` the live set has exactly ``step = 2^a`` ciphertexts, so the
+    reference's interleave ``expanded[j] / expanded[j + step]`` is a
+    plain concatenation of the even and odd halves — which is how the
+    whole level becomes one batched Subs, one batched add/sub pair, and
+    one batched monomial multiply (see
+    :meth:`repro.he.backend.ComputeBackend.expand`).
     """
-    n = ct.a.ctx.n
-    with kernel_stage(
-        "expand", ct.a.residues.nbytes + ct.b.residues.nbytes
-    ):
-        vec = BfvCiphertextVec.from_cts([ct])
-        for a, r in enumerate(expansion_powers(n, levels)):
-            if r not in evks:
-                raise ParameterError(
-                    f"missing evk for substitution power r={r}"
-                )
-            evk = evks[r]
-            step = 1 << a
-            swapped = batched_substitute(vec, evk, gadget)
-            even = vec + swapped
-            odd = (vec - swapped).monomial_mul(-step)
-            vec = BfvCiphertextVec.concat(even, odd)
-        return vec
+    return resolve_backend(backend).expand(ct, evks, levels, gadget)

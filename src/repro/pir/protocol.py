@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.he.backend import ComputeBackend
 from repro.params import PirParams
 from repro.pir.client import PirClient, PirQuery, PirResponse
 from repro.pir.database import PirDatabase
@@ -47,13 +48,19 @@ class RetrievalResult:
 class PirProtocol:
     """A client/server pair sharing one ring context (functional harness)."""
 
-    def __init__(self, params: PirParams, db: PirDatabase, seed: int | None = None):
+    def __init__(
+        self,
+        params: PirParams,
+        db: PirDatabase,
+        seed: int | None = None,
+        backend: "str | ComputeBackend | None" = None,
+    ):
         self.params = params
         self.db = db
         self.client = PirClient(params, seed=seed)
-        self.preprocessed = db.preprocess(self.client.ring)
+        self.preprocessed = db.preprocess(self.client.ring, backend=backend)
         setup = self.client.setup_message()
-        self.server = PirServer(self.preprocessed, setup)
+        self.server = PirServer(self.preprocessed, setup, backend=backend)
         self.transcript = Transcript(setup_bytes=setup.size_bytes(params))
 
     def retrieve(self, record_index: int) -> RetrievalResult:

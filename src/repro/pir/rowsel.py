@@ -17,11 +17,12 @@ stacked residue tensor (:meth:`PreprocessedDatabase.plane_tensor`).
 
 from __future__ import annotations
 
+import numpy as np
+
 from repro.errors import ParameterError
-from repro.he.batched import BfvCiphertextVec, lazy_modular_gemm
+from repro.he.backend import ComputeBackend, resolve_backend
+from repro.he.batched import BfvCiphertextVec
 from repro.he.bfv import BfvCiphertext
-from repro.he.poly import Domain, RnsPoly
-from repro.obs.profile import kernel_stage
 from repro.pir.database import PreprocessedDatabase
 
 
@@ -68,34 +69,31 @@ def row_select(
     return selected
 
 
+def rowsel_plane_tensor(db: PreprocessedDatabase, plane: int) -> np.ndarray:
+    """One plane as the RowSel GEMM operand: (num_cols, d0, rns_count, n).
+
+    A reshaped view of :meth:`PreprocessedDatabase.plane_tensor` (poly
+    index = col * d0 + row) with the geometry validated — the tensor the
+    compute backends contract the expanded query against.
+    """
+    d0 = db.layout.params.d0
+    num_cols = num_rowsel_cols(db)
+    tensor = db.plane_tensor(plane)
+    return tensor.reshape((num_cols, d0) + tensor.shape[1:])
+
+
 def row_select_vec(
     expanded: BfvCiphertextVec,
     db: PreprocessedDatabase,
     plane: int,
+    backend: str | ComputeBackend | None = None,
 ) -> list[BfvCiphertext]:
     """Batched RowSel: one modular GEMM over the plane's residue tensor.
 
-    Element-identical to :func:`row_select` — the contraction accumulates
-    the same products mod the same moduli, just reassociated into
-    overflow-safe int64 chunks.
+    Element-identical to :func:`row_select` on every backend — the
+    contraction accumulates the same products mod the same moduli, just
+    reassociated into overflow-safe chunks.
     """
-    d0 = db.layout.params.d0
-    if expanded.batch != d0:
-        raise ParameterError(
-            f"expected {d0} expanded ciphertexts, got {expanded.batch}"
-        )
-    num_cols = num_rowsel_cols(db)
-    ring = db.ring
-    tensor = db.plane_tensor(plane)
-    shape = (num_cols, d0) + tensor.shape[1:]
-    db_tensor = tensor.reshape(shape)  # poly index = col * d0 + row
-    with kernel_stage("rowsel", 2 * tensor.nbytes):
-        out_a = lazy_modular_gemm(db_tensor, expanded.a.residues, ring._moduli_col)
-        out_b = lazy_modular_gemm(db_tensor, expanded.b.residues, ring._moduli_col)
-    return [
-        BfvCiphertext(
-            RnsPoly(ring, out_a[col], Domain.NTT),
-            RnsPoly(ring, out_b[col], Domain.NTT),
-        )
-        for col in range(num_cols)
-    ]
+    return resolve_backend(backend).rowsel(
+        expanded, rowsel_plane_tensor(db, plane), db.ring._moduli_col
+    ).cts()

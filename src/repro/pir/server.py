@@ -2,26 +2,28 @@
 
 The server never sees the secret key; it only holds the preprocessed
 database and the client's public evaluation keys.  ``answer`` runs the
-batched tensor hot path by default (stacked NTTs, the RowSel modular
-GEMM, per-level batched Subs/cmux — ``repro.he.batched``);
-``answer_reference`` runs the original per-poly pipeline, kept as the
-correctness oracle.  Both produce byte-identical ``PirResponse``
-transcripts — the fast path only reassociates exact modular arithmetic.
-``answer_batch`` is the multi-client batched entry point (Section III-B)
-— functionally a loop, since batching changes scheduling and memory
-traffic (modeled in ``repro.arch``) but not results.
+pipeline through a :class:`~repro.he.backend.ComputeBackend` resolved
+once at construction (``planned`` by default; ``eager`` is the
+historical stacked-numpy path kept as the oracle); ``answer_reference``
+runs the original per-poly pipeline.  All paths produce byte-identical
+``PirResponse`` transcripts — every backend only reassociates exact
+modular arithmetic.  ``answer_batch`` is the multi-client batched entry
+point (Section III-B) — functionally a loop, since batching changes
+scheduling and memory traffic (modeled in ``repro.arch``) but not
+results.
 """
 
 from __future__ import annotations
 
 from repro.errors import ParameterError
 from repro.he import modmath
+from repro.he.backend import ComputeBackend, resolve_backend
 from repro.he.gadget import Gadget
 from repro.pir.client import ClientSetup, PirQuery, PirResponse
-from repro.pir.coltor import column_tournament
+from repro.pir.coltor import column_tournament_reference
 from repro.pir.database import PreprocessedDatabase
-from repro.pir.expand import expand_query, expand_query_batched
-from repro.pir.rowsel import row_select, row_select_vec
+from repro.pir.expand import expand_query
+from repro.pir.rowsel import row_select, rowsel_plane_tensor
 
 
 class PirServer:
@@ -31,14 +33,14 @@ class PirServer:
         self,
         db: PreprocessedDatabase,
         setup: ClientSetup,
-        use_fast: bool = True,
+        backend: str | ComputeBackend | None = None,
     ):
         self.db = db
         self.params = db.layout.params
         self.ring = db.ring
         self.gadget = Gadget(self.ring)
         self.evks = setup.evks
-        self.use_fast = use_fast
+        self.backend = resolve_backend(backend)
         self._levels = modmath.ilog2(self.params.d0)
 
     def _check_query(self, query: PirQuery) -> None:
@@ -49,40 +51,43 @@ class PirServer:
             )
 
     def answer(self, query: PirQuery) -> PirResponse:
-        """Run the full pipeline for one query (fast path by default)."""
-        self._check_query(query)
-        if self.use_fast:
-            return self._answer_fast(query)
-        return self._answer_reference(query)
+        """Run the full pipeline for one query on the resolved backend.
 
-    def answer_reference(self, query: PirQuery) -> PirResponse:
-        """Per-poly oracle pipeline, regardless of ``use_fast``."""
+        The expanded query stays a residue tensor straight through
+        RowSel into ColTor — no per-ciphertext lists between stages
+        (backends decide how resident the tournament itself stays).
+        """
         self._check_query(query)
-        return self._answer_reference(query)
-
-    def _answer_fast(self, query: PirQuery) -> PirResponse:
-        expanded = expand_query_batched(
+        backend = self.backend
+        expanded = backend.expand(
             query.packed, self.evks, self._levels, self.gadget
         )
+        moduli_col = self.ring._moduli_col
         plane_cts = []
         for plane in range(self.db.plane_count):
-            entries = row_select_vec(expanded, self.db, plane)
+            entries = backend.rowsel(
+                expanded, rowsel_plane_tensor(self.db, plane), moduli_col
+            )
             if query.selection_bits:
-                result = column_tournament(
-                    entries, query.selection_bits, self.gadget, use_fast=True
+                result = backend.coltor(
+                    entries, query.selection_bits, self.gadget
                 )
             else:
-                result = entries[0]
+                result = entries.ct(0)
             plane_cts.append(result)
         return PirResponse(plane_cts=plane_cts)
 
-    def _answer_reference(self, query: PirQuery) -> PirResponse:
+    def answer_reference(self, query: PirQuery) -> PirResponse:
+        """Per-poly oracle pipeline, regardless of the resolved backend."""
+        self._check_query(query)
         expanded = expand_query(query.packed, self.evks, self._levels, self.gadget)
         plane_cts = []
         for plane in range(self.db.plane_count):
             entries = row_select(expanded, self.db, plane)
             if query.selection_bits:
-                result = column_tournament(entries, query.selection_bits, self.gadget)
+                result = column_tournament_reference(
+                    entries, query.selection_bits, self.gadget
+                )
             else:
                 result = entries[0]
             plane_cts.append(result)
@@ -94,6 +99,6 @@ class PirServer:
         Functionally identical to answering one by one; on hardware the DB
         scan in RowSel is amortized across the batch, which is what the
         performance models in ``repro.arch`` capture.  Each answer runs
-        the batched tensor hot path (or the oracle, per ``use_fast``).
+        on the server's resolved compute backend.
         """
         return [self.answer(query) for query in queries]

@@ -7,11 +7,14 @@ a column, and the server answers with a single matrix-vector product —
 the Table IV comparison and the Section VI-D claim that IVE's modular GEMM
 path covers SimplePIR's entire server computation.
 
-All products here are taken mod q with :func:`modular_gemm`, which chunks
-the accumulation so partial sums provably fit int64 for *any* valid
-parameter set — the naive ``(a @ b) % q`` is only accidentally correct
-when q is a power of two (int64 wraparound is congruent mod 2^k) and
-silently wrong otherwise.
+All server-side products are taken mod q through the resolved
+:class:`~repro.he.backend.ComputeBackend` (``planned`` runs them as
+chunked BLAS dgemms with Barrett tails); :func:`modular_gemm` — re-
+exported from ``repro.he.backend`` — is the exact chunked-int64 form the
+client keeps using, and the oracle every backend matches byte for byte.
+The naive ``(a @ b) % q`` is only accidentally correct when q is a power
+of two (int64 wraparound is congruent mod 2^k) and silently wrong
+otherwise, which is why every product routes through one of these.
 """
 
 from __future__ import annotations
@@ -22,47 +25,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.errors import LayoutError, ParameterError
+from repro.he.backend import ComputeBackend, modular_gemm, resolve_backend
 
-_INT64_MAX = (1 << 63) - 1
-
-
-def modular_gemm(a: np.ndarray, b: np.ndarray, q: int) -> np.ndarray:
-    """``(a @ b) % q`` with int64 accumulation that provably never overflows.
-
-    ``a`` and ``b`` must already be reduced into ``[0, q)`` (or, for delta
-    matrices, into ``(-q, q)``).  The inner dimension is split into chunks
-    small enough that ``chunk * max|a| * max|b| + (q - 1)`` fits int64;
-    each chunk's partial product is reduced mod q before the next is
-    accumulated.  Chunking is exact mod q, so the result is byte-identical
-    regardless of where the chunk boundaries fall.
-    """
-    a = np.asarray(a, dtype=np.int64)
-    b = np.asarray(b, dtype=np.int64)
-    inner = a.shape[-1]
-    if inner == 0:
-        return np.zeros(a.shape[:-1] + b.shape[1:], dtype=np.int64)
-    max_a = int(np.max(np.abs(a), initial=0))
-    max_b = int(np.max(np.abs(b), initial=0))
-    per_term = max_a * max_b
-    if per_term == 0:
-        return np.zeros(a.shape[:-1] + b.shape[1:], dtype=np.int64)
-    chunk = (_INT64_MAX - (q - 1)) // per_term
-    if chunk < 1:
-        # A single product term overflows int64 (q-sized times q-sized
-        # operands at large q): fall back to exact arbitrary-precision
-        # integers.  Slow, but only reachable at parameter corners that
-        # int64 fundamentally cannot host — never the DB-side hot path,
-        # where one operand is p-sized.
-        return np.asarray(
-            (a.astype(object) @ b.astype(object)) % q, dtype=np.int64
-        )
-    if chunk >= inner:
-        return (a @ b) % q
-    acc = np.zeros(a.shape[:-1] + b.shape[1:], dtype=np.int64)
-    for start in range(0, inner, chunk):
-        stop = min(start + chunk, inner)
-        acc = (acc + a[..., start:stop] @ b[start:stop]) % q
-    return acc
+__all__ = [
+    "SimplePirParams",
+    "SimplePirServer",
+    "SimplePirClient",
+    "modular_gemm",
+    "lwe_public_matrix",
+    "db_matrix_shape",
+]
 
 
 @dataclass(frozen=True)
@@ -102,7 +74,13 @@ class SimplePirParams:
 class SimplePirServer:
     """Holds the DB matrix and the public LWE matrix A."""
 
-    def __init__(self, db_matrix: np.ndarray, params: SimplePirParams, seed: int = 0):
+    def __init__(
+        self,
+        db_matrix: np.ndarray,
+        params: SimplePirParams,
+        seed: int = 0,
+        backend: str | ComputeBackend | None = None,
+    ):
         db_matrix = np.asarray(db_matrix, dtype=np.int64)
         if db_matrix.ndim != 2:
             raise LayoutError("SimplePIR database must be a 2-D matrix")
@@ -113,13 +91,14 @@ class SimplePirServer:
         self.db = db_matrix
         self.params = params
         self.seed = seed
+        self.backend = resolve_backend(backend)
         self.a_matrix = lwe_public_matrix(
             db_matrix.shape[1], params.lwe_dim, params.q, seed
         )
 
     def hint(self) -> np.ndarray:
         """Offline download: DB @ A mod q (rows x lwe_dim)."""
-        return modular_gemm(self.db, self.a_matrix, self.params.q)
+        return self.backend.modular_gemm(self.db, self.a_matrix, self.params.q)
 
     def answer(self, query_vector: np.ndarray) -> np.ndarray:
         """Online answer: DB @ query mod q (one pass over the whole DB)."""
@@ -128,7 +107,7 @@ class SimplePirServer:
             raise LayoutError(
                 f"query must have {self.db.shape[1]} entries, got {query_vector.shape}"
             )
-        return modular_gemm(self.db, query_vector, self.params.q)
+        return self.backend.modular_gemm(self.db, query_vector, self.params.q)
 
     def answer_batch(self, query_matrix: np.ndarray) -> np.ndarray:
         """Answer a stack of queries with one DB @ Q GEMM.
@@ -145,7 +124,7 @@ class SimplePirServer:
                 f"query matrix must be ({self.db.shape[1]}, batch), "
                 f"got {query_matrix.shape}"
             )
-        return modular_gemm(self.db, query_matrix, self.params.q)
+        return self.backend.modular_gemm(self.db, query_matrix, self.params.q)
 
 
 def lwe_public_matrix(cols: int, lwe_dim: int, q: int, seed: int) -> np.ndarray:

@@ -149,6 +149,7 @@ class RealShardRegistry:
         record_bytes: int | None = None,
         seed: int | None = None,
         config: IveConfig | None = None,
+        backend: str | None = None,
     ):
         self.params = params
         self.map = ShardMap(len(records), num_shards)
@@ -165,10 +166,10 @@ class RealShardRegistry:
             db = PirDatabase.from_records(
                 records[start : start + size], params, record_bytes
             )
-            pre = db.preprocess(self.client.ring)
+            pre = db.preprocess(self.client.ring, backend=backend)
             placement, _ = choose_placement(pre.stored_bytes, memory)
             self._dbs.append(db)
-            self._servers.append(PirServer(pre, setup))
+            self._servers.append(PirServer(pre, setup, backend=backend))
             self.specs.append(
                 ShardSpec(
                     shard_id=shard_id,
@@ -187,10 +188,13 @@ class RealShardRegistry:
         record_bytes: int,
         num_shards: int,
         seed: int | None = None,
+        backend: str | None = None,
     ) -> "RealShardRegistry":
         rng = np.random.default_rng(seed)
         records = [rng.bytes(record_bytes) for _ in range(num_records)]
-        return cls(params, records, num_shards, record_bytes, seed=seed)
+        return cls(
+            params, records, num_shards, record_bytes, seed=seed, backend=backend
+        )
 
     @property
     def num_shards(self) -> int:

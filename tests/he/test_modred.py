@@ -1,0 +1,212 @@
+"""Property tests pinning the Barrett/Montgomery forms against plain ``%``.
+
+The planned backend's exactness rests entirely on these two reductions
+(:mod:`repro.he.modred`): every GEMM-NTT accumulator is finished by
+``barrett_reduce``, so an off-by-one anywhere in the float/int64 dance
+would corrupt transcripts silently.  Hypothesis drives both forms across
+the full :class:`~repro.params.PirParams` modulus range *and* the
+adversarial edges — accumulators hugging the float64-exact bound, moduli
+just below the Montgomery/Barrett limits — where a rounding bug would
+hide from the fixed-seed pipeline tests.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ParameterError
+from repro.he.modred import (
+    FLOAT64_EXACT_MAX,
+    MontgomeryContext,
+    barrett_reduce,
+    barrett_reduce_nonneg,
+)
+from repro.params import PirParams
+
+#: Every NTT modulus the parameter sets can produce, plus edge moduli:
+#: tiny, the largest odd modulus under the Montgomery 2^31 bound, and a
+#: Barrett-only modulus just under the float64-exact bound.
+PIR_MODULI = sorted(set(PirParams.paper().moduli) | set(PirParams.small().moduli))
+EDGE_MODULI = [3, 17, (1 << 31) - 1, (1 << 52) + 1]
+
+#: Accumulators the GEMM plans feed Barrett: anywhere in the exact range,
+#: including negative values (the hi/lo split transform is canonical but
+#: signed inputs must still reduce correctly).
+accumulators = st.integers(
+    min_value=-(FLOAT64_EXACT_MAX - 1), max_value=FLOAT64_EXACT_MAX - 1
+)
+
+
+class TestBarrett:
+    @given(
+        acc=st.lists(accumulators, min_size=1, max_size=32),
+        q=st.sampled_from(PIR_MODULI + EDGE_MODULI),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_matches_plain_modulo(self, acc, q):
+        arr = np.array(acc, dtype=np.float64)
+        got = barrett_reduce(arr, q)
+        want = np.array(acc, dtype=object) % q  # big-int oracle
+        assert got.dtype == np.int64
+        assert np.array_equal(got, want.astype(np.int64))
+
+    @given(q=st.sampled_from(PIR_MODULI + EDGE_MODULI))
+    @settings(max_examples=50, deadline=None)
+    def test_exact_at_the_float64_bound(self, q):
+        """The worst case: |acc| hugging 2^53 where float spacing is 2."""
+        edge = FLOAT64_EXACT_MAX - 2  # largest even exactly-representable
+        acc = np.array(
+            [edge, -edge, edge - 1, -(edge - 1), q - 1, -(q - 1), 0],
+            dtype=np.float64,
+        )
+        want = acc.astype(object).astype(int)
+        got = barrett_reduce(acc, q)
+        assert np.array_equal(got, np.array([v % q for v in want]))
+
+    @given(
+        acc=st.lists(accumulators, min_size=1, max_size=16),
+        q=st.integers(min_value=2, max_value=FLOAT64_EXACT_MAX - 1),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_arbitrary_moduli(self, acc, q):
+        got = barrett_reduce(np.array(acc, dtype=np.float64), q)
+        assert np.array_equal(got, np.array([v % q for v in acc]))
+
+    def test_rejects_out_of_range_moduli(self):
+        with pytest.raises(ParameterError, match="at least 2"):
+            barrett_reduce(np.zeros(1), 1)
+        with pytest.raises(ParameterError, match="float64-exact"):
+            barrett_reduce(np.zeros(1), FLOAT64_EXACT_MAX)
+
+    @given(
+        acc=st.lists(accumulators, min_size=2, max_size=8),
+        data=st.data(),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_array_moduli_match_per_modulus_calls(self, acc, data):
+        """An (rns, 1)-style modulus column reduces like a scalar loop."""
+        qs = data.draw(
+            st.lists(
+                st.sampled_from(PIR_MODULI + EDGE_MODULI),
+                min_size=len(acc),
+                max_size=len(acc),
+            )
+        )
+        arr = np.array(acc, dtype=np.float64)[:, None]
+        q_col = np.array(qs, dtype=np.int64)[:, None]
+        got = barrett_reduce(arr, q_col)
+        want = np.array(
+            [barrett_reduce(np.array([a], dtype=np.float64), q)[0]
+             for a, q in zip(acc, qs)]
+        )
+        assert np.array_equal(got[:, 0], want)
+
+    def test_array_moduli_rejected_out_of_range(self):
+        with pytest.raises(ParameterError, match="at least 2"):
+            barrett_reduce(np.zeros((2, 1)), np.array([[5], [1]]))
+        with pytest.raises(ParameterError, match="float64-exact"):
+            barrett_reduce(
+                np.zeros((2, 1)), np.array([[5], [FLOAT64_EXACT_MAX]])
+            )
+
+
+#: Non-negative accumulators for the biased-reciprocal fast path.
+nonneg_accumulators = st.integers(min_value=0, max_value=FLOAT64_EXACT_MAX - 1)
+
+
+class TestBarrettNonneg:
+    @given(
+        acc=st.lists(nonneg_accumulators, min_size=1, max_size=32),
+        q=st.sampled_from(
+            [m for m in PIR_MODULI + EDGE_MODULI if m >= (1 << 14)]
+        ),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_canonical_matches_plain_modulo(self, acc, q):
+        got = barrett_reduce_nonneg(np.array(acc, dtype=np.float64), q)
+        assert np.array_equal(got, np.array(acc, dtype=object) % q)
+
+    @given(
+        acc=st.lists(nonneg_accumulators, min_size=1, max_size=32),
+        q=st.sampled_from(
+            [m for m in PIR_MODULI + EDGE_MODULI if m >= (1 << 14)]
+        ),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_partial_is_congruent_and_below_2q(self, acc, q):
+        """partial=True may stop in [0, 2q) but must stay congruent."""
+        got = barrett_reduce_nonneg(
+            np.array(acc, dtype=np.float64), q, partial=True
+        )
+        assert np.all(got >= 0) and np.all(got < 2 * q)
+        assert np.array_equal(got % q, np.array(acc, dtype=object) % q)
+
+    @given(q=st.sampled_from([m for m in PIR_MODULI if m >= (1 << 14)]))
+    @settings(max_examples=50, deadline=None)
+    def test_exact_at_the_float64_bound(self, q):
+        edge = FLOAT64_EXACT_MAX - 2
+        acc = np.array([edge, edge - 1, q - 1, q, 2 * q - 1, 0], dtype=np.float64)
+        got = barrett_reduce_nonneg(acc, q)
+        assert np.array_equal(got, np.array([int(v) % q for v in acc]))
+
+    def test_rejects_out_of_range_moduli(self):
+        with pytest.raises(ParameterError, match="2\\^14"):
+            barrett_reduce_nonneg(np.zeros(1), (1 << 14) - 1)
+        with pytest.raises(ParameterError, match="float64-exact"):
+            barrett_reduce_nonneg(np.zeros(1), FLOAT64_EXACT_MAX)
+
+
+#: Montgomery moduli: odd, in [3, 2^31).  Bias half the examples toward
+#: the real NTT primes, half anywhere in range.
+mont_moduli = st.one_of(
+    st.sampled_from(PIR_MODULI),
+    st.integers(min_value=1, max_value=(1 << 30) - 1).map(lambda k: 2 * k + 1),
+)
+
+
+class TestMontgomery:
+    @given(
+        q=mont_moduli,
+        data=st.data(),
+    )
+    @settings(max_examples=300, deadline=None)
+    def test_modmul_matches_plain_modulo(self, q, data):
+        ctx = MontgomeryContext(q)
+        residues = st.integers(min_value=0, max_value=q - 1)
+        a = np.array(
+            data.draw(st.lists(residues, min_size=1, max_size=16)), dtype=np.int64
+        )
+        b = np.array(
+            data.draw(st.lists(residues, min_size=len(a), max_size=len(a))),
+            dtype=np.int64,
+        )
+        assert np.array_equal(ctx.modmul(a, b), (a * b.astype(object)) % q)
+
+    @given(q=mont_moduli)
+    @settings(max_examples=100, deadline=None)
+    def test_round_trip_is_identity(self, q):
+        ctx = MontgomeryContext(q)
+        x = np.array([0, 1, q // 2, q - 2, q - 1], dtype=np.int64)
+        assert np.array_equal(ctx.from_mont(ctx.to_mont(x)), x)
+
+    @given(q=mont_moduli, t=st.data())
+    @settings(max_examples=200, deadline=None)
+    def test_redc_in_domain(self, q, t):
+        """REDC(t) == t * R^{-1} mod q for any t in [0, q*R)."""
+        ctx = MontgomeryContext(q)
+        vals = t.draw(
+            st.lists(
+                st.integers(min_value=0, max_value=q * ctx.r - 1),
+                min_size=1,
+                max_size=8,
+            )
+        )
+        r_inv = pow(ctx.r, -1, q)
+        got = ctx.reduce(np.array(vals, dtype=np.uint64))
+        assert np.array_equal(got, np.array([(v * r_inv) % q for v in vals]))
+
+    def test_rejects_unusable_moduli(self):
+        for bad in (1, 2, 4, 65536, 1 << 31, (1 << 31) + 1):
+            with pytest.raises(ParameterError):
+                MontgomeryContext(bad)

@@ -17,6 +17,7 @@ from repro.obs import (
     validate_obs_json,
     validate_spans_jsonl,
 )
+from repro.obs.report import aggregate_kernel_profile
 
 
 def run_traced(capsys, tmp_path, mode, extra=()):
@@ -66,7 +67,11 @@ class TestTracedLoadtest:
             ["--queries", "4", "--records", "8", "--rate", "100"],
         )
         assert out["completed"] == 4 and out["errored"] == 0
-        profile = obs["kernel_profile"]
+        # Raw profile keys carry the backend that spent the time; the
+        # aggregated view folds stage@backend back to the base stage.
+        raw = obs["kernel_profile"]
+        assert any("@" in name for name in raw), sorted(raw)
+        profile = aggregate_kernel_profile(raw)
         # The full PIR pipeline ran under the hooks.
         for stage in ("expand", "rowsel", "coltor", "gemm", "ntt_fwd", "subs"):
             assert profile[stage]["calls"] > 0, stage
@@ -102,7 +107,8 @@ class TestTracedLoadtest:
         names = {s["name"] for s in spans}
         assert {"cluster.rpc", "worker.answer", "worker.batch"} <= names
         # Worker-side kernel stats came home in WorkerStopped.
-        assert obs["kernel_profile"]["expand"]["calls"] == 8
+        profile = aggregate_kernel_profile(obs["kernel_profile"])
+        assert profile["expand"]["calls"] == 8
         # The Chrome trace names both process kinds.
         meta = {
             e["args"]["name"]

@@ -1,15 +1,19 @@
-"""Fast-path / reference-path equivalence and RowSel geometry guards.
+"""Backend / reference-path equivalence and RowSel geometry guards.
 
 The batched tensor hot path must be *byte-identical* to the per-poly
-oracle — this is the tier-1 smoke that keeps the fast path from ever
-silently diverging (the full-size check also runs in
-``benchmarks/bench_hotpath.py``).
+oracle — this is the tier-1 smoke that keeps any compute backend from
+ever silently diverging (the full-size check also runs in
+``benchmarks/bench_hotpath.py``).  ``REPRO_BACKEND`` selects the backend
+under test so CI can run the whole file once per registered backend.
 """
+
+import os
 
 import numpy as np
 import pytest
 
 from repro.errors import ParameterError
+from repro.he.backend import DEFAULT_BACKEND, get_backend
 from repro.he.batched import BfvCiphertextVec
 from repro.he.poly import RingContext
 from repro.pir.database import PirDatabase, PreprocessedDatabase
@@ -18,11 +22,14 @@ from repro.pir.protocol import PirProtocol
 from repro.pir.rowsel import num_rowsel_cols, row_select, row_select_vec
 from repro.pir.server import PirServer
 
+#: Backend under test; CI sets REPRO_BACKEND=eager / =planned.
+BACKEND = os.environ.get("REPRO_BACKEND", DEFAULT_BACKEND)
+
 
 @pytest.fixture(scope="module")
 def pipeline(small_params):
     db = PirDatabase.random(small_params, num_records=24, record_bytes=96, seed=21)
-    protocol = PirProtocol(small_params, db, seed=22)
+    protocol = PirProtocol(small_params, db, seed=22, backend=BACKEND)
     return small_params, db, protocol
 
 
@@ -37,7 +44,7 @@ class TestTranscriptEquality:
     def test_fast_answers_byte_identical_to_reference(self, pipeline):
         params, db, protocol = pipeline
         server = protocol.server
-        assert server.use_fast
+        assert server.backend is get_backend(BACKEND)
         for index in (0, 7, 23):
             query = protocol.client.build_query(index, db.layout)
             fast = server.answer(query)
@@ -51,7 +58,10 @@ class TestTranscriptEquality:
         params, db, protocol = pipeline
         server = protocol.server
         query = protocol.client.build_query(3, db.layout)
-        vec = expand_query_batched(query.packed, server.evks, server._levels, server.gadget)
+        vec = expand_query_batched(
+            query.packed, server.evks, server._levels, server.gadget,
+            backend=BACKEND,
+        )
         ref = expand_query(query.packed, server.evks, server._levels, server.gadget)
         assert vec.batch == len(ref) == params.d0
         for i, ct in enumerate(ref):
@@ -68,17 +78,19 @@ class TestTranscriptEquality:
         vec = BfvCiphertextVec.from_cts(ref_expanded)
         for plane in range(server.db.plane_count):
             ref = row_select(ref_expanded, server.db, plane)
-            fast = row_select_vec(vec, server.db, plane)
+            fast = row_select_vec(vec, server.db, plane, backend=BACKEND)
             assert len(fast) == len(ref)
             for f, r in zip(fast, ref):
                 assert np.array_equal(f.a.residues, r.a.residues)
                 assert np.array_equal(f.b.residues, r.b.residues)
 
-    def test_slow_server_still_serves(self, pipeline):
+    def test_eager_server_byte_identical(self, pipeline):
         params, db, protocol = pipeline
-        slow = PirServer(protocol.server.db, protocol.client.setup_message(), use_fast=False)
+        eager = PirServer(
+            protocol.server.db, protocol.client.setup_message(), backend="eager"
+        )
         query = protocol.client.build_query(9, db.layout)
-        _assert_responses_equal(slow.answer(query), protocol.server.answer(query))
+        _assert_responses_equal(eager.answer(query), protocol.server.answer(query))
 
 
 class TestRowselGeometryGuard:

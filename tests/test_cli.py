@@ -130,6 +130,37 @@ class TestCli:
         )
         assert "OK" in capsys.readouterr().out
 
+    def test_serve_accepts_backend(self, capsys):
+        assert (
+            main(
+                ["serve", "--records", "8", "--shards", "2", "--queries", "4",
+                 "--backend", "eager"]
+            )
+            == 0
+        )
+        assert "OK" in capsys.readouterr().out
+
+    def test_unknown_backend_exits_2_listing_registered(self, capsys):
+        from repro.he.backend import backend_names
+
+        assert (
+            main(["serve", "--records", "8", "--queries", "2",
+                  "--backend", "warp-drive"])
+            == 2
+        )
+        err = capsys.readouterr().err
+        assert "unknown compute backend 'warp-drive'" in err
+        for name in backend_names():
+            assert name in err
+
+    def test_loadtest_unknown_backend_exits_2(self, capsys):
+        assert (
+            main(["loadtest", "--mode", "real", "--queries", "2",
+                  "--records", "8", "--backend", "nope"])
+            == 2
+        )
+        assert "unknown compute backend" in capsys.readouterr().err
+
     def test_serve_accepts_seed(self, capsys):
         assert (
             main(
